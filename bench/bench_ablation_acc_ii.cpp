@@ -1,0 +1,70 @@
+/// \file bench_ablation_acc_ii.cpp
+/// Ablation: the accumulation initiation interval.
+///
+/// The paper's analysis pins the library engine's slowness on one number:
+/// the II=7 of the carried double-precision add in the hazard scan. This
+/// sweep prices the same workload with the accumulation II forced to 1..14
+/// on the *baseline* engine structure, isolating how much of the engine's
+/// cost is that single dependency -- and showing that the Listing-1 fix
+/// (II=1) captures nearly all of the available gain, since the remaining
+/// cost is the interpolation scans the dataflow rewrite overlaps instead.
+///
+/// Usage: bench_ablation_acc_ii [n_options]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "engines/xilinx_baseline.hpp"
+#include "report/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 192;
+
+  const auto scenario = workload::paper_scenario(n_options);
+  std::cout << "== Ablation: accumulation II on the sequential engine ==\n"
+            << "(the Vitis library ships with II=7 -- the carried double "
+               "add; Listing 1 achieves II=1)\n\n";
+
+  report::Table table("Baseline-structure throughput vs accumulation II");
+  table.set_columns({"Accumulation II", "Options/s", "vs II=7",
+                     "Hazard-scan share of option"});
+  double at7 = 0.0;
+  {
+    engine::FpgaEngineConfig ref_cfg;
+    ref_cfg.cost.baseline_accumulation_ii = 7;
+    engine::XilinxBaselineEngine ref(scenario.interest, scenario.hazard,
+                                     ref_cfg);
+    at7 = ref.price(scenario.options).options_per_second;
+  }
+  for (const unsigned ii : {1u, 2u, 4u, 7u, 10u, 14u}) {
+    engine::FpgaEngineConfig cfg;
+    cfg.cost.baseline_accumulation_ii = ii;
+    engine::XilinxBaselineEngine engine(scenario.interest, scenario.hazard,
+                                        cfg);
+    const auto run = engine.price(scenario.options);
+
+    // Share of one option's cycles spent in the hazard scan.
+    sim::Cycle hazard = 0, total = 0;
+    for (const auto& span :
+         engine.option_stage_spans(scenario.options.front())) {
+      total += span.cycles;
+      if (std::string(span.stage) == "default_probability") {
+        hazard += span.cycles;
+      }
+    }
+    table.add_row({std::to_string(ii),
+                   with_thousands(run.options_per_second, 2),
+                   fixed(run.options_per_second / at7, 2) + "x",
+                   fixed(100.0 * double(hazard) / double(total), 1) + "%"});
+  }
+  std::cout << table.render_text()
+            << "\neven at II=1 the sequential structure is dominated by the "
+               "two interpolating PV loops -- the dataflow rewrite (stage "
+               "overlap + single shared discount) is what unlocks the rest "
+               "of the paper's 8x.\n";
+  return 0;
+}

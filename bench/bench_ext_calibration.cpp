@@ -1,0 +1,72 @@
+/// \file bench_ext_calibration.cpp
+/// Extension micro-benchmarks: the calibration-side tools built around the
+/// engine -- hazard-curve bootstrapping and finite-difference risk -- which
+/// dominate a desk's end-of-day pipeline alongside raw pricing.
+
+#include <benchmark/benchmark.h>
+
+#include "cds/bootstrap.hpp"
+#include "cds/risk.hpp"
+#include "workload/curves.hpp"
+
+namespace {
+
+using namespace cdsflow;
+
+const cds::TermStructure& interest_curve() {
+  static const cds::TermStructure c = workload::paper_interest_curve(256);
+  return c;
+}
+
+const cds::TermStructure& hazard_curve() {
+  static const cds::TermStructure c = workload::paper_hazard_curve(256);
+  return c;
+}
+
+void BM_BootstrapFiveTenorCurve(benchmark::State& state) {
+  const std::vector<cds::SpreadQuote> quotes = {
+      {1.0, 110.0}, {3.0, 150.0}, {5.0, 185.0}, {7.0, 205.0}, {10.0, 230.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cds::bootstrap_hazard_curve(interest_curve(), quotes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(quotes.size()));
+}
+BENCHMARK(BM_BootstrapFiveTenorCurve)->Unit(benchmark::kMillisecond);
+
+void BM_Sensitivities(benchmark::State& state) {
+  const cds::CdsOption option{.id = 0,
+                              .maturity_years = 5.0,
+                              .payment_frequency = 4.0,
+                              .recovery_rate = 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cds::compute_sensitivities(interest_curve(), hazard_curve(), option));
+  }
+}
+BENCHMARK(BM_Sensitivities)->Unit(benchmark::kMicrosecond);
+
+void BM_Cs01Ladder(benchmark::State& state) {
+  const cds::CdsOption option{.id = 0,
+                              .maturity_years = 7.0,
+                              .payment_frequency = 4.0,
+                              .recovery_rate = 0.4};
+  const std::vector<double> edges = {0.0, 1.0, 2.0, 3.0, 5.0, 7.0, 10.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cds::cs01_ladder(interest_curve(), hazard_curve(), option, edges));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size() - 1));
+}
+BENCHMARK(BM_Cs01Ladder)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelBump(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cds::parallel_bump(hazard_curve(), 1e-4));
+  }
+}
+BENCHMARK(BM_ParallelBump);
+
+}  // namespace

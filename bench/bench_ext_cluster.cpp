@@ -1,0 +1,58 @@
+/// \file bench_ext_cluster.cpp
+/// Extension: multi-card scaling -- the HPC rung above the paper's single
+/// U280 (its motivating context is batch processing on HPC machines).
+///
+/// Sweeps 1..8 cards of 5 vectorised engines each and reports throughput,
+/// scaling efficiency, modelled power (cards draw independently) and
+/// efficiency, projecting where the single-card conclusions go at rack
+/// scale.
+///
+/// Usage: bench_ext_cluster [n_options]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "engines/cluster.hpp"
+#include "fpga/power.hpp"
+#include "report/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2048;
+
+  const auto scenario = workload::paper_scenario(n_options);
+  const fpga::FpgaPowerModel card_power;
+
+  std::cout << "== Extension: multi-card cluster scaling ==\n"
+            << n_options << " options, 5 vectorised engines per card\n\n";
+
+  report::Table table("Cluster scaling (cards x 5 engines)");
+  table.set_columns({"Cards", "Options/s", "Scaling", "Efficiency",
+                     "Watts (cards)", "Opts/Watt"});
+  double base = 0.0;
+  for (const unsigned cards : {1u, 2u, 4u, 8u}) {
+    engine::ClusterConfig cfg;
+    cfg.n_cards = cards;
+    cfg.per_card.n_engines = 5;
+    engine::ClusterEngine engine(scenario.interest, scenario.hazard, cfg);
+    const auto run = engine.price(scenario.options);
+    if (cards == 1) base = run.options_per_second;
+    const double watts =
+        card_power.watts(5) * static_cast<double>(cards);
+    table.add_row({std::to_string(cards),
+                   with_thousands(run.options_per_second, 0),
+                   fixed(run.options_per_second / base, 2) + "x",
+                   fixed(100.0 * run.options_per_second / base / cards, 1) +
+                       "%",
+                   fixed(watts, 1),
+                   fixed(run.options_per_second / watts, 0)});
+  }
+  std::cout << table.render_text()
+            << "\ncards scale near-linearly (independent PCIe links; only "
+               "host fan-out and chunk imbalance detract), so the paper's "
+               "efficiency conclusions carry to rack scale.\n";
+  return 0;
+}

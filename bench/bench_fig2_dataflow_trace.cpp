@@ -1,0 +1,68 @@
+/// \file bench_fig2_dataflow_trace.cpp
+/// Reproduces paper Fig. 2 (structure): "Illustration of our CDS dataflow
+/// architecture."
+///
+/// Fig. 2 is an architecture diagram; the reproduction shows the same
+/// property in operation: every stage of the free-running engine is busy
+/// *simultaneously* (high mean concurrency, high pairwise overlap), with
+/// per-option streams (red arrows) carrying one token per option and
+/// per-time-point streams (blue arrows) carrying the schedule tokens.
+///
+/// Usage: bench_fig2_dataflow_trace [n_options]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "engines/interoption_engine.hpp"
+#include "sim/trace.hpp"
+#include "sim/vcd.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 24;
+
+  auto scenario = workload::paper_scenario(n_options);
+  scenario.options.resize(n_options);
+
+  sim::Trace trace;
+  engine::FpgaEngineConfig cfg;
+  cfg.trace = &trace;
+  engine::InterOptionEngine engine(scenario.interest, scenario.hazard, cfg);
+  const auto run = engine.price(scenario.options);
+
+  std::cout << "== Fig. 2 reproduction: concurrent dataflow stages ==\n"
+            << n_options << " options streamed through a free-running "
+            << "region, "
+            << with_thousands(double(run.kernel_cycles), 0)
+            << " kernel cycles\n\n"
+            << trace.render_ascii(100) << '\n';
+
+  std::cout << "mean concurrency (stages simultaneously busy): "
+            << fixed(trace.mean_concurrency(), 2) << "\n\n";
+
+  std::cout << "stage utilisation over the run:\n";
+  for (std::size_t t = 0; t < trace.track_count(); ++t) {
+    std::cout << "  " << pad_right(trace.track_name(t), 18)
+              << fixed(trace.utilisation(t) * 100.0, 1) << "%\n";
+  }
+
+  std::cout << "\nthe interpolation scan is the busiest stage "
+               "(the bottleneck the vectorised engine of Fig. 3 attacks): "
+            << with_thousands(double(engine.last_run().interp_busy), 0)
+            << " busy cycles vs hazard "
+            << with_thousands(double(engine.last_run().hazard_busy), 0)
+            << '\n';
+
+  // Waveform dump: the same trace as a VCD file for GTKWave inspection.
+  sim::VcdOptions vcd;
+  vcd.comment = "cdsflow free-running CDS engine, " +
+                std::to_string(n_options) + " options, 300 MHz kernel";
+  const std::string vcd_path = "fig2_dataflow.vcd";
+  sim::write_vcd_file(vcd_path, trace, vcd);
+  std::cout << "waveform written to ./" << vcd_path
+            << " (open with GTKWave)\n";
+  return 0;
+}

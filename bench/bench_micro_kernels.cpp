@@ -1,0 +1,89 @@
+/// \file bench_micro_kernels.cpp
+/// google-benchmark micro kernels: the native building blocks behind every
+/// engine (golden pricer, curve interpolation, schedule generation, survival
+/// probabilities) and the simulator's own overhead. These are regression
+/// guards for the host-side performance of the library.
+
+#include <benchmark/benchmark.h>
+
+#include "cds/hazard.hpp"
+#include "cds/legs.hpp"
+#include "cds/pricer.hpp"
+#include "cds/schedule.hpp"
+#include "engines/interoption_engine.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace cdsflow;
+
+const workload::Scenario& paper_scenario_singleton() {
+  static const workload::Scenario s = workload::paper_scenario(64);
+  return s;
+}
+
+void BM_GoldenPricer_SpreadBps(benchmark::State& state) {
+  const auto& s = paper_scenario_singleton();
+  const cds::ReferencePricer pricer(s.interest, s.hazard);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pricer.spread_bps(s.options[i++ % s.options.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoldenPricer_SpreadBps);
+
+void BM_Curve_InterpolateScan(benchmark::State& state) {
+  const auto& s = paper_scenario_singleton();
+  double t = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.interest.interpolate(t));
+    t += 0.37;
+    if (t > 29.0) t = 0.1;
+  }
+}
+BENCHMARK(BM_Curve_InterpolateScan);
+
+void BM_Schedule_Make(benchmark::State& state) {
+  const cds::CdsOption option{.id = 0,
+                              .maturity_years = 7.3,
+                              .payment_frequency = 4.0,
+                              .recovery_rate = 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cds::make_schedule(option));
+  }
+}
+BENCHMARK(BM_Schedule_Make);
+
+void BM_Hazard_SurvivalProbability(benchmark::State& state) {
+  const auto& s = paper_scenario_singleton();
+  double t = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cds::survival_probability(s.hazard, t));
+    t += 0.61;
+    if (t > 29.0) t = 0.1;
+  }
+}
+BENCHMARK(BM_Hazard_SurvivalProbability);
+
+/// Simulator overhead per simulated kernel cycle: prices a small batch on
+/// the free-running engine and reports host-ns per simulated cycle --
+/// the metric that keeps whole-portfolio simulation cheap.
+void BM_Simulator_FreeRunningEngine(benchmark::State& state) {
+  const auto& s = paper_scenario_singleton();
+  sim::Cycle cycles = 0;
+  for (auto _ : state) {
+    engine::InterOptionEngine engine(s.interest, s.hazard, {});
+    const auto run = engine.price(s.options);
+    cycles = run.kernel_cycles;
+    benchmark::DoNotOptimize(run.results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.options.size()));
+  state.counters["sim_cycles"] =
+      benchmark::Counter(static_cast<double>(cycles));
+}
+BENCHMARK(BM_Simulator_FreeRunningEngine)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,83 @@
+/// \file bench_table1.cpp
+/// Reproduces paper Table I: "Performance of different versions of our FPGA
+/// CDS engine, against that of a Cascade Lake Xeon Platinum CPU single-core
+/// and Xilinx Vitis library implementation."
+///
+/// Protocol as in the paper (Sec. II-B): 1024 interest and 1024 hazard
+/// rates, results averaged over three runs, PCIe transfer overhead included.
+/// FPGA rows are simulated kernel cycles at 300 MHz plus modelled host
+/// costs; the CPU row is measured natively on this host (the paper's was a
+/// Xeon 8260M -- absolute CPU numbers therefore differ with hardware, the
+/// FPGA/baseline ratios are the reproduction target).
+///
+/// Usage: bench_table1 [n_options] [runs]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "engines/registry.hpp"
+#include "report/experiment.hpp"
+#include "report/paper.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+constexpr std::size_t kDefaultOptions = 512;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : kDefaultOptions;
+  const int runs = argc > 2 ? std::atoi(argv[2])
+                            : report::paper::kRunsPerMeasurement;
+
+  const auto scenario = workload::paper_scenario(n_options);
+  std::cout << "== Table I reproduction ==\n"
+            << "scenario: " << scenario.description << '\n'
+            << "options: " << n_options << ", runs averaged: " << runs
+            << "\n\n";
+
+  struct RowSpec {
+    const char* engine;
+    const char* description;
+    double paper_value;
+  };
+  const RowSpec rows[] = {
+      {"cpu", "Xeon Platinum CPU core (measured on this host)",
+       report::paper::kCpuSingleCoreOptsPerSec},
+      {"xilinx-baseline", "Xilinx Vitis library CDS engine",
+       report::paper::kXilinxLibraryOptsPerSec},
+      {"dataflow", "Optimised Dataflow CDS engine",
+       report::paper::kOptimisedDataflowOptsPerSec},
+      {"dataflow-interoption", "Dataflow inter-options",
+       report::paper::kInterOptionOptsPerSec},
+      {"vectorised", "Vectorisation of dataflow engine",
+       report::paper::kVectorisedOptsPerSec},
+  };
+
+  std::vector<report::ComparisonRow> comparison;
+  for (const auto& spec : rows) {
+    auto engine =
+        engine::make_engine(spec.engine, scenario.interest, scenario.hazard);
+    const auto m = report::measure(*engine, scenario.options, runs);
+    comparison.push_back({spec.description, m.mean_ops(), spec.paper_value});
+    std::cerr << "  measured " << spec.engine << ": " << m.mean_ops()
+              << " options/s\n";
+  }
+
+  const auto table = report::comparison_table(
+      "Table I -- Performance of engine versions", "Options/second",
+      comparison);
+  std::cout << table.render_text() << '\n';
+
+  // Headline ratios (paper Sec. III): dataflow rewrite ~8x over the library
+  // engine, ~2x steps between generations.
+  const double lib = comparison[1].measured;
+  const double vec = comparison[4].measured;
+  std::cout << "vectorised / library speedup: measured "
+            << vec / lib << "x, paper "
+            << report::paper::kSpeedupVsLibrary << "x\n";
+  return 0;
+}

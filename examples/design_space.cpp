@@ -1,0 +1,89 @@
+/// \file design_space.cpp
+/// Design-space exploration with the device/resource/power models: for a
+/// target card, sweep lane counts and engine counts, keep configurations
+/// that place-and-route, and report the throughput / power-efficiency
+/// frontier -- the study an FPGA engineer runs before committing to a
+/// build (the paper's choice: 6 lanes, 5 engines on a U280).
+///
+/// Run:  ./design_space [n_options]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "engines/multi_engine.hpp"
+#include "fpga/power.hpp"
+#include "fpga/resource.hpp"
+#include "report/table.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+
+  const auto scenario = workload::paper_scenario(n_options);
+  const auto device = fpga::alveo_u280();
+  const fpga::ResourceEstimator estimator(device);
+  const fpga::FpgaPowerModel power;
+
+  std::cout << "design-space exploration on " << device.name << " ("
+            << n_options << "-option probe workload)\n\n";
+
+  report::Table table("lane/engine configurations that fit");
+  table.set_columns({"Lanes", "Engines", "LUT util", "Options/s",
+                     "Opts/Watt", "Note"});
+
+  double best_ops = 0.0, best_eff = 0.0;
+  std::string best_ops_cfg, best_eff_cfg;
+
+  for (const unsigned lanes : {1u, 2u, 4u, 6u, 8u}) {
+    fpga::EngineShape shape;
+    shape.hazard_lanes = lanes;
+    shape.interpolation_lanes = lanes;
+    const unsigned max_engines = estimator.max_engines(shape);
+    if (max_engines == 0) continue;
+
+    for (unsigned engines = 1; engines <= max_engines; ++engines) {
+      engine::MultiEngineConfig cfg;
+      cfg.n_engines = engines;
+      cfg.engine.vector_lanes = lanes;
+      cfg.vectorised = lanes > 1;
+      engine::MultiEngine me(scenario.interest, scenario.hazard, cfg);
+      const auto run = me.price(scenario.options);
+
+      const auto usage = estimator.estimate_design(shape, engines);
+      const double lut_util =
+          100.0 * double(usage.luts) / double(device.luts);
+      const double watts = power.watts(engines);
+      const double eff = run.options_per_second / watts;
+
+      std::string note;
+      if (lanes == 6 && engines == 5) note = "<- paper config";
+      if (run.options_per_second > best_ops) {
+        best_ops = run.options_per_second;
+        best_ops_cfg = std::to_string(lanes) + " lanes x " +
+                       std::to_string(engines) + " engines";
+      }
+      if (eff > best_eff) {
+        best_eff = eff;
+        best_eff_cfg = std::to_string(lanes) + " lanes x " +
+                       std::to_string(engines) + " engines";
+      }
+      // Only print the frontier-ish rows to keep the table readable: the
+      // max engine count per lane config plus the paper configuration.
+      if (engines == max_engines || note.size() > 0) {
+        table.add_row({std::to_string(lanes), std::to_string(engines),
+                       fixed(lut_util, 1) + "%",
+                       with_thousands(run.options_per_second, 0),
+                       fixed(eff, 0), note});
+      }
+    }
+  }
+  std::cout << table.render_text() << '\n';
+  std::cout << "highest throughput: " << best_ops_cfg << " ("
+            << with_thousands(best_ops, 0) << " options/s)\n"
+            << "highest efficiency: " << best_eff_cfg << " ("
+            << fixed(best_eff, 0) << " options/Watt)\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// \file risk_ladder.cpp
+/// Credit risk sensitivities with the CDS engine: the workflow a desk runs
+/// after pricing -- bump the hazard curve, reprice, and read off spread
+/// sensitivities per maturity bucket (a "CS01 ladder"), plus recovery-rate
+/// sensitivity. Uses the engine for bulk repricing and the golden model's
+/// leg breakdown for the decomposition.
+///
+/// Run:  ./risk_ladder
+
+#include <iostream>
+#include <vector>
+
+#include "cds/pricer.hpp"
+#include "common/format.hpp"
+#include "engines/interoption_engine.hpp"
+#include "report/table.hpp"
+#include "workload/curves.hpp"
+
+namespace {
+
+using namespace cdsflow;
+
+/// Returns a copy of `curve` with every knot's value scaled by (1 + bump).
+cds::TermStructure bumped(const cds::TermStructure& curve, double bump) {
+  std::vector<double> values = curve.values();
+  for (auto& v : values) v *= 1.0 + bump;
+  return cds::TermStructure(curve.times(), std::move(values));
+}
+
+}  // namespace
+
+int main() {
+  const auto interest = workload::paper_interest_curve();
+  const auto hazard = workload::paper_hazard_curve();
+
+  // A benchmark ladder: par CDS at standard tenors.
+  std::vector<cds::CdsOption> ladder;
+  const double tenors[] = {1.0, 2.0, 3.0, 5.0, 7.0, 10.0};
+  for (std::size_t i = 0; i < std::size(tenors); ++i) {
+    ladder.push_back({.id = static_cast<std::int32_t>(i),
+                      .maturity_years = tenors[i],
+                      .payment_frequency = 4.0,
+                      .recovery_rate = 0.4});
+  }
+
+  // Base and bumped books priced on the free-running engine.
+  const double kBump = 0.01;  // +1% relative hazard bump
+  engine::InterOptionEngine base_engine(interest, hazard, {});
+  engine::InterOptionEngine up_engine(interest, bumped(hazard, kBump), {});
+  engine::InterOptionEngine down_engine(interest, bumped(hazard, -kBump), {});
+  const auto base = base_engine.price(ladder);
+  const auto up = up_engine.price(ladder);
+  const auto down = down_engine.price(ladder);
+
+  const cds::ReferencePricer pricer(interest, hazard);
+
+  report::Table table("Hazard sensitivity ladder (+/-1% relative bump)");
+  table.set_columns({"Tenor", "Par spread (bps)", "dSpread/dHazard (bps)",
+                     "Central diff (bps)", "Risky PV01"});
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const double s0 = base.results[i].spread_bps;
+    const double s_up = up.results[i].spread_bps;
+    const double s_dn = down.results[i].spread_bps;
+    const auto breakdown = pricer.breakdown(ladder[i]);
+    table.add_row({fixed(tenors[i], 0) + "y", fixed(s0, 2),
+                   fixed(s_up - s0, 3),
+                   fixed((s_up - s_dn) / 2.0, 3),
+                   fixed(breakdown.premium_leg + breakdown.accrual_leg, 4)});
+  }
+  std::cout << table.render_text() << '\n';
+
+  // Recovery sensitivity at the 5y point: spread falls as recovery rises.
+  std::cout << "recovery-rate sensitivity (5y):\n";
+  for (const double r : {0.0, 0.2, 0.4, 0.6}) {
+    cds::CdsOption o{.id = 0, .maturity_years = 5.0, .payment_frequency = 4.0,
+                     .recovery_rate = r};
+    std::cout << "  R=" << fixed(r, 1) << "  spread "
+              << fixed(pricer.spread_bps(o), 2) << " bps\n";
+  }
+  std::cout << "\n(sanity: spread scales ~(1-R); protection is worth less "
+               "when more of the loan is recovered)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "cds/bootstrap.hpp"
+
+#include <cmath>
+
+#include "cds/legs.hpp"
+#include "common/error.hpp"
+#include "common/solver.hpp"
+
+namespace cdsflow::cds {
+
+namespace {
+
+/// Builds the working curve: already-solved segment rates plus a trial rate
+/// on the newest segment. Knot i sits at quote tenor i (piecewise-constant
+/// hazard applies on (tenor_{i-1}, tenor_i], matching integrated_hazard's
+/// convention).
+TermStructure working_curve(const std::vector<SpreadQuote>& quotes,
+                            const std::vector<double>& solved,
+                            double trial, std::size_t segment) {
+  std::vector<double> times, values;
+  times.reserve(segment + 1);
+  values.reserve(segment + 1);
+  for (std::size_t i = 0; i < segment; ++i) {
+    times.push_back(quotes[i].tenor_years);
+    values.push_back(solved[i]);
+  }
+  times.push_back(quotes[segment].tenor_years);
+  values.push_back(trial);
+  return TermStructure(std::move(times), std::move(values));
+}
+
+}  // namespace
+
+BootstrapResult bootstrap_hazard_curve(const TermStructure& interest,
+                                       const std::vector<SpreadQuote>& quotes,
+                                       BootstrapOptions options) {
+  interest.validate();
+  CDSFLOW_EXPECT(!quotes.empty(), "bootstrap requires at least one quote");
+  for (std::size_t i = 0; i < quotes.size(); ++i) {
+    CDSFLOW_EXPECT(quotes[i].tenor_years > 0.0,
+                   "quote tenors must be positive");
+    CDSFLOW_EXPECT(quotes[i].spread_bps > 0.0,
+                   "quote spreads must be positive");
+    if (i > 0) {
+      CDSFLOW_EXPECT(quotes[i].tenor_years > quotes[i - 1].tenor_years,
+                     "quote tenors must be strictly increasing");
+    }
+  }
+  CDSFLOW_EXPECT(options.hazard_min > 0.0 &&
+                     options.hazard_max > options.hazard_min,
+                 "hazard search bracket is invalid");
+
+  BootstrapResult result;
+  std::vector<double> solved;
+  solved.reserve(quotes.size());
+
+  for (std::size_t segment = 0; segment < quotes.size(); ++segment) {
+    const CdsOption contract{
+        .id = static_cast<std::int32_t>(segment),
+        .maturity_years = quotes[segment].tenor_years,
+        .payment_frequency = options.payment_frequency,
+        .recovery_rate = options.recovery_rate};
+    const double target = quotes[segment].spread_bps;
+
+    auto objective = [&](double h) {
+      const TermStructure hazard =
+          working_curve(quotes, solved, h, segment);
+      return price_breakdown(interest, hazard, contract).spread_bps - target;
+    };
+
+    RootFindOptions ro;
+    ro.f_tolerance = options.tolerance_bps;
+    const RootFindResult root = find_root_brent(
+        objective, options.hazard_min, options.hazard_max, ro);
+    CDSFLOW_EXPECT(root.converged,
+                   "bootstrap failed to converge at tenor " +
+                       std::to_string(quotes[segment].tenor_years) +
+                       "y -- quotes may be arbitrage-inconsistent");
+    solved.push_back(root.root);
+    result.total_iterations += root.iterations;
+    result.max_error_bps =
+        std::max(result.max_error_bps, std::fabs(root.residual));
+  }
+
+  result.hazard =
+      working_curve(quotes, solved, solved.back(), quotes.size() - 1);
+  return result;
+}
+
+}  // namespace cdsflow::cds

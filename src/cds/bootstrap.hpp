@@ -1,0 +1,57 @@
+/// \file bootstrap.hpp
+/// Hazard-curve bootstrapping: the inverse of the pricing problem.
+///
+/// Markets quote par CDS spreads at standard tenors; the pricing engine
+/// needs a hazard-rate term structure. The bootstrapper builds a piecewise-
+/// constant hazard curve segment by segment: for each quoted tenor
+/// (ascending), it solves for the constant hazard rate on the newest
+/// segment such that the par CDS of that tenor reprices to its quoted
+/// spread, holding the already-bootstrapped earlier segments fixed -- the
+/// standard ISDA-style construction, using the same ReferencePricer the
+/// engines validate against.
+
+#pragma once
+
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::cds {
+
+/// One market quote: tenor (years) and par spread (bps).
+struct SpreadQuote {
+  double tenor_years = 0.0;
+  double spread_bps = 0.0;
+};
+
+struct BootstrapOptions {
+  /// Payment frequency and recovery assumed for the quoted contracts
+  /// (standard CDS: quarterly, 40%).
+  double payment_frequency = 4.0;
+  double recovery_rate = 0.4;
+  /// Hazard search bracket per segment.
+  double hazard_min = 1e-8;
+  double hazard_max = 5.0;
+  /// Repricing tolerance in bps.
+  double tolerance_bps = 1e-8;
+};
+
+struct BootstrapResult {
+  /// Piecewise-constant hazard curve with one knot per quote tenor.
+  TermStructure hazard;
+  /// Max |repricing error| over the quotes, in bps.
+  double max_error_bps = 0.0;
+  /// Root-finder iterations summed over all segments.
+  int total_iterations = 0;
+};
+
+/// Bootstraps a hazard curve that reprices `quotes` on the given interest
+/// curve. Quotes must have strictly increasing positive tenors and positive
+/// spreads. Throws cdsflow::Error when a segment cannot be solved (e.g.
+/// arbitrage-inconsistent quotes that would need a negative hazard).
+BootstrapResult bootstrap_hazard_curve(const TermStructure& interest,
+                                       const std::vector<SpreadQuote>& quotes,
+                                       BootstrapOptions options = {});
+
+}  // namespace cdsflow::cds

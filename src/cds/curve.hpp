@@ -1,0 +1,64 @@
+/// \file curve.hpp
+/// Term structures: the interest-rate and hazard-rate inputs.
+///
+/// Both model constants are "a list of percentages ... in a given time
+/// frame" (paper Sec. II-A): pairs of (year fraction, rate). The curve is
+/// stored structure-of-arrays (times[], values[]) -- the layout both the
+/// FPGA URAM replicas and the CPU engine scan -- with strictly increasing
+/// times.
+///
+/// Rate lookup is linear interpolation between bracketing knots, clamped at
+/// the ends. The FPGA kernels locate the bracket with a fixed-bound scan
+/// over all points (that scan is precisely the interpolation cost the paper
+/// vectorises); `find_bracket_scan` exposes the same loop for the engine
+/// kernels while `interpolate` uses it so every code path computes identical
+/// values.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cdsflow::cds {
+
+class TermStructure {
+ public:
+  TermStructure() = default;
+
+  /// Builds a curve from matching time/value arrays. Times must be strictly
+  /// increasing and non-negative; at least one point is required.
+  TermStructure(std::vector<double> times, std::vector<double> values);
+
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+  double time(std::size_t i) const { return times_.at(i); }
+  double value(std::size_t i) const { return values_.at(i); }
+  double max_time() const { return times_.back(); }
+
+  /// Index of the last knot with time <= t via the same linear scan the HLS
+  /// kernel performs; returns size() when t precedes the first knot's use
+  /// (i.e. npos semantics are avoided -- see interpolate for clamping).
+  /// Exposed separately so the engine stage kernels share it.
+  std::size_t find_bracket_scan(double t) const;
+
+  /// Number of knots with time <= t (binary search; used for scan-cost
+  /// modelling, not for values).
+  std::size_t count_at_or_before(double t) const;
+
+  /// Linearly interpolated value at `t`, clamped to the end values outside
+  /// the knot range.
+  double interpolate(double t) const;
+
+  /// Throws cdsflow::Error if the invariants fail (used after deserialising
+  /// external data).
+  void validate() const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace cdsflow::cds

@@ -1,0 +1,69 @@
+#include "cds/hazard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+
+double hazard_element_contribution(const TermStructure& hazard, std::size_t j,
+                                   double t) {
+  CDSFLOW_ASSERT(j < hazard.size(), "hazard element index out of range");
+  const double seg_begin = j == 0 ? 0.0 : hazard.time(j - 1);
+  const double lo = std::min(seg_begin, t);
+  const double hi = std::min(hazard.time(j), t);
+  return hazard.value(j) * std::max(0.0, hi - lo);
+}
+
+namespace {
+
+/// Extrapolation beyond the final knot at the last rate.
+double tail_contribution(const TermStructure& hazard, double t) {
+  const double last = hazard.max_time();
+  if (t <= last) return 0.0;
+  return hazard.values().back() * (t - last);
+}
+
+}  // namespace
+
+double integrated_hazard(const TermStructure& hazard, double t) {
+  CDSFLOW_EXPECT(t >= 0.0, "integrated hazard requires t >= 0");
+  // The HLS kernel's fixed-bound scan: every element contributes (possibly
+  // zero); the accumulation is the carried dependency the paper analyses.
+  double acc = 0.0;
+  for (std::size_t j = 0; j < hazard.size(); ++j) {
+    acc += hazard_element_contribution(hazard, j, t);
+  }
+  return acc + tail_contribution(hazard, t);
+}
+
+double integrated_hazard_listing1(const TermStructure& hazard, double t,
+                                  unsigned lanes) {
+  CDSFLOW_EXPECT(t >= 0.0, "integrated hazard requires t >= 0");
+  CDSFLOW_EXPECT(lanes >= 1, "listing-1 integration requires >= 1 lane");
+  std::vector<double> partial(lanes, 0.0);
+  for (std::size_t j = 0; j < hazard.size(); ++j) {
+    partial[j % lanes] += hazard_element_contribution(hazard, j, t);
+  }
+  double acc = 0.0;
+  for (unsigned j = 0; j < lanes; ++j) acc += partial[j];
+  return acc + tail_contribution(hazard, t);
+}
+
+double survival_probability(const TermStructure& hazard, double t) {
+  return std::exp(-integrated_hazard(hazard, t));
+}
+
+double default_probability(const TermStructure& hazard, double t) {
+  return 1.0 - survival_probability(hazard, t);
+}
+
+double accumulate_naive(std::span<const double> xs) {
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc;
+}
+
+}  // namespace cdsflow::cds

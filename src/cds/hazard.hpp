@@ -1,0 +1,94 @@
+/// \file hazard.hpp
+/// Hazard-rate integration and survival probabilities.
+///
+/// "The first significant option calculation performed for each time point
+/// is the probability that the loan has defaulted by that point in time,
+/// which involves accumulating the hazard rate constant data up until this
+/// time." (paper Sec. II-A)
+///
+/// The hazard curve is piecewise-constant: rate h_j applies on the interval
+/// (tau_{j-1}, tau_j] (with tau_{-1} = 0) and the last rate extrapolates
+/// beyond the final knot. The integrated hazard is
+///
+///     Lambda(t) = sum_j h_j * max(0, min(tau_j, t) - min(tau_{j-1}, t))
+///               + h_{N-1} * max(0, t - tau_{N-1})
+///
+/// and the survival probability Q(t) = exp(-Lambda(t)); the defaulting
+/// probability is 1 - Q(t).
+///
+/// Each element's contribution is independent -- only the *sum* carries a
+/// dependency -- which is why the paper's Listing 1 can replicate the
+/// accumulator into seven lanes and recover II=1. Two implementations are
+/// provided with *different summation orders*:
+///
+///   * integrated_hazard          -- in-order accumulation, the Vitis
+///                                   library structure and the golden model;
+///   * integrated_hazard_listing1 -- the seven-partial-sum rewrite,
+///                                   bit-for-bit the order Listing 1
+///                                   produces (including the uneven-tail
+///                                   handling the paper omits for brevity).
+///
+/// The generic lane-accumulators at the bottom are the same trick over a
+/// plain array; the Listing-1 bench uses them to show the dependency-chain
+/// effect natively on the CPU as well.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "cds/curve.hpp"
+
+namespace cdsflow::cds {
+
+/// Contribution of curve element `j` to Lambda(t); no carried dependency.
+double hazard_element_contribution(const TermStructure& hazard, std::size_t j,
+                                   double t);
+
+/// In-order integrated hazard (Vitis library summation order).
+double integrated_hazard(const TermStructure& hazard, double t);
+
+/// Listing-1 integrated hazard: `lanes` partial sums filled cyclically, then
+/// folded in lane order. lanes == 7 covers the 7-cycle double-add latency.
+double integrated_hazard_listing1(const TermStructure& hazard, double t,
+                                  unsigned lanes = 7);
+
+/// Q(t) = exp(-Lambda(t)) using the in-order integration.
+double survival_probability(const TermStructure& hazard, double t);
+
+/// 1 - Q(t).
+double default_probability(const TermStructure& hazard, double t);
+
+// --- generic lane accumulation (Listing 1 over a plain array) --------------
+
+/// Straight left-to-right sum: the II=7 dependency chain on the FPGA, and a
+/// serial dependency chain on the CPU too.
+double accumulate_naive(std::span<const double> xs);
+
+/// Listing 1: `Lanes` partial sums filled cyclically in chunks, folded at
+/// the end. Independent adds every cycle on the FPGA; independent dependency
+/// chains (ILP) on the CPU.
+template <unsigned Lanes = 7>
+double accumulate_partial_lanes(std::span<const double> xs) {
+  static_assert(Lanes >= 1);
+  double lanes[Lanes];
+  for (unsigned j = 0; j < Lanes; ++j) lanes[j] = 0.0;
+  const std::size_t whole = xs.size() / Lanes;
+  // Outer loop II=Lanes, inner loop fully unrolled (Listing 1 lines 4-10).
+  for (std::size_t i = 0; i < whole; ++i) {
+    for (unsigned j = 0; j < Lanes; ++j) {
+      lanes[j] += xs[i * Lanes + j];
+    }
+  }
+  // Uneven tail (omitted from the paper's listing for brevity).
+  for (std::size_t k = whole * Lanes; k < xs.size(); ++k) {
+    lanes[k % Lanes] += xs[k];
+  }
+  // Final fold (Listing 1 lines 12-15): short, so the carried dependency
+  // costs only Lanes * latency cycles.
+  double sum = 0.0;
+  for (unsigned j = 0; j < Lanes; ++j) sum += lanes[j];
+  return sum;
+}
+
+}  // namespace cdsflow::cds

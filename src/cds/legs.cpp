@@ -1,0 +1,58 @@
+#include "cds/legs.hpp"
+
+#include <cmath>
+
+#include "cds/hazard.hpp"
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+
+double discount_factor(const TermStructure& interest, double t) {
+  CDSFLOW_EXPECT(t >= 0.0, "discount factor requires t >= 0");
+  const double r = interest.interpolate(t);
+  return std::exp(-r * t);
+}
+
+LegTerms leg_terms(const TermStructure& interest, double survival_prev,
+                   double survival_now, double t, double dt) {
+  const double d = discount_factor(interest, t);
+  const double dq = survival_prev - survival_now;
+  LegTerms terms;
+  terms.premium = d * survival_now * dt;
+  terms.accrual = 0.5 * d * dq * dt;
+  terms.payoff = d * dq;
+  return terms;
+}
+
+PricingBreakdown price_breakdown(const TermStructure& interest,
+                                 const TermStructure& hazard,
+                                 const CdsOption& option) {
+  option.validate();
+  const std::vector<TimePoint> schedule = make_schedule(option);
+  PricingBreakdown out;
+  double payoff_sum = 0.0;
+  double q_prev = 1.0;  // Q(0)
+  for (const TimePoint& tp : schedule) {
+    const double q = survival_probability(hazard, tp.t);
+    const LegTerms terms = leg_terms(interest, q_prev, q, tp.t, tp.dt);
+    out.premium_leg += terms.premium;
+    out.accrual_leg += terms.accrual;
+    payoff_sum += terms.payoff;
+    q_prev = q;
+  }
+  out.protection_leg = (1.0 - option.recovery_rate) * payoff_sum;
+  out.spread_bps = combine_spread_bps(out.premium_leg, out.accrual_leg,
+                                      payoff_sum, option.recovery_rate);
+  return out;
+}
+
+double combine_spread_bps(double premium_leg, double accrual_leg,
+                          double payoff_sum, double recovery_rate) {
+  const double annuity = premium_leg + accrual_leg;
+  CDSFLOW_EXPECT(annuity > 0.0,
+                 "risky annuity must be positive to quote a spread");
+  const double protection = (1.0 - recovery_rate) * payoff_sum;
+  return kBasisPointsPerUnit * protection / annuity;
+}
+
+}  // namespace cdsflow::cds

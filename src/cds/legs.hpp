@@ -1,0 +1,63 @@
+/// \file legs.hpp
+/// The three present-value legs combined into the spread (paper Fig. 1:
+/// payment, payoff and accrual terms plus the defaulting probability).
+///
+/// With discount factor D(t) = exp(-r(t) * t) (r linearly interpolated from
+/// the interest curve), survival Q(t) and default-in-period mass
+/// dQ_i = Q(t_{i-1}) - Q(t_i), summed over the payment schedule:
+///
+///   premium leg    sum_i D(t_i) *  Q(t_i) * dt_i      (expected premium
+///                                                      payments per unit
+///                                                      spread)
+///   accrual leg    sum_i D(t_i) * dQ_i * dt_i / 2     (half a period of
+///                                                      premium accrues on
+///                                                      average before a
+///                                                      default is settled)
+///   protection leg (1-R) * sum_i D(t_i) * dQ_i        (the payoff the
+///                                                      seller owes on
+///                                                      default)
+///
+///   spread_bps = 10^4 * protection / (premium + accrual)
+///
+/// These per-time-point terms are exactly the tokens the dataflow engines
+/// stream; the functions here are the scalar reference the engines are
+/// validated against.
+
+#pragma once
+
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/schedule.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::cds {
+
+/// Discount factor D(t) from the interest-rate curve.
+double discount_factor(const TermStructure& interest, double t);
+
+/// Per-time-point contributions at one schedule point.
+struct LegTerms {
+  double premium = 0.0;
+  double accrual = 0.0;
+  /// Unscaled payoff mass D * dQ (the recovery scaling happens in the
+  /// combine step, as in the engine's final stage).
+  double payoff = 0.0;
+};
+
+/// Terms at time point (t, dt) given the survival at the previous point.
+LegTerms leg_terms(const TermStructure& interest, double survival_prev,
+                   double survival_now, double t, double dt);
+
+/// Whole-leg sums over an option's schedule (in schedule order, matching the
+/// engines' accumulation order for the premium/accrual/payoff streams).
+PricingBreakdown price_breakdown(const TermStructure& interest,
+                                 const TermStructure& hazard,
+                                 const CdsOption& option);
+
+/// Combines leg sums into the spread. Throws when the risky annuity
+/// (premium + accrual) is not positive -- an unpriceable contract.
+double combine_spread_bps(double premium_leg, double accrual_leg,
+                          double payoff_sum, double recovery_rate);
+
+}  // namespace cdsflow::cds

@@ -1,0 +1,118 @@
+#include "cds/precision.hpp"
+
+#include <cmath>
+
+#include "cds/hazard.hpp"
+#include "cds/legs.hpp"
+#include "cds/schedule.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace cdsflow::cds {
+
+const char* to_string(Precision precision) {
+  switch (precision) {
+    case Precision::kDouble:
+      return "fp64";
+    case Precision::kSingle:
+      return "fp32";
+    case Precision::kMixed:
+      return "fp32/fp64-acc";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The full model with fp32 arithmetic; `AccT` selects the accumulator
+/// width (float for kSingle, double for kMixed). The structure mirrors
+/// price_breakdown exactly so differences are purely arithmetic precision.
+template <typename AccT>
+double spread_single_precision(const TermStructure& interest,
+                               const TermStructure& hazard,
+                               const CdsOption& option) {
+  const auto schedule = make_schedule(option);
+
+  AccT premium = 0, accrual = 0, payoff = 0;
+  float q_prev = 1.0f;
+  for (const TimePoint& tp : schedule) {
+    const auto t = static_cast<float>(tp.t);
+    const auto dt = static_cast<float>(tp.dt);
+
+    // Integrated hazard, fp32 scan (same element order as the fp64 scan).
+    float lambda = 0.0f;
+    for (std::size_t j = 0; j < hazard.size(); ++j) {
+      const auto seg_begin =
+          static_cast<float>(j == 0 ? 0.0 : hazard.time(j - 1));
+      const auto seg_end = static_cast<float>(hazard.time(j));
+      const float lo = std::min(seg_begin, t);
+      const float hi = std::min(seg_end, t);
+      lambda += static_cast<float>(hazard.value(j)) *
+                std::max(0.0f, hi - lo);
+    }
+    if (t > static_cast<float>(hazard.max_time())) {
+      lambda += static_cast<float>(hazard.values().back()) *
+                (t - static_cast<float>(hazard.max_time()));
+    }
+    const float q = std::exp(-lambda);
+    const float dq = q_prev - q;
+    q_prev = q;
+
+    // Discount factor, fp32 interpolation + exp.
+    const auto r = static_cast<float>(interest.interpolate(tp.t));
+    const float d = std::exp(-r * t);
+
+    premium += static_cast<AccT>(d * q * dt);
+    accrual += static_cast<AccT>(0.5f * d * dq * dt);
+    payoff += static_cast<AccT>(d * dq);
+  }
+
+  const auto recovery = static_cast<float>(option.recovery_rate);
+  const AccT annuity = premium + accrual;
+  CDSFLOW_EXPECT(annuity > 0, "risky annuity must be positive");
+  return static_cast<double>(
+      static_cast<AccT>(kBasisPointsPerUnit) *
+      static_cast<AccT>(1.0f - recovery) * payoff / annuity);
+}
+
+}  // namespace
+
+double spread_bps_with_precision(const TermStructure& interest,
+                                 const TermStructure& hazard,
+                                 const CdsOption& option,
+                                 Precision precision) {
+  option.validate();
+  switch (precision) {
+    case Precision::kDouble:
+      return price_breakdown(interest, hazard, option).spread_bps;
+    case Precision::kSingle:
+      return spread_single_precision<float>(interest, hazard, option);
+    case Precision::kMixed:
+      return spread_single_precision<double>(interest, hazard, option);
+  }
+  throw Error("unknown precision mode");
+}
+
+PrecisionErrorReport evaluate_precision(const TermStructure& interest,
+                                        const TermStructure& hazard,
+                                        const std::vector<CdsOption>& book,
+                                        Precision precision) {
+  CDSFLOW_EXPECT(!book.empty(), "precision evaluation requires options");
+  PrecisionErrorReport report;
+  report.precision = precision;
+  double abs_sum = 0.0;
+  for (const auto& option : book) {
+    const double exact = price_breakdown(interest, hazard, option).spread_bps;
+    const double approx =
+        spread_bps_with_precision(interest, hazard, option, precision);
+    const double abs_err = std::fabs(approx - exact);
+    abs_sum += abs_err;
+    report.max_abs_error_bps = std::max(report.max_abs_error_bps, abs_err);
+    report.max_rel_error =
+        std::max(report.max_rel_error, relative_difference(approx, exact));
+  }
+  report.mean_abs_error_bps = abs_sum / static_cast<double>(book.size());
+  return report;
+}
+
+}  // namespace cdsflow::cds

@@ -1,0 +1,53 @@
+/// \file precision.hpp
+/// Reduced-precision pricing -- the paper's future-work direction:
+/// "further exploration around reduced precision, especially within the
+/// context of the future Xilinx Versal ACAP with AI engines for
+/// accelerating single precision floating point and fixed-point
+/// arithmetic, would be very interesting." (Sec. V)
+///
+/// This module implements the numerical half of that study: the complete
+/// CDS model evaluated in IEEE single precision (and a mixed mode that
+/// keeps only the accumulations in double), so the accuracy cost of
+/// dropping precision can be quantified in basis points against the fp64
+/// golden model. The hardware half -- what single precision buys on the
+/// FPGA -- is modelled by fpga::ReducedPrecisionModel.
+
+#pragma once
+
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::cds {
+
+enum class Precision {
+  kDouble,        ///< fp64 everywhere (the golden model)
+  kSingle,        ///< fp32 everywhere
+  kMixed,         ///< fp32 arithmetic, fp64 accumulators (a common FPGA
+                  ///< compromise: cheap multipliers, safe sums)
+};
+
+const char* to_string(Precision precision);
+
+/// Prices one option with the requested arithmetic. kDouble reproduces the
+/// golden model bit-for-bit.
+double spread_bps_with_precision(const TermStructure& interest,
+                                 const TermStructure& hazard,
+                                 const CdsOption& option,
+                                 Precision precision);
+
+/// Error summary of a reduced-precision pricer over a book.
+struct PrecisionErrorReport {
+  Precision precision = Precision::kSingle;
+  double max_abs_error_bps = 0.0;
+  double mean_abs_error_bps = 0.0;
+  double max_rel_error = 0.0;
+};
+
+PrecisionErrorReport evaluate_precision(const TermStructure& interest,
+                                        const TermStructure& hazard,
+                                        const std::vector<CdsOption>& book,
+                                        Precision precision);
+
+}  // namespace cdsflow::cds

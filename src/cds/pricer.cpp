@@ -1,0 +1,31 @@
+#include "cds/pricer.hpp"
+
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+
+ReferencePricer::ReferencePricer(TermStructure interest, TermStructure hazard)
+    : interest_(std::move(interest)), hazard_(std::move(hazard)) {
+  interest_.validate();
+  hazard_.validate();
+}
+
+double ReferencePricer::spread_bps(const CdsOption& option) const {
+  return breakdown(option).spread_bps;
+}
+
+PricingBreakdown ReferencePricer::breakdown(const CdsOption& option) const {
+  return price_breakdown(interest_, hazard_, option);
+}
+
+std::vector<SpreadResult> ReferencePricer::price(
+    const std::vector<CdsOption>& options) const {
+  std::vector<SpreadResult> results;
+  results.reserve(options.size());
+  for (const CdsOption& option : options) {
+    results.push_back({option.id, spread_bps(option)});
+  }
+  return results;
+}
+
+}  // namespace cdsflow::cds

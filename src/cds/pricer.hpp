@@ -1,0 +1,42 @@
+/// \file pricer.hpp
+/// The golden reference pricer.
+///
+/// A plain scalar implementation of the full CDS model -- the ground truth
+/// every engine variant (FPGA-simulated and CPU) is validated against in the
+/// test suite. It holds the two term structures (the "constant data" loaded
+/// once per batch in the paper) and prices options one at a time.
+
+#pragma once
+
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/legs.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::cds {
+
+class ReferencePricer {
+ public:
+  /// Both curves are copied; the pricer is immutable afterwards (safe to
+  /// share across threads).
+  ReferencePricer(TermStructure interest, TermStructure hazard);
+
+  const TermStructure& interest() const { return interest_; }
+  const TermStructure& hazard() const { return hazard_; }
+
+  /// Fair spread (basis points) of one option.
+  double spread_bps(const CdsOption& option) const;
+
+  /// Full leg breakdown of one option.
+  PricingBreakdown breakdown(const CdsOption& option) const;
+
+  /// Prices a whole portfolio in input order.
+  std::vector<SpreadResult> price(const std::vector<CdsOption>& options) const;
+
+ private:
+  TermStructure interest_;
+  TermStructure hazard_;
+};
+
+}  // namespace cdsflow::cds

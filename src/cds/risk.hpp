@@ -1,0 +1,54 @@
+/// \file risk.hpp
+/// Finite-difference credit risk sensitivities -- the post-pricing workflow
+/// the engine exists to accelerate (a desk reprices its book under bumped
+/// curves after every batch).
+///
+/// Conventions:
+///   * CS01  -- change in spread (bps) for a +1 bp parallel shift of the
+///              hazard curve's rates.
+///   * IR01  -- change in spread (bps) for a +1 bp parallel shift of the
+///              interest-rate curve.
+///   * Rec01 -- change in spread (bps) for a +1% (absolute) recovery bump.
+/// All computed by central differences on the golden model; the bucketed
+/// ladder bumps one curve segment at a time.
+
+#pragma once
+
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::cds {
+
+struct Sensitivities {
+  double spread_bps = 0.0;
+  double cs01 = 0.0;   ///< d(spread)/d(hazard), per 1 bp parallel bump
+  double ir01 = 0.0;   ///< d(spread)/d(rates), per 1 bp parallel bump
+  double rec01 = 0.0;  ///< d(spread)/d(recovery), per +1% recovery
+};
+
+/// Returns `curve` with `bump` added to every value (parallel shift).
+TermStructure parallel_bump(const TermStructure& curve, double bump);
+
+/// Returns `curve` with `bump` added to values whose times fall in
+/// [t_lo, t_hi) (bucket shift).
+TermStructure bucket_bump(const TermStructure& curve, double t_lo,
+                          double t_hi, double bump);
+
+/// Central-difference sensitivities of one option.
+Sensitivities compute_sensitivities(const TermStructure& interest,
+                                    const TermStructure& hazard,
+                                    const CdsOption& option,
+                                    double bump = 1e-4);
+
+/// Bucketed CS01 ladder: spread change per +1 bp hazard bump in each
+/// [bucket_edges[i], bucket_edges[i+1]) segment. Returns one value per
+/// bucket (edges must be increasing; at least two).
+std::vector<double> cs01_ladder(const TermStructure& interest,
+                                const TermStructure& hazard,
+                                const CdsOption& option,
+                                const std::vector<double>& bucket_edges,
+                                double bump = 1e-4);
+
+}  // namespace cdsflow::cds

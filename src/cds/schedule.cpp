@@ -1,0 +1,45 @@
+#include "cds/schedule.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+
+namespace {
+
+/// Tolerance for "maturity lands exactly on a payment date": avoids a
+/// zero-length stub period from floating-point representation of dates like
+/// 5.0 * 4 payments.
+constexpr double kDateEps = 1e-9;
+
+}  // namespace
+
+std::size_t schedule_size(const CdsOption& option) {
+  option.validate();
+  const double periods = option.maturity_years * option.payment_frequency;
+  // ceil with tolerance: maturity exactly on a payment date does not open a
+  // new (empty) period.
+  const auto n = static_cast<std::size_t>(std::ceil(periods - kDateEps));
+  return n == 0 ? 1 : n;
+}
+
+std::vector<TimePoint> make_schedule(const CdsOption& option) {
+  const std::size_t n = schedule_size(option);
+  std::vector<TimePoint> points;
+  points.reserve(n);
+  const double step = 1.0 / option.payment_frequency;
+  double prev = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    double t = static_cast<double>(i) * step;
+    if (i == n || t > option.maturity_years) t = option.maturity_years;
+    CDSFLOW_ASSERT(t > prev, "schedule produced a non-increasing time point");
+    points.push_back({t, t - prev});
+    prev = t;
+  }
+  CDSFLOW_ASSERT(points.back().t == option.maturity_years,
+                 "schedule must end at maturity");
+  return points;
+}
+
+}  // namespace cdsflow::cds

@@ -1,0 +1,34 @@
+/// \file schedule.hpp
+/// Premium payment schedules ("distinct time points", paper Fig. 1).
+///
+/// For each option the model first determines the set of time points that
+/// "extend to the maturity date"; every subsequent component loops over
+/// them. Payments fall every 1/frequency years; the final point is the
+/// maturity itself, which may make the last period short (a "stub").
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cds/types.hpp"
+
+namespace cdsflow::cds {
+
+/// One premium payment time point.
+struct TimePoint {
+  /// Payment date as a year fraction.
+  double t = 0.0;
+  /// Accrual period ending at t (t_i - t_{i-1}, with t_0 = 0).
+  double dt = 0.0;
+};
+
+/// Payment schedule for one option: time points t_1 < t_2 < ... < t_n with
+/// t_n == maturity.
+std::vector<TimePoint> make_schedule(const CdsOption& option);
+
+/// Number of time points make_schedule would produce, without materialising
+/// them (engines use this to size streams and account work).
+std::size_t schedule_size(const CdsOption& option);
+
+}  // namespace cdsflow::cds

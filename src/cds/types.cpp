@@ -1,0 +1,29 @@
+#include "cds/types.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+
+void CdsOption::validate() const {
+  CDSFLOW_EXPECT(maturity_years > 0.0,
+                 "option maturity must be positive (id=" + std::to_string(id) +
+                     ")");
+  CDSFLOW_EXPECT(payment_frequency > 0.0,
+                 "payment frequency must be positive (id=" +
+                     std::to_string(id) + ")");
+  CDSFLOW_EXPECT(recovery_rate >= 0.0 && recovery_rate < 1.0,
+                 "recovery rate must lie in [0, 1) (id=" + std::to_string(id) +
+                     ")");
+}
+
+std::string to_string(const CdsOption& option) {
+  std::ostringstream os;
+  os << "CdsOption{id=" << option.id << ", maturity=" << option.maturity_years
+     << "y, freq=" << option.payment_frequency
+     << "/y, recovery=" << option.recovery_rate << "}";
+  return os.str();
+}
+
+}  // namespace cdsflow::cds

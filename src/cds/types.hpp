@@ -1,0 +1,60 @@
+/// \file types.hpp
+/// Core value types of the CDS model (paper Sec. II-A).
+///
+/// A Credit Default Swap engine prices *options*: each option is a contract
+/// described by three numbers -- the maturity date (year fraction), the
+/// premium payment frequency (payments per year), and the recovery rate (the
+/// fraction of the notional recovered on default). The engine's output per
+/// option is the *fair spread* in basis points: the annual premium, per unit
+/// notional, that makes the premium leg's value equal the protection leg's.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cdsflow::cds {
+
+/// One CDS contract to price. The paper streams vectors of these through the
+/// engine against fixed interest/hazard term structures.
+struct CdsOption {
+  /// Caller-assigned identifier, preserved in results (engines may partition
+  /// and reorder work internally).
+  std::int32_t id = 0;
+  /// Contract end, as a year fraction from the valuation date. Must be > 0.
+  double maturity_years = 5.0;
+  /// Premium payments per year (4 = quarterly, 12 = monthly). Must be > 0.
+  double payment_frequency = 4.0;
+  /// Fraction of notional recovered on default, in [0, 1).
+  double recovery_rate = 0.4;
+
+  /// Throws cdsflow::Error when any field is out of range.
+  void validate() const;
+};
+
+/// Fair spread for one option.
+struct SpreadResult {
+  std::int32_t id = 0;
+  /// Annual premium in basis points of notional (paper Sec. II-A: divide by
+  /// 100 for a percentage).
+  double spread_bps = 0.0;
+};
+
+/// Detailed pricing breakdown (golden model; used by tests and the risk
+/// example).
+struct PricingBreakdown {
+  /// Present value of the premium payments per unit spread ("risky PV01").
+  double premium_leg = 0.0;
+  /// PV of the accrued-on-default premium per unit spread.
+  double accrual_leg = 0.0;
+  /// PV of the protection payments (already scaled by 1 - recovery).
+  double protection_leg = 0.0;
+  double spread_bps = 0.0;
+};
+
+/// Basis points per unit (1.0 == 10,000 bps).
+inline constexpr double kBasisPointsPerUnit = 10'000.0;
+
+std::string to_string(const CdsOption& option);
+
+}  // namespace cdsflow::cds

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace cdsflow::detail {
+
+void throw_error(const char* kind, const char* expr, const char* file,
+                 int line, const std::string& message) {
+  std::ostringstream os;
+  os << "cdsflow " << kind << " violated: " << message << " [" << expr
+     << "] at " << file << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace cdsflow::detail

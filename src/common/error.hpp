@@ -1,0 +1,56 @@
+/// \file error.hpp
+/// Error handling for cdsflow.
+///
+/// The library follows a "wide contract at the API boundary, narrow contract
+/// inside" policy (C++ Core Guidelines I.5/I.6): public entry points validate
+/// their inputs with CDSFLOW_EXPECT and throw cdsflow::Error; internal
+/// invariants use CDSFLOW_ASSERT which also throws (so simulator bugs surface
+/// in release builds and tests instead of silently corrupting results).
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cdsflow {
+
+/// Exception type thrown by all cdsflow precondition and invariant failures.
+///
+/// Carries the failing expression and source location in what() so test
+/// failures and user errors are directly actionable.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+
+/// Builds the diagnostic string and throws. Out-of-line so the macro
+/// expansion stays small at every call site.
+[[noreturn]] void throw_error(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& message);
+
+}  // namespace detail
+
+}  // namespace cdsflow
+
+/// Validate a caller-supplied precondition. `msg` is a string (or something
+/// streamable into std::string via operator+) describing what went wrong.
+#define CDSFLOW_EXPECT(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::cdsflow::detail::throw_error("precondition", #cond, __FILE__,     \
+                                     __LINE__, (msg));                    \
+    }                                                                     \
+  } while (false)
+
+/// Check an internal invariant. Same behaviour as CDSFLOW_EXPECT but the
+/// diagnostic is labelled as a library bug rather than a usage error.
+#define CDSFLOW_ASSERT(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::cdsflow::detail::throw_error("internal invariant", #cond,         \
+                                     __FILE__, __LINE__, (msg));          \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,89 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cdsflow {
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string with_thousands(double value, int decimals) {
+  std::string base = fixed(value, decimals);
+  // Locate span of integer digits (skip sign, stop at '.').
+  std::size_t begin = (!base.empty() && (base[0] == '-' || base[0] == '+')) ? 1 : 0;
+  std::size_t end = base.find('.');
+  if (end == std::string::npos) end = base.size();
+  std::string out = base.substr(0, begin);
+  const std::size_t digits = end - begin;
+  for (std::size_t i = 0; i < digits; ++i) {
+    if (i != 0 && (digits - i) % 3 == 0) out += ',';
+    out += base[begin + i];
+  }
+  out += base.substr(end);
+  return out;
+}
+
+std::string compact(double value) {
+  const double mag = std::fabs(value);
+  if (mag != 0.0 && (mag >= 1e7 || mag < 1e-3)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3e", value);
+    return buf;
+  }
+  return fixed(value, mag >= 100 ? 1 : 4);
+}
+
+std::string format_duration_ns(double ns) {
+  const char* unit = "ns";
+  double v = ns;
+  if (std::fabs(v) >= 1e9) {
+    v /= 1e9;
+    unit = "s";
+  } else if (std::fabs(v) >= 1e6) {
+    v /= 1e6;
+    unit = "ms";
+  } else if (std::fabs(v) >= 1e3) {
+    v /= 1e3;
+    unit = "us";
+  }
+  std::ostringstream os;
+  os << fixed(v, 2) << ' ' << unit;
+  return os.str();
+}
+
+std::string format_cycles(std::uint64_t cycles, double clock_hz) {
+  std::ostringstream os;
+  os << with_thousands(static_cast<double>(cycles), 0) << " cycles ("
+     << format_duration_ns(static_cast<double>(cycles) / clock_hz * 1e9)
+     << ")";
+  return os.str();
+}
+
+std::string format_rate(double per_second, const std::string& unit) {
+  return with_thousands(per_second, 2) + ' ' + unit + "/s";
+}
+
+std::string format_percent_delta(double measured, double reference) {
+  if (reference == 0.0) return "n/a";
+  const double pct = (measured - reference) / reference * 100.0;
+  std::ostringstream os;
+  os << (pct >= 0 ? "+" : "") << fixed(pct, 1) << '%';
+  return os.str();
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace cdsflow

@@ -1,0 +1,40 @@
+/// \file format.hpp
+/// Human-readable formatting helpers shared by the report module, benches and
+/// examples: engineering-unit numbers, thousands separators, durations, and
+/// rates. Kept dependency-free (no std::format requirement on older
+/// toolchains).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cdsflow {
+
+/// "1234567.8" -> "1,234,567.8" (also handles negatives).
+std::string with_thousands(double value, int decimals = 2);
+
+/// Fixed-point with the given number of decimals, no separators.
+std::string fixed(double value, int decimals = 2);
+
+/// Scientific-ish compact form for wide-ranging magnitudes: chooses between
+/// fixed and exponent notation.
+std::string compact(double value);
+
+/// Nanoseconds to a human-readable duration ("1.25 ms", "3.4 s").
+std::string format_duration_ns(double ns);
+
+/// Cycles at a clock frequency to a duration string.
+std::string format_cycles(std::uint64_t cycles, double clock_hz);
+
+/// "27675.7 options/s" style rate string.
+std::string format_rate(double per_second, const std::string& unit);
+
+/// Percentage with sign, e.g. "+7.3%"; used in paper-vs-measured columns.
+std::string format_percent_delta(double measured, double reference);
+
+/// Left/right pads `s` with spaces to `width` (no truncation).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace cdsflow

@@ -1,0 +1,99 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace cdsflow {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 expansion guarantees a non-zero state even for seed == 0.
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // Top 53 bits -> [0,1) double, the standard xoshiro idiom.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  CDSFLOW_EXPECT(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CDSFLOW_EXPECT(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::normal(double mean, double stddev) {
+  CDSFLOW_EXPECT(stddev >= 0.0, "normal() requires stddev >= 0");
+  // Box-Muller; u1 nudged away from zero so log() stays finite.
+  const double u1 = uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1 + 1e-300));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  CDSFLOW_EXPECT(!weights.empty(), "weighted_index() requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    CDSFLOW_EXPECT(w >= 0.0, "weighted_index() weights must be >= 0");
+    total += w;
+  }
+  CDSFLOW_EXPECT(total > 0.0, "weighted_index() weights must sum to > 0");
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: landed exactly on `total`
+}
+
+Rng Rng::split(std::uint64_t salt) const {
+  // Mix the current state with the salt through splitmix64 so child streams
+  // are decorrelated from the parent and from each other.
+  std::uint64_t s = state_[0] ^ rotl(state_[3], 13) ^ (salt * 0xD1B54A32D192ED03ULL);
+  return Rng(splitmix64(s));
+}
+
+}  // namespace cdsflow

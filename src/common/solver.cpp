@@ -1,0 +1,107 @@
+#include "common/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cdsflow {
+
+RootFindResult find_root_brent(const std::function<double(double)>& f,
+                               double lo, double hi,
+                               RootFindOptions options) {
+  CDSFLOW_EXPECT(f != nullptr, "root finder requires an objective");
+  CDSFLOW_EXPECT(lo < hi, "root bracket is inverted");
+
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  RootFindResult result;
+
+  if (std::fabs(fa) <= options.f_tolerance) {
+    return {a, fa, 0, true};
+  }
+  if (std::fabs(fb) <= options.f_tolerance) {
+    return {b, fb, 0, true};
+  }
+  CDSFLOW_EXPECT(fa * fb < 0.0,
+                 "root bracket does not straddle a sign change");
+
+  // Brent: keep the best point b, previous point c; try inverse quadratic /
+  // secant, fall back to bisection when the step is not well-behaved.
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol = 2.0 * options.x_tolerance * std::fabs(b) +
+                       0.5 * options.x_tolerance;
+    const double m = 0.5 * (c - b);
+    if (std::fabs(fb) <= options.f_tolerance || std::fabs(m) <= tol) {
+      return {b, fb, iter, true};
+    }
+    if (std::fabs(e) >= tol && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt interpolation.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {  // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {  // inverse quadratic
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::fabs(tol * q),
+                             std::fabs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += std::fabs(d) > tol ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return {b, fb, options.max_iterations, false};
+}
+
+RootFindResult find_root_expanding(const std::function<double(double)>& f,
+                                   double lo, double hi, int max_expansions,
+                                   RootFindOptions options) {
+  CDSFLOW_EXPECT(f != nullptr, "root finder requires an objective");
+  CDSFLOW_EXPECT(lo < hi, "root bracket is inverted");
+  double fa = f(lo);
+  if (std::fabs(fa) <= options.f_tolerance) return {lo, fa, 0, true};
+  double b = hi;
+  for (int i = 0; i <= max_expansions; ++i) {
+    const double fb = f(b);
+    if (std::fabs(fb) <= options.f_tolerance) return {b, fb, i, true};
+    if (fa * fb < 0.0) return find_root_brent(f, lo, b, options);
+    b *= 2.0;
+  }
+  throw Error("find_root_expanding: no sign change within the expansion "
+              "budget");
+}
+
+}  // namespace cdsflow

@@ -1,0 +1,42 @@
+/// \file solver.hpp
+/// Scalar root finding for the calibration tools (hazard-curve
+/// bootstrapping inverts the pricer: find the hazard level that reprices a
+/// quoted spread). Brent's method with a bisection fallback: derivative-free
+/// and robust on the monotone-but-kinked objectives CDS calibration
+/// produces.
+
+#pragma once
+
+#include <functional>
+
+namespace cdsflow {
+
+struct RootFindResult {
+  double root = 0.0;
+  /// Objective value at the root (|f| <= tolerance on success).
+  double residual = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct RootFindOptions {
+  double f_tolerance = 1e-12;   ///< |f(x)| considered zero
+  double x_tolerance = 1e-14;   ///< bracket width considered converged
+  int max_iterations = 200;
+};
+
+/// Finds a root of `f` in [lo, hi]. Requires f(lo) and f(hi) to have
+/// opposite signs (throws cdsflow::Error otherwise).
+RootFindResult find_root_brent(const std::function<double(double)>& f,
+                               double lo, double hi,
+                               RootFindOptions options = {});
+
+/// Expands [lo, hi] geometrically (upwards) until it brackets a sign change
+/// of `f`, then solves. `hi` grows at most `max_expansions` times by factor
+/// 2. Convenience for positive-quantity calibration (hazard rates).
+RootFindResult find_root_expanding(const std::function<double(double)>& f,
+                                   double lo, double hi,
+                                   int max_expansions = 60,
+                                   RootFindOptions options = {});
+
+}  // namespace cdsflow

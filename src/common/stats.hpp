@@ -1,0 +1,68 @@
+/// \file stats.hpp
+/// Streaming statistics used by the simulator (channel occupancy, stage
+/// utilisation) and the benchmark harness (3-run averaging as in the paper).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cdsflow {
+
+/// Welford-style running mean/variance plus min/max. O(1) space, numerically
+/// stable, safe to merge.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction support).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [0, upper]; values above `upper` land in the
+/// final bucket. Used for channel occupancy distributions.
+class Histogram {
+ public:
+  Histogram(std::size_t buckets, double upper);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+  /// Fraction of samples in bucket i (0 if empty histogram).
+  double fraction(std::size_t i) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  double upper_;
+  std::uint64_t total_ = 0;
+};
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); the comparison metric used
+/// by the engine-vs-golden test suites.
+double relative_difference(double a, double b);
+
+/// p-th percentile (p in [0,100]) of a sample by linear interpolation
+/// between order statistics. Copies and sorts; intended for end-of-run
+/// reporting (latency percentiles), not hot paths. Throws on empty input.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace cdsflow

@@ -1,0 +1,13 @@
+/// \file version.hpp
+/// Library version constants.
+
+#pragma once
+
+namespace cdsflow {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace cdsflow

@@ -1,0 +1,87 @@
+#include "engines/cpu_engine.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cdsflow::engine {
+
+CpuEngine::CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
+                     CpuEngineConfig config)
+    : pricer_(std::move(interest), std::move(hazard)),
+      threads_(config.threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::string CpuEngine::name() const {
+  return threads_ == 1 ? "cpu" : ("cpu-mt" + std::to_string(threads_));
+}
+
+std::string CpuEngine::description() const {
+  return "Bespoke C++ CPU engine, " + std::to_string(threads_) +
+         " thread(s) (" + (uses_openmp() ? "OpenMP" : "std::thread") + ")";
+}
+
+bool CpuEngine::uses_openmp() {
+#if defined(CDSFLOW_HAVE_OPENMP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+PricingRun CpuEngine::price(const std::vector<cds::CdsOption>& options) {
+  CDSFLOW_EXPECT(!options.empty(), "price() requires options");
+  PricingRun run;
+  run.results.resize(options.size());
+
+  const auto n = static_cast<std::ptrdiff_t>(options.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads_ <= 1) {
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      run.results[static_cast<std::size_t>(i)] = {
+          options[static_cast<std::size_t>(i)].id,
+          pricer_.spread_bps(options[static_cast<std::size_t>(i)])};
+    }
+  } else {
+#if defined(CDSFLOW_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) num_threads(static_cast<int>(threads_))
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      run.results[static_cast<std::size_t>(i)] = {
+          options[static_cast<std::size_t>(i)].id,
+          pricer_.spread_bps(options[static_cast<std::size_t>(i)])};
+    }
+#else
+    std::vector<std::thread> workers;
+    workers.reserve(threads_);
+    const std::size_t chunk =
+        (options.size() + threads_ - 1) / threads_;
+    for (unsigned t = 0; t < threads_; ++t) {
+      const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+      const std::size_t end =
+          std::min(options.size(), begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back([this, &options, &run, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          run.results[i] = {options[i].id, pricer_.spread_bps(options[i])};
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+#endif
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  run.kernel_seconds = std::chrono::duration<double>(t1 - t0).count();
+  run.kernel_cycles = 0;  // native execution
+  run.transfer_seconds = 0.0;
+  run.invocations = 1;
+  run.finalise(options.size());
+  return run;
+}
+
+}  // namespace cdsflow::engine

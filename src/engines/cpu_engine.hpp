@@ -1,0 +1,45 @@
+/// \file cpu_engine.hpp
+/// The paper's CPU comparator: "a bespoke version of the engine in C++ with
+/// OpenMP for multi-threading" on a 24-core Xeon Platinum 8260M.
+///
+/// This engine *really executes*: it prices with the reference math and
+/// reports measured wall-clock time. Threading uses OpenMP when the
+/// toolchain provides it (as in the paper) and falls back to std::thread
+/// otherwise. There are no dependencies between options, so the parallel
+/// schedule is a simple partition -- the paper observes this workload scales
+/// poorly anyway (~9x on 24 cores), being memory-bound on the curve scans.
+
+#pragma once
+
+#include "cds/curve.hpp"
+#include "cds/pricer.hpp"
+#include "engines/engine.hpp"
+
+namespace cdsflow::engine {
+
+struct CpuEngineConfig {
+  /// Worker threads; 0 selects std::thread::hardware_concurrency().
+  unsigned threads = 1;
+};
+
+class CpuEngine final : public Engine {
+ public:
+  CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
+            CpuEngineConfig config = {});
+
+  std::string name() const override;
+  std::string description() const override;
+
+  PricingRun price(const std::vector<cds::CdsOption>& options) override;
+
+  unsigned threads() const { return threads_; }
+
+  /// True when built with OpenMP (the paper's configuration).
+  static bool uses_openmp();
+
+ private:
+  cds::ReferencePricer pricer_;
+  unsigned threads_;
+};
+
+}  // namespace cdsflow::engine

@@ -1,0 +1,26 @@
+#include "engines/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace cdsflow::engine {
+
+void PricingRun::finalise(std::size_t n_options) {
+  total_seconds = kernel_seconds + transfer_seconds;
+  CDSFLOW_ASSERT(total_seconds > 0.0, "pricing run must take non-zero time");
+  options_per_second = static_cast<double>(n_options) / total_seconds;
+}
+
+BatchTraffic batch_traffic(std::size_t curve_points, std::size_t n_options) {
+  BatchTraffic t;
+  // Two curves x (time, value) doubles.
+  t.curve_bytes = static_cast<std::uint64_t>(curve_points) * 2 * 2 *
+                  sizeof(double);
+  // Option: maturity, frequency, recovery packed as 3 doubles + id word,
+  // rounded into 32-byte half-beats.
+  t.option_bytes = static_cast<std::uint64_t>(n_options) * 32;
+  // Result: id + spread padded to 16 bytes.
+  t.result_bytes = static_cast<std::uint64_t>(n_options) * 16;
+  return t;
+}
+
+}  // namespace cdsflow::engine

@@ -1,0 +1,105 @@
+#include "engines/planner.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+#include "engines/registry.hpp"
+#include "fpga/device.hpp"
+#include "workload/options.hpp"
+
+namespace cdsflow::engine {
+
+PlannerConfig::PlannerConfig() : device(fpga::alveo_u280()) {}
+
+std::vector<BackendCandidate> enumerate_backends(
+    const cds::TermStructure& interest, const cds::TermStructure& hazard,
+    const PlannerConfig& config) {
+  CDSFLOW_EXPECT(config.probe_options >= 8,
+                 "probe workload too small to be representative");
+
+  // Probe book drawn once, shared by every candidate.
+  workload::PortfolioSpec probe_spec;
+  probe_spec.count = config.probe_options;
+  probe_spec.seed = 20211109;  // fixed: candidates must see identical work
+  const auto probe = workload::make_portfolio(probe_spec);
+
+  std::vector<BackendCandidate> candidates;
+
+  // --- CPU candidates -------------------------------------------------------
+  std::vector<unsigned> threads = config.cpu_thread_counts;
+  if (threads.empty()) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    threads = {1u};
+    if (hw > 1) threads.push_back(hw);
+  }
+  for (const unsigned t : threads) {
+    const std::string name = t == 1 ? "cpu" : "cpu-mt" + std::to_string(t);
+    auto engine = make_engine(name, interest, hazard);
+    const auto run = engine->price(probe);
+    candidates.push_back(
+        {name, config.cpu_power.watts(t), run.options_per_second});
+  }
+
+  // --- FPGA candidates --------------------------------------------------------
+  std::vector<unsigned> engines = config.fpga_engine_counts;
+  if (engines.empty()) {
+    fpga::EngineShape shape;
+    shape.hazard_lanes = shape.interpolation_lanes = 6;
+    const fpga::ResourceEstimator estimator(config.device);
+    const unsigned max = estimator.max_engines(shape);
+    for (unsigned n = 1; n <= max; ++n) engines.push_back(n);
+  }
+  for (const unsigned n : engines) {
+    const std::string name = "multi-" + std::to_string(n);
+    auto engine = make_engine(name, interest, hazard);
+    const auto run = engine->price(probe);
+    candidates.push_back(
+        {name, config.fpga_power.watts(n), run.options_per_second});
+  }
+  return candidates;
+}
+
+std::vector<PlanEntry> plan_batch(
+    const std::vector<BackendCandidate>& candidates,
+    const BatchRequirements& requirements) {
+  CDSFLOW_EXPECT(requirements.n_options > 0, "batch must contain options");
+  CDSFLOW_EXPECT(requirements.deadline_seconds > 0.0,
+                 "deadline must be positive");
+  CDSFLOW_EXPECT(!candidates.empty(), "no back-end candidates supplied");
+
+  std::vector<PlanEntry> entries;
+  entries.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    CDSFLOW_EXPECT(candidate.options_per_second > 0.0,
+                   "candidate '" + candidate.engine_name +
+                       "' has no throughput measurement");
+    PlanEntry entry;
+    entry.candidate = candidate;
+    entry.projected_seconds = candidate.seconds_for(requirements.n_options);
+    entry.projected_joules = candidate.joules_for(requirements.n_options);
+    entry.meets_deadline =
+        entry.projected_seconds <= requirements.deadline_seconds;
+    entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const PlanEntry& a, const PlanEntry& b) {
+              if (a.meets_deadline != b.meets_deadline) {
+                return a.meets_deadline;
+              }
+              if (a.meets_deadline) {
+                return a.projected_joules < b.projected_joules;
+              }
+              return a.projected_seconds < b.projected_seconds;
+            });
+  return entries;
+}
+
+std::optional<PlanEntry> best_plan(const std::vector<PlanEntry>& entries) {
+  if (entries.empty() || !entries.front().meets_deadline) {
+    return std::nullopt;
+  }
+  return entries.front();
+}
+
+}  // namespace cdsflow::engine

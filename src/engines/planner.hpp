@@ -1,0 +1,84 @@
+/// \file planner.hpp
+/// Deadline-aware back-end selection for overnight batches.
+///
+/// The paper's motivation (Sec. I): banks batch-process financial models
+/// "for instance overnight, which must still occur within specific time
+/// constraints". Given a book size, a deadline, and the available back-ends
+/// (CPU threads, 1..max FPGA engines), the planner measures or models each
+/// candidate's throughput, discards those that miss the deadline, and ranks
+/// the rest by energy (power model x runtime) -- the decision a capacity
+/// planner actually makes with Table II in hand.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "fpga/power.hpp"
+#include "fpga/resource.hpp"
+
+namespace cdsflow::engine {
+
+/// One candidate execution configuration.
+struct BackendCandidate {
+  /// Engine registry name ("cpu-mt8", "multi-3", ...).
+  std::string engine_name;
+  /// Modelled electrical power while running.
+  double watts = 0.0;
+  /// Measured/modelled throughput on the probe workload.
+  double options_per_second = 0.0;
+
+  double seconds_for(std::uint64_t n_options) const {
+    return static_cast<double>(n_options) / options_per_second;
+  }
+  double joules_for(std::uint64_t n_options) const {
+    return watts * seconds_for(n_options);
+  }
+};
+
+/// A candidate judged against the batch requirements.
+struct PlanEntry {
+  BackendCandidate candidate;
+  double projected_seconds = 0.0;
+  double projected_joules = 0.0;
+  bool meets_deadline = false;
+};
+
+struct BatchRequirements {
+  std::uint64_t n_options = 0;
+  double deadline_seconds = 0.0;
+};
+
+struct PlannerConfig {
+  /// Probe workload size used to measure candidate throughput.
+  std::size_t probe_options = 128;
+  /// CPU thread counts to consider (empty: 1 and hardware_concurrency).
+  std::vector<unsigned> cpu_thread_counts;
+  /// FPGA engine counts to consider (empty: 1..max that fit the device).
+  std::vector<unsigned> fpga_engine_counts;
+  /// Device for the fit check and the FPGA count default.
+  fpga::DeviceSpec device;
+  fpga::FpgaPowerModel fpga_power;
+  fpga::CpuPowerModel cpu_power;
+
+  PlannerConfig();
+};
+
+/// Measures every candidate back-end on a probe workload drawn from the
+/// given curves.
+std::vector<BackendCandidate> enumerate_backends(
+    const cds::TermStructure& interest, const cds::TermStructure& hazard,
+    const PlannerConfig& config = {});
+
+/// Projects each candidate against the requirements and returns the entries
+/// sorted: deadline-meeting entries first (by energy ascending), then the
+/// rest (by time ascending).
+std::vector<PlanEntry> plan_batch(const std::vector<BackendCandidate>& candidates,
+                                  const BatchRequirements& requirements);
+
+/// The cheapest candidate that meets the deadline, if any.
+std::optional<PlanEntry> best_plan(const std::vector<PlanEntry>& entries);
+
+}  // namespace cdsflow::engine

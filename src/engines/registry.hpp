@@ -1,0 +1,38 @@
+/// \file registry.hpp
+/// Name-based engine construction for examples and benches.
+///
+/// Recognised names:
+///   "cpu"                   single-thread CPU engine
+///   "cpu-mt"                CPU engine on all hardware threads
+///   "cpu-mt<N>"             CPU engine on N threads (e.g. "cpu-mt8")
+///   "xilinx-baseline"       Vitis library model
+///   "dataflow"              optimised dataflow, restart per option
+///   "dataflow-interoption"  free-running dataflow
+///   "vectorised"            vectorised free-running dataflow
+///   "multi-<N>"             N vectorised engines (e.g. "multi-5")
+///   "cluster-<M>x<N>"       M cards of N vectorised engines each
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "engines/cpu_engine.hpp"
+#include "engines/engine.hpp"
+
+namespace cdsflow::engine {
+
+/// Constructs an engine by name. Throws cdsflow::Error for unknown names.
+std::unique_ptr<Engine> make_engine(const std::string& name,
+                                    const cds::TermStructure& interest,
+                                    const cds::TermStructure& hazard,
+                                    const FpgaEngineConfig& fpga_config = {},
+                                    const CpuEngineConfig& cpu_config = {});
+
+/// All fixed registry names (the parametrised multi-N/cpu-mtN forms are
+/// represented by "multi-5" and "cpu-mt").
+std::vector<std::string> engine_names();
+
+}  // namespace cdsflow::engine

@@ -1,0 +1,100 @@
+/// \file stage_library.hpp
+/// Builder for the CDS dataflow stage graph (paper Fig. 2).
+///
+/// The graph wired into a Simulation:
+///
+///   option source ──> option broadcast ────────────────────────────┐
+///        │ (red, per option)                                       │
+///        v                                                         │
+///   time-point generator (expand)                                  │
+///        │ (blue, per time point)                                  │
+///        v                                                         │
+///   tp broadcast ──────────────┬──────────────┐                    │
+///        v                     v                                   │
+///   hazard integration    rate interpolation                       │
+///   [lane pool if         [lane pool if                            │
+///    vectorised]           vectorised]                             │
+///        v                     v                                   │
+///   default probability   discount factor                          │
+///        v                     v                                   │
+///   survival broadcast    discount broadcast                       │
+///      │    │    │          │    │    │                            │
+///      v    v    v          v    v    v                            │
+///   premium  payoff  accrual   (zip stages, one per leg)           │
+///        v       v       v                                         │
+///   accumulate x3 (reduce, per option)                             │
+///        └───────┴───────┴───> spread combine (zip) <──────────────┘
+///                                   v
+///                              result sink
+///
+/// kOptimised instantiates single hazard/interpolation stages (the
+/// "Optimised Dataflow" and "Dataflow inter-options" engines share this
+/// shape); kVectorised replaces both with round-robin replicated pools
+/// (paper Fig. 3). All numerical kernels are the cds:: reference functions,
+/// so the simulated engines produce real spreads that tests compare against
+/// the golden model.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cds/curve.hpp"
+#include "cds/types.hpp"
+#include "engines/engine.hpp"
+#include "engines/tokens.hpp"
+#include "hls/replicate.hpp"
+#include "hls/stage.hpp"
+#include "sim/simulation.hpp"
+
+namespace cdsflow::engine {
+
+enum class GraphVariant {
+  /// Single hazard/interpolation unit (paper's optimised dataflow engine).
+  kOptimised,
+  /// Replicated hazard/interpolation pools (paper's vectorised engine).
+  kVectorised,
+};
+
+/// Pointers into the constructed graph for result collection and
+/// introspection (lane utilisation in the Fig. 3 bench, stall counters in
+/// the ablations). All pointers are owned by the Simulation.
+struct GraphHandles {
+  hls::SourceStage<OptionToken>* source = nullptr;
+  hls::SinkStage<cds::SpreadResult>* sink = nullptr;
+  std::uint64_t total_time_points = 0;
+
+  /// Per-option end-to-end latency in cycles (option enters the engine ->
+  /// spread leaves), in submission order. Valid after the simulation ran.
+  std::vector<sim::Cycle> option_latencies() const;
+
+  /// kOptimised: the single units; null for kVectorised.
+  hls::StageBase* hazard_unit = nullptr;
+  hls::StageBase* interp_unit = nullptr;
+
+  /// kVectorised: pool handles; empty for kOptimised.
+  hls::ReplicatedPoolHandles<TimePointToken, HazardToken> hazard_pool;
+  hls::ReplicatedPoolHandles<TimePointToken, RateToken> interp_pool;
+};
+
+/// Wires the full graph into `sim`. The curves must outlive the simulation
+/// run; `options` are copied into the source stage.
+GraphHandles build_cds_dataflow_graph(sim::Simulation& sim,
+                                      const cds::TermStructure& interest,
+                                      const cds::TermStructure& hazard,
+                                      std::span<const cds::CdsOption> options,
+                                      const FpgaEngineConfig& config,
+                                      GraphVariant variant);
+
+/// Latency percentiles of a run, in kernel cycles.
+struct LatencyStats {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+LatencyStats latency_stats(const std::vector<sim::Cycle>& latencies);
+
+}  // namespace cdsflow::engine

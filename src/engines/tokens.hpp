@@ -1,0 +1,76 @@
+/// \file tokens.hpp
+/// Token types flowing on the dataflow streams (paper Fig. 2).
+///
+/// Red arrows in Fig. 2 are per-option streams (OptionToken, LegSumToken,
+/// SpreadResult); blue arrows are per-time-point streams (everything else).
+/// Tokens carry their provenance (option id, time-point index) so the zip
+/// stages can assert that streams stay in lockstep -- the simulator
+/// equivalent of verifying the HLS stream wiring.
+
+#pragma once
+
+#include <cstdint>
+
+namespace cdsflow::engine {
+
+/// One option entering the engine (with its precomputed schedule length so
+/// downstream stages know the group size).
+struct OptionToken {
+  std::int32_t id = 0;
+  double maturity = 0.0;
+  double frequency = 0.0;
+  double recovery = 0.0;
+  std::int32_t n_points = 0;
+};
+
+/// One premium payment time point of one option.
+struct TimePointToken {
+  std::int32_t option_id = 0;
+  std::int32_t index = 0;  ///< 0-based within the option
+  std::int32_t count = 0;  ///< time points in this option
+  double t = 0.0;
+  double dt = 0.0;
+
+  bool first() const { return index == 0; }
+  bool last() const { return index + 1 == count; }
+};
+
+/// Integrated hazard Lambda(t) at a time point (hazard-lane output).
+struct HazardToken {
+  TimePointToken tp;
+  double lambda = 0.0;
+};
+
+/// Survival state at a time point: Q(t_i) and the default mass
+/// dQ = Q(t_{i-1}) - Q(t_i).
+struct SurvivalToken {
+  TimePointToken tp;
+  double q = 0.0;
+  double dq = 0.0;
+};
+
+/// Interpolated zero rate r(t) (interpolation-lane output).
+struct RateToken {
+  TimePointToken tp;
+  double r = 0.0;
+};
+
+/// Discount factor D(t) = exp(-r t).
+struct DiscountToken {
+  TimePointToken tp;
+  double d = 0.0;
+};
+
+/// One leg's contribution at one time point.
+struct TermsToken {
+  TimePointToken tp;
+  double value = 0.0;
+};
+
+/// One leg summed over an option.
+struct LegSumToken {
+  std::int32_t option_id = 0;
+  double value = 0.0;
+};
+
+}  // namespace cdsflow::engine

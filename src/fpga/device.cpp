@@ -1,0 +1,34 @@
+#include "fpga/device.hpp"
+
+namespace cdsflow::fpga {
+
+DeviceSpec alveo_u280() {
+  DeviceSpec d;
+  d.name = "Xilinx Alveo U280";
+  // Capacities as reported in the paper (Sec. II-B) and the U280 data sheet.
+  d.luts = 1'304'000;
+  d.flip_flops = 2'607'000;
+  d.bram_bytes = static_cast<std::uint64_t>(4.5 * 1024 * 1024);
+  d.uram_bytes = 30ULL * 1024 * 1024;
+  d.dsp_slices = 9024;
+  d.hbm_bytes = 8ULL * 1024 * 1024 * 1024;
+  d.hbm_bandwidth_bytes_per_s = 460.0e9;
+  d.dram_bytes = 32ULL * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceSpec alveo_u250() {
+  DeviceSpec d;
+  d.name = "Xilinx Alveo U250";
+  d.luts = 1'728'000;
+  d.flip_flops = 3'456'000;
+  d.bram_bytes = static_cast<std::uint64_t>(54.0 / 8.0 * 1024 * 1024);
+  d.uram_bytes = 45ULL * 1024 * 1024;
+  d.dsp_slices = 12288;
+  d.hbm_bytes = 0;  // DDR-only card
+  d.hbm_bandwidth_bytes_per_s = 77.0e9;
+  d.dram_bytes = 64ULL * 1024 * 1024 * 1024;
+  return d;
+}
+
+}  // namespace cdsflow::fpga

@@ -1,0 +1,63 @@
+/// \file device.hpp
+/// FPGA device descriptions.
+///
+/// The paper targets a Xilinx Alveo U280 (1.3M LUTs, 4.5 MB BRAM, 30 MB
+/// UltraRAM, 9024 DSP slices, 8 GB HBM2) with kernels built by Vitis 2020.2.
+/// DeviceSpec carries the capacities the resource estimator and the memory
+/// models need; alveo_u280() is the calibrated reference device, alveo_u250()
+/// exists for what-if exploration in the examples.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cdsflow::fpga {
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- programmable logic ------------------------------------------------
+  std::uint64_t luts = 0;
+  std::uint64_t flip_flops = 0;
+  std::uint64_t bram_bytes = 0;
+  std::uint64_t uram_bytes = 0;
+  std::uint64_t dsp_slices = 0;
+
+  /// Fraction of LUTs a realistic design can occupy before placement and
+  /// routing fail timing; large multi-kernel designs on the U280 close
+  /// around 60-75% utilisation. The resource fit check applies this ceiling.
+  double routable_lut_fraction = 0.70;
+
+  // --- memory system ------------------------------------------------------
+  std::uint64_t hbm_bytes = 0;
+  double hbm_bandwidth_bytes_per_s = 0.0;
+  std::uint64_t dram_bytes = 0;
+
+  /// Bytes per UltraRAM block (URAM288: 288 Kib = 36 KiB) -- the unit on-chip
+  /// curve replicas are allocated in.
+  std::uint64_t uram_block_bytes = 36 * 1024;
+
+  std::uint64_t uram_blocks() const {
+    return uram_block_bytes == 0 ? 0 : uram_bytes / uram_block_bytes;
+  }
+};
+
+/// Kernel clock configuration. The Vitis default kernel clock for Alveo
+/// shells is 300 MHz; the paper does not report deviating from it.
+struct ClockConfig {
+  double hz = 300.0e6;
+
+  double cycles_to_seconds(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / hz;
+  }
+  double seconds_to_cycles(double seconds) const { return seconds * hz; }
+};
+
+/// The paper's evaluation card.
+DeviceSpec alveo_u280();
+
+/// A smaller sibling card (no HBM) for design-space exploration examples.
+DeviceSpec alveo_u250();
+
+}  // namespace cdsflow::fpga

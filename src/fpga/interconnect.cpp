@@ -1,0 +1,30 @@
+#include "fpga/interconnect.hpp"
+
+#include "common/error.hpp"
+
+namespace cdsflow::fpga {
+
+Interconnect::Interconnect(InterconnectConfig config) : config_(config) {
+  CDSFLOW_EXPECT(config_.pcie_bandwidth_bytes_per_s > 0.0,
+                 "PCIe bandwidth must be positive");
+}
+
+double Interconnect::transfer_seconds(std::uint64_t bytes) const {
+  if (bytes == 0) return 0.0;
+  return config_.transfer_latency_s +
+         static_cast<double>(bytes) / config_.pcie_bandwidth_bytes_per_s;
+}
+
+double Interconnect::dispatch_seconds(std::uint64_t invocations) const {
+  return config_.kernel_dispatch_s * static_cast<double>(invocations);
+}
+
+double Interconnect::arbitration_seconds(std::uint64_t n_options,
+                                         unsigned n_engines) const {
+  if (n_engines <= 1) return 0.0;
+  return config_.dma_arbitration_s_per_option_per_extra_engine *
+         static_cast<double>(n_options) *
+         static_cast<double>(n_engines - 1);
+}
+
+}  // namespace cdsflow::fpga

@@ -1,0 +1,55 @@
+/// \file interconnect.hpp
+/// Host<->card data movement model (PCIe + XRT).
+///
+/// All paper results "include the overhead of data transfer via PCIe"
+/// (Sec. II-B) and note it is a small part of total runtime; the engines add
+/// these costs to every run so the reproduction keeps the same accounting.
+/// The model covers:
+///   * bulk transfers (curves up, options up, spreads back) over PCIe gen3,
+///   * the per-invocation XRT enqueue/ap_ctrl handshake, and
+///   * DMA arbitration when several engines share the card infrastructure.
+
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/hls_cost_model.hpp"
+
+namespace cdsflow::fpga {
+
+struct InterconnectConfig {
+  /// Effective host->card bandwidth (PCIe gen3 x16 delivers ~12 GB/s of its
+  /// 15.75 GB/s raw after protocol overhead).
+  double pcie_bandwidth_bytes_per_s = 12.0e9;
+  /// Fixed software + DMA setup latency per bulk transfer.
+  double transfer_latency_s = 10.0e-6;
+  /// XRT kernel enqueue + completion round trip (see
+  /// HlsCostModel::region_restart_cycles for the calibrated kernel-side
+  /// value; this is the same cost expressed in seconds).
+  double kernel_dispatch_s = 60.0e-6;
+  /// Per-option arbitration penalty per extra engine sharing the DMA path.
+  double dma_arbitration_s_per_option_per_extra_engine = 0.4e-6;
+};
+
+class Interconnect {
+ public:
+  explicit Interconnect(InterconnectConfig config = {});
+
+  const InterconnectConfig& config() const { return config_; }
+
+  /// Seconds to move `bytes` host->card (or back) as one bulk transfer.
+  double transfer_seconds(std::uint64_t bytes) const;
+
+  /// Seconds of host-side overhead for `invocations` kernel dispatches.
+  double dispatch_seconds(std::uint64_t invocations) const;
+
+  /// Extra seconds added to a batch of `n_options` when `n_engines` share
+  /// the card (zero for a single engine).
+  double arbitration_seconds(std::uint64_t n_options,
+                             unsigned n_engines) const;
+
+ private:
+  InterconnectConfig config_;
+};
+
+}  // namespace cdsflow::fpga

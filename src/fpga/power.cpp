@@ -1,0 +1,12 @@
+#include "fpga/power.hpp"
+
+#include "common/error.hpp"
+
+namespace cdsflow::fpga {
+
+double power_efficiency(double options_per_second, double watts) {
+  CDSFLOW_EXPECT(watts > 0.0, "power efficiency requires positive watts");
+  return options_per_second / watts;
+}
+
+}  // namespace cdsflow::fpga

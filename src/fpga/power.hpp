@@ -1,0 +1,48 @@
+/// \file power.hpp
+/// Power models for the Table II reproduction.
+///
+/// SUBSTITUTION NOTE: the paper measures board power on the U280 (via the
+/// card's satellite controller) and CPU package power; this environment has
+/// neither an FPGA nor RAPL access, so power is *modelled* with affine fits
+/// calibrated against Table II itself (see DESIGN.md Sec. 2). The models
+/// reproduce the two facts the paper's conclusions rest on: FPGA power is
+/// nearly flat in engine count (static shell/HBM power dominates), and the
+/// loaded CPU draws ~4.7x more than the loaded FPGA.
+
+#pragma once
+
+#include <string>
+
+namespace cdsflow::fpga {
+
+/// FPGA board power: P(n) = static + n * per_engine.
+/// CALIBRATION: Table II reports 35.86 W / 35.79 W / 37.38 W at 1/2/5
+/// engines; least squares gives ~35.4 W static and ~0.4 W per engine (the
+/// 2-engine reading sits 0.4 W below the fit -- measurement noise the paper
+/// itself shows).
+struct FpgaPowerModel {
+  double static_watts = 35.4;
+  double per_engine_watts = 0.4;
+
+  double watts(unsigned n_engines) const {
+    return static_watts + per_engine_watts * static_cast<double>(n_engines);
+  }
+};
+
+/// CPU package power: P(n) = idle + n * per_core.
+/// CALIBRATION: Table II reports 175.39 W with 24 active cores on a Xeon
+/// Platinum 8260M (165 W TDP); an idle package + uncore of ~55 W and ~5 W
+/// per active core reproduce that reading.
+struct CpuPowerModel {
+  double idle_watts = 55.0;
+  double per_core_watts = 5.0;
+
+  double watts(unsigned active_cores) const {
+    return idle_watts + per_core_watts * static_cast<double>(active_cores);
+  }
+};
+
+/// options/s / W -- the paper's efficiency metric.
+double power_efficiency(double options_per_second, double watts);
+
+}  // namespace cdsflow::fpga

@@ -1,0 +1,54 @@
+#include "fpga/reduced_precision.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cdsflow::fpga {
+
+namespace {
+
+ResourceUsage scale_ops(const ResourceUsage& u, double lut_scale,
+                        double dsp_scale) {
+  ResourceUsage out = u;
+  out.luts = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(u.luts) * lut_scale));
+  out.flip_flops = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(u.flip_flops) * lut_scale));
+  out.dsp_slices = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(u.dsp_slices) * dsp_scale));
+  return out;
+}
+
+}  // namespace
+
+HlsCostModel ReducedPrecisionModel::apply(const HlsCostModel& base) const {
+  CDSFLOW_EXPECT(feed_scale >= 1.0, "fp32 feed cannot be narrower than fp64");
+  HlsCostModel out = base;
+  out.dadd_latency = fadd_latency;
+  out.dmul_latency = fmul_latency;
+  out.ddiv_latency = fdiv_latency;
+  out.dexp_latency = fexp_latency;
+  // The carried accumulation II equals the add latency; Listing 1 then only
+  // needs `fadd_latency` partial sums and a shorter epilogue.
+  out.baseline_accumulation_ii = fadd_latency;
+  out.listing1_lanes = static_cast<unsigned>(fadd_latency);
+  out.listing1_epilogue_cycles =
+      fadd_latency * fadd_latency + fadd_latency;
+  // Half-width elements through the same dual-ported URAM.
+  out.uram_feed_elements_per_cycle =
+      base.uram_feed_elements_per_cycle * feed_scale;
+  return out;
+}
+
+OperatorCosts ReducedPrecisionModel::apply(const OperatorCosts& base) const {
+  OperatorCosts out;
+  out.dadd = scale_ops(base.dadd, lut_scale, dsp_scale);
+  out.dmul = scale_ops(base.dmul, lut_scale, dsp_scale);
+  out.ddiv = scale_ops(base.ddiv, lut_scale, dsp_scale);
+  out.dexp = scale_ops(base.dexp, lut_scale, dsp_scale);
+  out.dcmp = scale_ops(base.dcmp, lut_scale, dsp_scale);
+  return out;
+}
+
+}  // namespace cdsflow::fpga

@@ -1,0 +1,58 @@
+/// \file reduced_precision.hpp
+/// Hardware side of the reduced-precision study (paper Sec. V future work):
+/// what single precision would buy the CDS engine on the FPGA.
+///
+/// Single-precision floating point on UltraScale+ is dramatically cheaper
+/// than double: an fadd core has ~3-cycle latency (vs 7 for dadd -- so the
+/// Listing-1 partial-sum count drops), an fmul needs 3 DSPs (vs 11), and
+/// the datapath halves, doubling the effective URAM feed width. This model
+/// rescales the calibrated fp64 cost model and resource shapes so the
+/// design-space example and the precision bench can report projected
+/// throughput, engines-per-card and efficiency for an fp32 build --
+/// *projections* clearly labelled as such, pending a Versal-class port.
+
+#pragma once
+
+#include "fpga/hls_cost_model.hpp"
+#include "fpga/resource.hpp"
+
+namespace cdsflow::fpga {
+
+struct ReducedPrecisionModel {
+  /// fadd latency on UltraScale+ (the carried-dependency II of a naive
+  /// fp32 accumulation; Listing 1 then needs only this many partial sums).
+  sim::Cycle fadd_latency = 3;
+  sim::Cycle fmul_latency = 4;
+  sim::Cycle fdiv_latency = 14;
+  sim::Cycle fexp_latency = 17;
+
+  /// fp32 curve elements are half the width: a dual-ported URAM feed
+  /// streams twice as many elements per cycle.
+  double feed_scale = 2.0;
+
+  /// Resource scale factors fp32 vs fp64 operator cores (LUT, DSP).
+  double lut_scale = 0.45;
+  double dsp_scale = 0.35;
+
+  /// Derives an fp32-flavoured cost model from the calibrated fp64 one.
+  HlsCostModel apply(const HlsCostModel& base) const;
+
+  /// Derives fp32 operator resource costs from the fp64 table.
+  OperatorCosts apply(const OperatorCosts& base) const;
+};
+
+/// Summary of the projected fp32 engine vs the measured fp64 engine.
+struct PrecisionProjection {
+  double fp64_options_per_second = 0.0;
+  double fp32_options_per_second = 0.0;
+  unsigned fp64_max_engines = 0;
+  unsigned fp32_max_engines = 0;
+
+  double speedup() const {
+    return fp64_options_per_second == 0.0
+               ? 0.0
+               : fp32_options_per_second / fp64_options_per_second;
+  }
+};
+
+}  // namespace cdsflow::fpga

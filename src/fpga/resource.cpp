@@ -1,0 +1,199 @@
+#include "fpga/resource.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace cdsflow::fpga {
+
+ResourceUsage& ResourceUsage::operator+=(const ResourceUsage& o) {
+  luts += o.luts;
+  flip_flops += o.flip_flops;
+  dsp_slices += o.dsp_slices;
+  bram_bytes += o.bram_bytes;
+  uram_blocks += o.uram_blocks;
+  return *this;
+}
+
+ResourceUsage ResourceUsage::scaled(std::uint64_t n) const {
+  return {luts * n, flip_flops * n, dsp_slices * n, bram_bytes * n,
+          uram_blocks * n};
+}
+
+ResourceEstimator::ResourceEstimator(DeviceSpec device, OperatorCosts costs)
+    : device_(std::move(device)), costs_(costs) {}
+
+namespace {
+
+/// Control/FSM logic wrapped around every HLS function.
+constexpr std::uint64_t kStageControlLuts = 600;
+constexpr std::uint64_t kStageControlFfs = 900;
+/// One stream FIFO (control + LUTRAM for shallow depths).
+constexpr std::uint64_t kStreamLuts = 250;
+constexpr std::uint64_t kStreamBramBytes = 1024;
+/// Round-robin scheduler/collector pair logic per lane.
+constexpr std::uint64_t kLaneMuxLuts = 350;
+/// Per-engine AXI masters, burst packing, option loader, result writer,
+/// kernel control.
+constexpr std::uint64_t kEngineInfraLuts = 35'000;
+constexpr std::uint64_t kEngineInfraFfs = 45'000;
+constexpr std::uint64_t kEngineInfraBram = 64 * 1024;
+/// Static region (shell: PCIe/XDMA, HBM controllers, clocking) -- consumed
+/// once regardless of engine count.
+constexpr std::uint64_t kShellLuts = 90'000;
+constexpr std::uint64_t kShellFfs = 130'000;
+
+ResourceUsage with_control(ResourceUsage ops) {
+  ops.luts += kStageControlLuts;
+  ops.flip_flops += kStageControlFfs;
+  return ops;
+}
+
+}  // namespace
+
+EngineEstimate ResourceEstimator::estimate_engine(
+    const EngineShape& shape) const {
+  CDSFLOW_EXPECT(shape.hazard_lanes >= 1, "engine needs >= 1 hazard lane");
+  CDSFLOW_EXPECT(shape.interpolation_lanes >= 1,
+                 "engine needs >= 1 interpolation lane");
+  CDSFLOW_EXPECT(shape.accumulation_lanes >= 1,
+                 "engine needs >= 1 accumulation lane");
+  const OperatorCosts& oc = costs_;
+  EngineEstimate est;
+  auto add = [&est](const std::string& name, ResourceUsage u) {
+    est.breakdown.emplace_back(name, u);
+    est.total += u;
+  };
+
+  // Per-curve on-chip replica: one URAM block per lane per curve half
+  // (2 curves x 1024 points x 16 B = 32 KiB <= 1 block each).
+  const std::uint64_t curve_bytes =
+      static_cast<std::uint64_t>(shape.curve_points) * 2 * sizeof(double);
+  const std::uint64_t blocks_per_replica = std::max<std::uint64_t>(
+      1, (curve_bytes + device_.uram_block_bytes - 1) /
+             device_.uram_block_bytes);
+
+  // Hazard integration lane: `accumulation_lanes` partial adders (Listing 1;
+  // 1 in the baseline), one multiplier for rate*dt, two compares for the
+  // time-bracket test.
+  {
+    ResourceUsage lane = with_control(
+        oc.dadd.scaled(shape.accumulation_lanes) + oc.dmul +
+        oc.dcmp.scaled(2));
+    lane.uram_blocks = blocks_per_replica;
+    add("hazard lanes", lane.scaled(shape.hazard_lanes));
+  }
+
+  // Interpolation lane: bracket scan (2 compares) + slope div + 2 mul +
+  // 2 add.
+  {
+    ResourceUsage lane = with_control(oc.dcmp.scaled(2) + oc.ddiv +
+                                      oc.dmul.scaled(2) + oc.dadd.scaled(2));
+    lane.uram_blocks = blocks_per_replica;
+    add("interpolation lanes", lane.scaled(shape.interpolation_lanes));
+  }
+
+  add("discount (exp)", with_control(oc.dexp + oc.dmul.scaled(2)));
+  add("default probability (exp)", with_control(oc.dexp + oc.dadd));
+  add("time-point generator",
+      with_control(oc.dmul.scaled(2) + oc.dcmp + oc.dadd));
+  add("premium calc", with_control(oc.dmul.scaled(2)));
+  add("payoff calc", with_control(oc.dmul));
+  add("accrual calc", with_control(oc.dmul.scaled(3)));
+  {
+    ResourceUsage acc =
+        with_control(oc.dadd.scaled(shape.accumulation_lanes));
+    add("accumulators (x3)", acc.scaled(3));
+  }
+  add("spread combine",
+      with_control(oc.ddiv + oc.dmul.scaled(2) + oc.dadd));
+
+  if (shape.dataflow_plumbing) {
+    const std::uint64_t lane_count =
+        shape.hazard_lanes + shape.interpolation_lanes;
+    ResourceUsage plumbing;
+    plumbing.luts = lane_count * kLaneMuxLuts + 2 * kStageControlLuts;
+    // ~20 inter-stage streams plus 2 per replica lane.
+    const std::uint64_t streams = 20 + 2 * lane_count;
+    plumbing.luts += streams * kStreamLuts;
+    plumbing.bram_bytes = streams * kStreamBramBytes;
+    plumbing.flip_flops = streams * 300;
+    add("dataflow plumbing (streams/schedulers)", plumbing);
+  }
+
+  ResourceUsage infra;
+  infra.luts = kEngineInfraLuts;
+  infra.flip_flops = kEngineInfraFfs;
+  infra.bram_bytes = kEngineInfraBram;
+  add("AXI/control infrastructure", infra);
+
+  return est;
+}
+
+ResourceUsage ResourceEstimator::estimate_design(const EngineShape& shape,
+                                                 unsigned n_engines) const {
+  CDSFLOW_EXPECT(n_engines >= 1, "design needs >= 1 engine");
+  ResourceUsage total = estimate_engine(shape).total.scaled(n_engines);
+  total.luts += kShellLuts;
+  total.flip_flops += kShellFfs;
+  return total;
+}
+
+bool ResourceEstimator::fits(const EngineShape& shape,
+                             unsigned n_engines) const {
+  const ResourceUsage u = estimate_design(shape, n_engines);
+  const auto lut_ceiling = static_cast<std::uint64_t>(
+      device_.routable_lut_fraction * static_cast<double>(device_.luts));
+  return u.luts <= lut_ceiling && u.flip_flops <= device_.flip_flops &&
+         u.dsp_slices <= device_.dsp_slices &&
+         u.bram_bytes <= device_.bram_bytes &&
+         u.uram_blocks <= device_.uram_blocks();
+}
+
+unsigned ResourceEstimator::max_engines(const EngineShape& shape,
+                                        unsigned search_limit) const {
+  unsigned best = 0;
+  for (unsigned n = 1; n <= search_limit; ++n) {
+    if (fits(shape, n)) {
+      best = n;
+    } else {
+      break;  // usage is monotone in n
+    }
+  }
+  return best;
+}
+
+std::string ResourceEstimator::utilisation_report(const EngineShape& shape,
+                                                  unsigned n_engines) const {
+  const EngineEstimate one = estimate_engine(shape);
+  const ResourceUsage total = estimate_design(shape, n_engines);
+  std::ostringstream os;
+  os << device_.name << " with " << n_engines << " engine(s):\n";
+  auto line = [&os](const std::string& what, std::uint64_t used,
+                    std::uint64_t avail) {
+    os << "  " << pad_right(what, 12) << pad_left(with_thousands(double(used), 0), 12)
+       << " / " << pad_left(with_thousands(double(avail), 0), 12) << "  ("
+       << fixed(avail == 0 ? 0.0 : 100.0 * double(used) / double(avail), 1)
+       << "%)\n";
+  };
+  line("LUT", total.luts, device_.luts);
+  line("FF", total.flip_flops, device_.flip_flops);
+  line("DSP", total.dsp_slices, device_.dsp_slices);
+  line("BRAM bytes", total.bram_bytes, device_.bram_bytes);
+  line("URAM blocks", total.uram_blocks, device_.uram_blocks());
+  os << "  routable-LUT ceiling "
+     << fixed(device_.routable_lut_fraction * 100.0, 0) << "% -> "
+     << (fits(shape, n_engines) ? "FITS" : "DOES NOT FIT") << '\n';
+  os << "  per-engine breakdown:\n";
+  for (const auto& [name, u] : one.breakdown) {
+    os << "    " << pad_right(name, 40)
+       << pad_left(with_thousands(double(u.luts), 0), 10) << " LUT "
+       << pad_left(std::to_string(u.dsp_slices), 5) << " DSP "
+       << pad_left(std::to_string(u.uram_blocks), 4) << " URAM\n";
+  }
+  return os.str();
+}
+
+}  // namespace cdsflow::fpga

@@ -1,0 +1,103 @@
+/// \file resource.hpp
+/// FPGA resource estimation for CDS engine configurations.
+///
+/// The paper fits five vectorised engines on the U280 ("being able to fit
+/// five onto the Alveo U280", Sec. IV). This estimator reproduces that
+/// limit from first principles: per-operator LUT/DSP costs of the
+/// double-precision floating-point cores Vitis HLS instantiates, summed over
+/// the stages of an engine configuration, plus per-engine infrastructure
+/// (AXI/control/FIFOs) and per-replica URAM for the curve copies. The fit
+/// check applies the device's routable-LUT ceiling -- large multi-kernel
+/// U280 designs fail placement/routing well before 100% utilisation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device.hpp"
+
+namespace cdsflow::fpga {
+
+/// Resource vector: what one block occupies.
+struct ResourceUsage {
+  std::uint64_t luts = 0;
+  std::uint64_t flip_flops = 0;
+  std::uint64_t dsp_slices = 0;
+  std::uint64_t bram_bytes = 0;
+  std::uint64_t uram_blocks = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& o);
+  friend ResourceUsage operator+(ResourceUsage a, const ResourceUsage& b) {
+    a += b;
+    return a;
+  }
+  ResourceUsage scaled(std::uint64_t n) const;
+};
+
+/// Per-core costs of the double-precision operator IP Vitis HLS instantiates
+/// on UltraScale+ (full-precision cores, order-of-magnitude from the
+/// floating-point operator data sheets).
+struct OperatorCosts {
+  ResourceUsage dadd{.luts = 700, .flip_flops = 1000, .dsp_slices = 3};
+  ResourceUsage dmul{.luts = 300, .flip_flops = 650, .dsp_slices = 11};
+  ResourceUsage ddiv{.luts = 3200, .flip_flops = 3500, .dsp_slices = 0};
+  ResourceUsage dexp{.luts = 2800, .flip_flops = 2600, .dsp_slices = 26};
+  ResourceUsage dcmp{.luts = 120, .flip_flops = 80, .dsp_slices = 0};
+};
+
+/// Structural description of one CDS engine instance, sufficient for
+/// resource estimation. Mirrors engine::EngineConfig's hardware-relevant
+/// fields without depending on the engines module.
+struct EngineShape {
+  /// Replicated hazard-integration lanes (1 for the non-vectorised engines).
+  unsigned hazard_lanes = 1;
+  /// Replicated interpolation lanes.
+  unsigned interpolation_lanes = 1;
+  /// Partial accumulators per Listing-1 accumulation (7), or 1 in the
+  /// baseline engine.
+  unsigned accumulation_lanes = 7;
+  /// Points per term-structure curve (1024 in all paper experiments).
+  unsigned curve_points = 1024;
+  /// Whether the engine carries the full dataflow plumbing (streams,
+  /// schedulers/collectors); the sequential baseline does not.
+  bool dataflow_plumbing = true;
+};
+
+/// Itemised estimate for one engine.
+struct EngineEstimate {
+  ResourceUsage total;
+  std::vector<std::pair<std::string, ResourceUsage>> breakdown;
+};
+
+class ResourceEstimator {
+ public:
+  explicit ResourceEstimator(DeviceSpec device, OperatorCosts costs = {});
+
+  const DeviceSpec& device() const { return device_; }
+
+  /// Resources for a single engine of the given shape.
+  EngineEstimate estimate_engine(const EngineShape& shape) const;
+
+  /// Resources for `n` identical engines plus the shared shell.
+  ResourceUsage estimate_design(const EngineShape& shape,
+                                unsigned n_engines) const;
+
+  /// True when `n` engines place-and-route within the device's ceilings.
+  bool fits(const EngineShape& shape, unsigned n_engines) const;
+
+  /// Largest engine count that fits (0 if even one does not).
+  unsigned max_engines(const EngineShape& shape,
+                       unsigned search_limit = 64) const;
+
+  /// Multi-line utilisation report for a design.
+  std::string utilisation_report(const EngineShape& shape,
+                                 unsigned n_engines) const;
+
+ private:
+  DeviceSpec device_;
+  OperatorCosts costs_;
+};
+
+}  // namespace cdsflow::fpga

@@ -1,0 +1,53 @@
+#include "hls/dataflow.hpp"
+
+#include "common/error.hpp"
+
+namespace cdsflow::hls {
+
+const char* to_string(ExecutionPolicy policy) {
+  switch (policy) {
+    case ExecutionPolicy::kSequentialLoops:
+      return "sequential-loops";
+    case ExecutionPolicy::kRestartPerOption:
+      return "restart-per-option";
+    case ExecutionPolicy::kFreeRunning:
+      return "free-running";
+  }
+  return "unknown";
+}
+
+RegionRunner::RegionRunner(ExecutionPolicy policy, RegionOverheads overheads)
+    : policy_(policy), overheads_(overheads) {}
+
+RegionRunResult RegionRunner::run(
+    std::uint64_t work_items,
+    const std::function<sim::Cycle(std::uint64_t)>& build_and_run) const {
+  CDSFLOW_EXPECT(build_and_run != nullptr, "RegionRunner requires a builder");
+  RegionRunResult result;
+  switch (policy_) {
+    case ExecutionPolicy::kFreeRunning: {
+      CDSFLOW_EXPECT(work_items == 1,
+                     "free-running regions run the whole batch as one item");
+      result.total_cycles =
+          overheads_.initial_start_cycles + build_and_run(0);
+      result.invocations = 1;
+      break;
+    }
+    case ExecutionPolicy::kRestartPerOption:
+    case ExecutionPolicy::kSequentialLoops: {
+      // Both legacy policies invoke the kernel once per option; the region
+      // fully drains in between and each invocation after the first pays
+      // the restart handshake.
+      result.total_cycles = overheads_.initial_start_cycles;
+      for (std::uint64_t i = 0; i < work_items; ++i) {
+        if (i != 0) result.total_cycles += overheads_.restart_cycles;
+        result.total_cycles += build_and_run(i);
+      }
+      result.invocations = work_items;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cdsflow::hls

@@ -1,0 +1,86 @@
+/// \file dataflow.hpp
+/// Dataflow region execution policies.
+///
+/// The paper's three FPGA engine generations differ in *how* the same stage
+/// graph executes, not in what it computes:
+///
+///  * kSequentialLoops  — the original Vitis library style: each component is
+///    a pipelined loop, loops run one after another communicating through
+///    arrays. Modelled by summing per-stage spans (no overlap). The baseline
+///    engine implements this directly; the enum value exists so configs and
+///    reports can name it.
+///  * kRestartPerOption — the first dataflow rewrite: stages run concurrently
+///    connected by streams, but the region processes one option per kernel
+///    invocation, so the region drains and the host restarts it between
+///    options (ap_ctrl/XRT enqueue overhead + pipeline refill each time).
+///  * kFreeRunning      — the "dataflow inter-options" engine: options stream
+///    through a continuously running region; the region starts once per
+///    batch.
+///
+/// RegionRunner applies a policy to a graph-factory callback and accumulates
+/// total cycles, so every engine shares one tested implementation of the
+/// start/stop accounting.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/cycle.hpp"
+#include "sim/simulation.hpp"
+
+namespace cdsflow::hls {
+
+enum class ExecutionPolicy {
+  kSequentialLoops,
+  kRestartPerOption,
+  kFreeRunning,
+};
+
+/// Human-readable policy name (reports, engine descriptions).
+const char* to_string(ExecutionPolicy policy);
+
+/// Cost accounting for region start/stop, in kernel-clock cycles.
+struct RegionOverheads {
+  /// Cycles charged per region start *after* the first (the host-side
+  /// ap_start/XRT enqueue round trip the paper eliminated by streaming
+  /// options). See fpga::HlsCostModel for the calibrated value.
+  sim::Cycle restart_cycles = 0;
+  /// One-time region start cost (first invocation, both policies).
+  sim::Cycle initial_start_cycles = 0;
+};
+
+/// Result of running a region over a workload.
+struct RegionRunResult {
+  sim::Cycle total_cycles = 0;
+  /// Number of separate region invocations (1 for free-running).
+  std::uint64_t invocations = 0;
+  /// Scheduler effort (diagnostics).
+  std::uint64_t total_steps = 0;
+};
+
+/// Runs `work_items` region invocations under the given policy.
+///
+/// `build_and_run(item)` must construct a Simulation for work item `item`
+/// (one option for kRestartPerOption; the whole batch for kFreeRunning) and
+/// return its end cycle. The runner adds the policy's start/stop overheads.
+///
+/// For kFreeRunning, `work_items` must be 1.
+class RegionRunner {
+ public:
+  RegionRunner(ExecutionPolicy policy, RegionOverheads overheads);
+
+  RegionRunResult run(std::uint64_t work_items,
+                      const std::function<sim::Cycle(std::uint64_t)>&
+                          build_and_run) const;
+
+  ExecutionPolicy policy() const { return policy_; }
+  const RegionOverheads& overheads() const { return overheads_; }
+
+ private:
+  ExecutionPolicy policy_;
+  RegionOverheads overheads_;
+};
+
+}  // namespace cdsflow::hls

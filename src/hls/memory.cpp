@@ -1,0 +1,33 @@
+#include "hls/memory.hpp"
+
+#include "common/error.hpp"
+
+namespace cdsflow::hls {
+
+MemoryPortModel::MemoryPortModel(MemoryPortConfig config) : config_(config) {
+  CDSFLOW_EXPECT(config_.data_width_bits % 8 == 0,
+                 "AXI width must be a whole number of bytes");
+  CDSFLOW_EXPECT(config_.data_width_bits > 0, "AXI width must be positive");
+  CDSFLOW_EXPECT(config_.max_burst_beats > 0, "burst length must be positive");
+}
+
+std::uint64_t MemoryPortModel::bytes_per_beat() const {
+  return config_.data_width_bits / 8;
+}
+
+sim::Cycle MemoryPortModel::transfer_cycles(std::uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  const std::uint64_t beats =
+      (bytes + bytes_per_beat() - 1) / bytes_per_beat();
+  const std::uint64_t bursts =
+      (beats + config_.max_burst_beats - 1) / config_.max_burst_beats;
+  return bursts * config_.burst_latency + beats;
+}
+
+sim::Cycle MemoryPortModel::pacing_cycles(std::uint64_t token_bytes) const {
+  const std::uint64_t beats =
+      (token_bytes + bytes_per_beat() - 1) / bytes_per_beat();
+  return beats == 0 ? 1 : beats;
+}
+
+}  // namespace cdsflow::hls

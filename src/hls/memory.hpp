@@ -1,0 +1,50 @@
+/// \file memory.hpp
+/// External-memory access model (HBM2 via m_axi ports).
+///
+/// Per Xilinx best practice (paper Sec. III, ref [7]) external accesses are
+/// packed into 512-bit words; a port therefore moves 64 bytes per kernel
+/// cycle once a burst is running, with a fixed latency to the first beat.
+/// Engines use this model to pace option/result streaming and to account the
+/// one-time load of the interest/hazard curves into on-chip URAM.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cycle.hpp"
+
+namespace cdsflow::hls {
+
+struct MemoryPortConfig {
+  /// AXI data width in bits (512 per best practice).
+  unsigned data_width_bits = 512;
+  /// Cycles from request to the first beat of a burst (HBM2 via the U280
+  /// memory subsystem, ~ 60 kernel cycles at 300 MHz).
+  sim::Cycle burst_latency = 60;
+  /// Maximum beats per burst (AXI limit).
+  unsigned max_burst_beats = 64;
+};
+
+/// Cycle cost calculator for one m_axi port.
+class MemoryPortModel {
+ public:
+  explicit MemoryPortModel(MemoryPortConfig config = {});
+
+  const MemoryPortConfig& config() const { return config_; }
+
+  /// Bytes moved per fully pipelined beat.
+  std::uint64_t bytes_per_beat() const;
+
+  /// Cycles to stream `bytes` as back-to-back bursts (latency paid once per
+  /// burst, beats pipelined).
+  sim::Cycle transfer_cycles(std::uint64_t bytes) const;
+
+  /// Cycles between successive tokens of `token_bytes` each when streaming
+  /// continuously (>=1; sub-beat tokens still take a cycle).
+  sim::Cycle pacing_cycles(std::uint64_t token_bytes) const;
+
+ private:
+  MemoryPortConfig config_;
+};
+
+}  // namespace cdsflow::hls

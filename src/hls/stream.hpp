@@ -1,0 +1,31 @@
+/// \file stream.hpp
+/// HLS-style streams.
+///
+/// An hls::stream<T> synthesises to a FIFO whose default depth in Vitis HLS
+/// is 2; cdsflow::hls::Stream is the same thing on the simulator substrate.
+/// Engines widen critical streams explicitly, exactly as an HLS programmer
+/// would with `#pragma HLS STREAM depth=N`.
+
+#pragma once
+
+#include <string>
+
+#include "sim/channel.hpp"
+#include "sim/simulation.hpp"
+
+namespace cdsflow::hls {
+
+/// Default FIFO depth Vitis HLS assigns to an hls::stream.
+inline constexpr std::size_t kDefaultStreamDepth = 2;
+
+template <typename T>
+using Stream = sim::Channel<T>;
+
+/// Creates a stream owned by `sim` with the HLS default depth.
+template <typename T>
+Stream<T>& make_stream(sim::Simulation& sim, std::string name,
+                       std::size_t depth = kDefaultStreamDepth) {
+  return sim.make_channel<T>(std::move(name), depth);
+}
+
+}  // namespace cdsflow::hls

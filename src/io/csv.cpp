@@ -1,0 +1,189 @@
+#include "io/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cdsflow::io {
+
+namespace {
+
+/// Splits a CSV line on commas (the formats here never quote fields).
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+double parse_double(const std::string& s, const std::string& path,
+                    std::size_t line_no) {
+  // std::from_chars for doubles is incomplete on some libstdc++ versions;
+  // strtod with full-consumption check is portable and strict enough.
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  CDSFLOW_EXPECT(end != begin && *end == '\0',
+                 path + ":" + std::to_string(line_no) +
+                     ": cannot parse number '" + s + "'");
+  return v;
+}
+
+std::int64_t parse_int(const std::string& s, const std::string& path,
+                       std::size_t line_no) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  CDSFLOW_EXPECT(ec == std::errc{} && ptr == s.data() + s.size(),
+                 path + ":" + std::to_string(line_no) +
+                     ": cannot parse integer '" + s + "'");
+  return v;
+}
+
+/// Reads all data rows of `path`, validating the exact header.
+std::vector<std::vector<std::string>> read_rows(const std::string& path,
+                                                const std::string& header) {
+  std::ifstream in(path);
+  CDSFLOW_EXPECT(in.good(), "cannot open '" + path + "' for reading");
+  std::string line;
+  CDSFLOW_EXPECT(static_cast<bool>(std::getline(in, line)),
+                 path + ": empty file");
+  CDSFLOW_EXPECT(line == header, path + ": expected header '" + header +
+                                     "', found '" + line + "'");
+  const std::size_t n_fields = split_fields(header).size();
+  std::vector<std::vector<std::string>> rows;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = split_fields(line);
+    CDSFLOW_EXPECT(fields.size() == n_fields,
+                   path + ":" + std::to_string(line_no) + ": expected " +
+                       std::to_string(n_fields) + " fields, found " +
+                       std::to_string(fields.size()));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream out(path);
+  CDSFLOW_EXPECT(out.good(), "cannot open '" + path + "' for writing");
+  out.precision(17);  // round-trip doubles exactly
+  return out;
+}
+
+}  // namespace
+
+// --- curves -------------------------------------------------------------------
+
+void write_curve_csv(const std::string& path,
+                     const cds::TermStructure& curve) {
+  curve.validate();
+  auto out = open_for_write(path);
+  out << "time_years,rate\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    out << curve.time(i) << ',' << curve.value(i) << '\n';
+  }
+}
+
+cds::TermStructure read_curve_csv(const std::string& path) {
+  const auto rows = read_rows(path, "time_years,rate");
+  CDSFLOW_EXPECT(!rows.empty(), path + ": curve has no points");
+  std::vector<double> times, values;
+  times.reserve(rows.size());
+  values.reserve(rows.size());
+  std::size_t line_no = 1;
+  for (const auto& row : rows) {
+    ++line_no;
+    times.push_back(parse_double(row[0], path, line_no));
+    values.push_back(parse_double(row[1], path, line_no));
+  }
+  return cds::TermStructure(std::move(times), std::move(values));
+}
+
+// --- portfolios ------------------------------------------------------------------
+
+void write_portfolio_csv(const std::string& path,
+                         const std::vector<cds::CdsOption>& options) {
+  auto out = open_for_write(path);
+  out << "id,maturity_years,payment_frequency,recovery_rate\n";
+  for (const auto& o : options) {
+    o.validate();
+    out << o.id << ',' << o.maturity_years << ',' << o.payment_frequency
+        << ',' << o.recovery_rate << '\n';
+  }
+}
+
+std::vector<cds::CdsOption> read_portfolio_csv(const std::string& path) {
+  const auto rows =
+      read_rows(path, "id,maturity_years,payment_frequency,recovery_rate");
+  std::vector<cds::CdsOption> options;
+  options.reserve(rows.size());
+  std::size_t line_no = 1;
+  for (const auto& row : rows) {
+    ++line_no;
+    cds::CdsOption o;
+    o.id = static_cast<std::int32_t>(parse_int(row[0], path, line_no));
+    o.maturity_years = parse_double(row[1], path, line_no);
+    o.payment_frequency = parse_double(row[2], path, line_no);
+    o.recovery_rate = parse_double(row[3], path, line_no);
+    o.validate();
+    options.push_back(o);
+  }
+  return options;
+}
+
+// --- results ---------------------------------------------------------------------
+
+void write_results_csv(const std::string& path,
+                       const std::vector<cds::SpreadResult>& results) {
+  auto out = open_for_write(path);
+  out << "id,spread_bps\n";
+  for (const auto& r : results) {
+    out << r.id << ',' << r.spread_bps << '\n';
+  }
+}
+
+std::vector<cds::SpreadResult> read_results_csv(const std::string& path) {
+  const auto rows = read_rows(path, "id,spread_bps");
+  std::vector<cds::SpreadResult> results;
+  results.reserve(rows.size());
+  std::size_t line_no = 1;
+  for (const auto& row : rows) {
+    ++line_no;
+    results.push_back(
+        {static_cast<std::int32_t>(parse_int(row[0], path, line_no)),
+         parse_double(row[1], path, line_no)});
+  }
+  return results;
+}
+
+// --- quotes ----------------------------------------------------------------------
+
+void write_quotes_csv(const std::string& path,
+                      const std::vector<cds::SpreadQuote>& quotes) {
+  auto out = open_for_write(path);
+  out << "tenor_years,spread_bps\n";
+  for (const auto& q : quotes) {
+    out << q.tenor_years << ',' << q.spread_bps << '\n';
+  }
+}
+
+std::vector<cds::SpreadQuote> read_quotes_csv(const std::string& path) {
+  const auto rows = read_rows(path, "tenor_years,spread_bps");
+  std::vector<cds::SpreadQuote> quotes;
+  quotes.reserve(rows.size());
+  std::size_t line_no = 1;
+  for (const auto& row : rows) {
+    ++line_no;
+    quotes.push_back({parse_double(row[0], path, line_no),
+                      parse_double(row[1], path, line_no)});
+  }
+  return quotes;
+}
+
+}  // namespace cdsflow::io

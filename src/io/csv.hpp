@@ -1,0 +1,45 @@
+/// \file csv.hpp
+/// CSV import/export for curves, portfolios and results -- the on-disk
+/// interface a desk integrating the engine actually needs. Formats are
+/// deliberately plain:
+///
+///   curve:      time_years,rate            (header required)
+///   portfolio:  id,maturity_years,payment_frequency,recovery_rate
+///   results:    id,spread_bps
+///   quotes:     tenor_years,spread_bps
+///
+/// Readers validate structure eagerly (header, field counts, numeric
+/// parses, curve monotonicity / option ranges) and report the offending
+/// line in the error message.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cds/bootstrap.hpp"
+#include "cds/curve.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::io {
+
+// --- curves -----------------------------------------------------------------
+void write_curve_csv(const std::string& path, const cds::TermStructure& curve);
+cds::TermStructure read_curve_csv(const std::string& path);
+
+// --- portfolios --------------------------------------------------------------
+void write_portfolio_csv(const std::string& path,
+                         const std::vector<cds::CdsOption>& options);
+std::vector<cds::CdsOption> read_portfolio_csv(const std::string& path);
+
+// --- results ------------------------------------------------------------------
+void write_results_csv(const std::string& path,
+                       const std::vector<cds::SpreadResult>& results);
+std::vector<cds::SpreadResult> read_results_csv(const std::string& path);
+
+// --- spread quotes (bootstrapping input) ----------------------------------------
+void write_quotes_csv(const std::string& path,
+                      const std::vector<cds::SpreadQuote>& quotes);
+std::vector<cds::SpreadQuote> read_quotes_csv(const std::string& path);
+
+}  // namespace cdsflow::io

@@ -1,0 +1,39 @@
+#include "report/experiment.hpp"
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace cdsflow::report {
+
+Measurement measure(engine::Engine& engine,
+                    const std::vector<cds::CdsOption>& options, int runs,
+                    std::string label) {
+  CDSFLOW_EXPECT(runs >= 1, "measurement requires at least one run");
+  Measurement m;
+  m.label = label.empty() ? engine.name() : std::move(label);
+  for (int r = 0; r < runs; ++r) {
+    m.last_run = engine.price(options);
+    m.options_per_second.add(m.last_run.options_per_second);
+    m.total_seconds.add(m.last_run.total_seconds);
+  }
+  return m;
+}
+
+Table comparison_table(const std::string& title,
+                       const std::string& value_name,
+                       const std::vector<ComparisonRow>& rows) {
+  Table table(title);
+  table.set_columns({"Description", value_name + " (measured)",
+                     value_name + " (paper)", "delta"});
+  for (const auto& row : rows) {
+    table.add_row({row.description, with_thousands(row.measured, 2),
+                   row.paper == 0.0 ? std::string("-")
+                                    : with_thousands(row.paper, 2),
+                   row.paper == 0.0
+                       ? std::string("-")
+                       : format_percent_delta(row.measured, row.paper)});
+  }
+  return table;
+}
+
+}  // namespace cdsflow::report

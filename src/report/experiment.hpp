@@ -1,0 +1,45 @@
+/// \file experiment.hpp
+/// Experiment protocol: run an engine several times (the paper averages over
+/// three), aggregate the throughput, and build paper-vs-measured rows.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "engines/engine.hpp"
+#include "report/table.hpp"
+
+namespace cdsflow::report {
+
+/// Aggregated outcome of repeated pricing runs.
+struct Measurement {
+  std::string label;
+  RunningStats options_per_second;
+  RunningStats total_seconds;
+  engine::PricingRun last_run;  ///< results + breakdown of the final run
+
+  double mean_ops() const { return options_per_second.mean(); }
+};
+
+/// Runs `engine.price(options)` `runs` times and aggregates.
+Measurement measure(engine::Engine& engine,
+                    const std::vector<cds::CdsOption>& options, int runs = 3,
+                    std::string label = {});
+
+/// One row of a reproduction table: measured vs paper-reported.
+struct ComparisonRow {
+  std::string description;
+  double measured = 0.0;
+  double paper = 0.0;  ///< 0 when the paper has no matching number
+};
+
+/// Renders comparison rows as the standard reproduction table
+/// (value column name e.g. "Options/second").
+Table comparison_table(const std::string& title,
+                       const std::string& value_name,
+                       const std::vector<ComparisonRow>& rows);
+
+}  // namespace cdsflow::report

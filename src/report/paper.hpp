@@ -1,0 +1,54 @@
+/// \file paper.hpp
+/// The numbers the paper publishes, verbatim -- the reference column of
+/// every reproduction table (Brown, Klaisoongnoen, Thomson Brown,
+/// CLUSTER 2021, arXiv:2108.03982).
+
+#pragma once
+
+namespace cdsflow::report::paper {
+
+// --- Table I: options/second, 1024 interest + hazard rates ------------------
+inline constexpr double kCpuSingleCoreOptsPerSec = 8738.92;
+inline constexpr double kXilinxLibraryOptsPerSec = 3462.53;
+inline constexpr double kOptimisedDataflowOptsPerSec = 7368.42;
+inline constexpr double kInterOptionOptsPerSec = 13298.70;
+inline constexpr double kVectorisedOptsPerSec = 27675.67;
+
+// --- Table II: scaling + power ----------------------------------------------
+inline constexpr double kCpu24CoreOptsPerSec = 75823.77;
+inline constexpr double kCpu24CoreWatts = 175.39;
+inline constexpr double kCpu24CoreOptsPerWatt = 432.31;
+
+inline constexpr double kFpga1EngineOptsPerSec = 27675.67;
+inline constexpr double kFpga1EngineWatts = 35.86;
+inline constexpr double kFpga1EngineOptsPerWatt = 771.77;
+
+inline constexpr double kFpga2EngineOptsPerSec = 53763.86;
+inline constexpr double kFpga2EngineWatts = 35.79;
+inline constexpr double kFpga2EngineOptsPerWatt = 1502.20;
+
+inline constexpr double kFpga5EngineOptsPerSec = 114115.92;
+inline constexpr double kFpga5EngineWatts = 37.38;
+inline constexpr double kFpga5EngineOptsPerWatt = 3052.86;
+
+// --- headline ratios the conclusions cite -----------------------------------
+/// Vectorised engine vs the Xilinx library engine ("around eight times").
+inline constexpr double kSpeedupVsLibrary = kVectorisedOptsPerSec /
+                                            kXilinxLibraryOptsPerSec;
+/// Five engines vs the 24-core CPU ("around 1.55 times").
+inline constexpr double kFpgaVsCpu = kFpga5EngineOptsPerSec /
+                                     kCpu24CoreOptsPerSec;
+/// CPU vs FPGA power ("4.7 times less power").
+inline constexpr double kPowerRatio = kCpu24CoreWatts / kFpga5EngineWatts;
+/// Efficiency ratio ("around seven times the power efficiency").
+inline constexpr double kEfficiencyRatio = kFpga5EngineOptsPerWatt /
+                                           kCpu24CoreOptsPerWatt;
+
+/// Experimental protocol: "results are averaged over three runs".
+inline constexpr int kRunsPerMeasurement = 3;
+/// "for all experiments 1024 interest and hazard rates are used".
+inline constexpr int kCurvePoints = 1024;
+/// CPU comparator core count.
+inline constexpr int kCpuCores = 24;
+
+}  // namespace cdsflow::report::paper

@@ -1,0 +1,131 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace cdsflow::report {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_columns(std::vector<std::string> names,
+                        std::vector<Align> aligns) {
+  CDSFLOW_EXPECT(!names.empty(), "table requires columns");
+  if (aligns.empty()) {
+    aligns.assign(names.size(), Align::kLeft);
+    // Numbers usually sit on the right: default all but the first column.
+    for (std::size_t i = 1; i < aligns.size(); ++i) aligns[i] = Align::kRight;
+  }
+  CDSFLOW_EXPECT(aligns.size() == names.size(),
+                 "alignment/column count mismatch");
+  columns_ = std::move(names);
+  aligns_ = std::move(aligns);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CDSFLOW_EXPECT(!columns_.empty(), "set_columns before add_row");
+  CDSFLOW_EXPECT(cells.size() == columns_.size(),
+                 "row width does not match column count");
+  rows_.push_back({std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back({{}, true}); }
+
+std::vector<std::size_t> Table::column_widths() const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string Table::render_text() const {
+  CDSFLOW_EXPECT(!columns_.empty(), "render requires columns");
+  const auto widths = column_widths();
+  std::ostringstream os;
+  auto rule = [&os, &widths] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string padded = aligns_[c] == Align::kLeft
+                                     ? pad_right(cells[c], widths[c])
+                                     : pad_left(cells[c], widths[c]);
+      os << ' ' << padded << " |";
+    }
+    os << '\n';
+  };
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  emit(columns_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      emit(row.cells);
+    }
+  }
+  rule();
+  return os.str();
+}
+
+std::string Table::render_markdown() const {
+  CDSFLOW_EXPECT(!columns_.empty(), "render requires columns");
+  std::ostringstream os;
+  if (!title_.empty()) os << "**" << title_ << "**\n\n";
+  os << '|';
+  for (const auto& c : columns_) os << ' ' << c << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (aligns_[c] == Align::kRight ? " ---: |" : " --- |");
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    os << '|';
+    for (const auto& cell : row.cells) os << ' ' << cell << " |";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::render_csv() const {
+  CDSFLOW_EXPECT(!columns_.empty(), "render requires columns");
+  std::ostringstream os;
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (const char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << quote(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << quote(row.cells[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cdsflow::report

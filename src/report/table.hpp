@@ -1,0 +1,49 @@
+/// \file table.hpp
+/// Result tables rendered as aligned text, GitHub markdown, or CSV --
+/// the benches print the paper's tables through this.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cdsflow::report {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Defines the header; call before add_row.
+  void set_columns(std::vector<std::string> names,
+                   std::vector<Align> aligns = {});
+
+  /// Adds a row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator row (text rendering only).
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  std::string render_text() const;
+  std::string render_markdown() const;
+  std::string render_csv() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::size_t> column_widths() const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cdsflow::report

@@ -1,0 +1,8 @@
+#include "sim/channel.hpp"
+
+namespace cdsflow::sim {
+
+ChannelBase::ChannelBase(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity) {}
+
+}  // namespace cdsflow::sim

@@ -1,0 +1,30 @@
+/// \file cycle.hpp
+/// The simulator's notion of time: an integer FPGA kernel clock cycle.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cdsflow::sim {
+
+/// A kernel clock cycle index. 64 bits: at 300 MHz this wraps after ~2000
+/// years of simulated time.
+using Cycle = std::uint64_t;
+
+/// Sentinel returned by Process::next_wake when a process has no internal
+/// timer and can only be unblocked by channel activity (or is finished).
+inline constexpr Cycle kNoWake = std::numeric_limits<Cycle>::max();
+
+/// Converts a cycle count at `clock_hz` to seconds.
+inline double cycles_to_seconds(Cycle cycles, double clock_hz) {
+  return static_cast<double>(cycles) / clock_hz;
+}
+
+/// Converts seconds at `clock_hz` to a (rounded-up) cycle count.
+inline Cycle seconds_to_cycles(double seconds, double clock_hz) {
+  const double c = seconds * clock_hz;
+  return c <= 0.0 ? 0 : static_cast<Cycle>(c + 0.5);
+}
+
+}  // namespace cdsflow::sim

@@ -1,0 +1,5 @@
+#include "sim/process.hpp"
+
+// Process is header-only today; this translation unit anchors the vtable.
+
+namespace cdsflow::sim {}

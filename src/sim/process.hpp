@@ -1,0 +1,57 @@
+/// \file process.hpp
+/// The unit of concurrency in the simulator.
+///
+/// A Process models one concurrently executing hardware entity (an HLS
+/// dataflow function, a memory port, a scheduler...). The Simulation drives
+/// every process with a cooperative step/next_wake protocol:
+///
+///  * step(now)      — attempt to make progress at cycle `now`. Must return
+///                     true iff observable state changed (a token moved, an
+///                     internal phase advanced). The scheduler keeps
+///                     re-stepping all processes within a cycle until
+///                     everything is quiescent, so same-cycle producer ->
+///                     consumer hand-off works regardless of step order.
+///  * next_wake(now) — the earliest cycle strictly after `now` at which the
+///                     process could make progress *on its own* (e.g. a
+///                     pipeline result completing). Return kNoWake when only
+///                     channel activity from another process can unblock it;
+///                     if every live process says kNoWake the system is
+///                     deadlocked and the scheduler reports it.
+///  * done()         — the process has finished all the work it will ever do.
+
+#pragma once
+
+#include <string>
+
+#include "sim/cycle.hpp"
+
+namespace cdsflow::sim {
+
+class Process {
+ public:
+  explicit Process(std::string name) : name_(std::move(name)) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Attempt progress at `now`; true iff state changed. See file comment.
+  virtual bool step(Cycle now) = 0;
+
+  /// Earliest self-driven wake-up after `now`; kNoWake if channel-bound/done.
+  virtual Cycle next_wake(Cycle now) const = 0;
+
+  /// All work complete.
+  virtual bool done() const = 0;
+
+  /// One-line state description for deadlock diagnostics; overriders should
+  /// mention which channel they are blocked on.
+  virtual std::string describe_state() const { return done() ? "done" : "running"; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace cdsflow::sim

@@ -1,0 +1,89 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cdsflow::sim {
+
+Process& Simulation::add(std::unique_ptr<Process> p) {
+  CDSFLOW_EXPECT(p != nullptr, "add() requires a process");
+  processes_.push_back(std::move(p));
+  return *processes_.back();
+}
+
+SimResult Simulation::run(Cycle max_cycles) {
+  CDSFLOW_EXPECT(!processes_.empty(), "run() requires at least one process");
+  SimResult result;
+  now_ = 0;
+
+  while (true) {
+    // --- settle the current cycle to quiescence -------------------------
+    // A correct process only reports progress when state actually changed,
+    // so this loop terminates; the guard catches contract violations
+    // (a process that claims progress forever would otherwise hang us).
+    bool cycle_was_active = false;
+    bool progressed = true;
+    std::uint64_t settle_rounds = 0;
+    const std::uint64_t settle_limit = 16 + 4 * processes_.size();
+    while (progressed) {
+      progressed = false;
+      for (auto& p : processes_) {
+        if (p->done()) continue;
+        ++result.total_steps;
+        if (p->step(now_)) progressed = true;
+      }
+      cycle_was_active |= progressed;
+      CDSFLOW_ASSERT(++settle_rounds <= settle_limit,
+                     "settle loop did not converge at cycle " +
+                         std::to_string(now_) +
+                         " -- a process reports progress without state "
+                         "change");
+    }
+    if (cycle_was_active) ++result.active_cycles;
+
+    // --- completion check ------------------------------------------------
+    const bool all_done =
+        std::all_of(processes_.begin(), processes_.end(),
+                    [](const auto& p) { return p->done(); });
+    if (all_done) {
+      result.end_cycle = now_;
+      return result;
+    }
+
+    // --- advance time to the earliest self-driven wake-up ----------------
+    Cycle next = kNoWake;
+    for (auto& p : processes_) {
+      if (p->done()) continue;
+      next = std::min(next, p->next_wake(now_));
+    }
+    if (next == kNoWake) report_deadlock();
+    CDSFLOW_ASSERT(next > now_,
+                   "next_wake must be strictly in the future (process "
+                   "returned cycle " +
+                       std::to_string(next) + " at " + std::to_string(now_) +
+                       ")");
+    CDSFLOW_EXPECT(next <= max_cycles,
+                   "simulation exceeded max_cycles=" +
+                       std::to_string(max_cycles));
+    now_ = next;
+  }
+}
+
+void Simulation::report_deadlock() const {
+  std::ostringstream os;
+  os << "dataflow deadlock at cycle " << now_
+     << ": no process can make progress and none has a pending timer.\n"
+     << "Processes:\n";
+  for (const auto& p : processes_) {
+    if (p->done()) continue;
+    os << "  [" << p->name() << "] " << p->describe_state() << '\n';
+  }
+  os << "Channels:\n";
+  for (const auto& c : channels_) {
+    os << "  [" << c->name() << "] " << c->size() << '/' << c->capacity()
+       << (c->full() ? " FULL" : (c->empty() ? " EMPTY" : "")) << '\n';
+  }
+  throw Error(os.str());
+}
+
+}  // namespace cdsflow::sim

@@ -1,0 +1,150 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cdsflow::sim {
+
+std::size_t Trace::add_track(std::string name) {
+  track_names_.push_back(std::move(name));
+  return track_names_.size() - 1;
+}
+
+void Trace::record(std::size_t track, Cycle begin, Cycle end) {
+  CDSFLOW_EXPECT(track < track_names_.size(), "unknown trace track");
+  CDSFLOW_EXPECT(end > begin, "trace intervals must be non-empty");
+  intervals_.push_back({track, begin, end});
+}
+
+Cycle Trace::busy_cycles(std::size_t track) const {
+  Cycle busy = 0;
+  for (const auto& iv : intervals_) {
+    if (iv.track == track) busy += iv.end - iv.begin;
+  }
+  return busy;
+}
+
+Cycle Trace::span() const {
+  Cycle end = 0;
+  for (const auto& iv : intervals_) end = std::max(end, iv.end);
+  return end;
+}
+
+double Trace::utilisation(std::size_t track) const {
+  const Cycle s = span();
+  if (s == 0) return 0.0;
+  return static_cast<double>(busy_cycles(track)) / static_cast<double>(s);
+}
+
+namespace {
+
+/// Merges a track's intervals into a sorted, disjoint list.
+std::vector<std::pair<Cycle, Cycle>> merged_track(
+    const std::vector<TraceInterval>& all, std::size_t track) {
+  std::vector<std::pair<Cycle, Cycle>> ivs;
+  for (const auto& iv : all) {
+    if (iv.track == track) ivs.emplace_back(iv.begin, iv.end);
+  }
+  std::sort(ivs.begin(), ivs.end());
+  std::vector<std::pair<Cycle, Cycle>> merged;
+  for (const auto& iv : ivs) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+double Trace::overlap_fraction(std::size_t a, std::size_t b) const {
+  const auto ia = merged_track(intervals_, a);
+  const auto ib = merged_track(intervals_, b);
+  Cycle busy_a = 0, busy_b = 0, both = 0;
+  for (const auto& iv : ia) busy_a += iv.second - iv.first;
+  for (const auto& iv : ib) busy_b += iv.second - iv.first;
+  // Two-pointer sweep over the disjoint sorted interval lists.
+  std::size_t i = 0, j = 0;
+  while (i < ia.size() && j < ib.size()) {
+    const Cycle lo = std::max(ia[i].first, ib[j].first);
+    const Cycle hi = std::min(ia[i].second, ib[j].second);
+    if (lo < hi) both += hi - lo;
+    if (ia[i].second < ib[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const Cycle denom = std::min(busy_a, busy_b);
+  if (denom == 0) return 0.0;
+  return static_cast<double>(both) / static_cast<double>(denom);
+}
+
+double Trace::mean_concurrency() const {
+  const Cycle s = span();
+  if (s == 0) return 0.0;
+  Cycle total_busy = 0;
+  for (std::size_t t = 0; t < track_count(); ++t) total_busy += busy_cycles(t);
+  // Normalise by cycles where at least one track is busy: union of all
+  // intervals.
+  std::vector<std::pair<Cycle, Cycle>> all;
+  all.reserve(intervals_.size());
+  for (const auto& iv : intervals_) all.emplace_back(iv.begin, iv.end);
+  std::sort(all.begin(), all.end());
+  Cycle covered = 0;
+  Cycle cur_begin = 0, cur_end = 0;
+  bool open = false;
+  for (const auto& iv : all) {
+    if (open && iv.first <= cur_end) {
+      cur_end = std::max(cur_end, iv.second);
+    } else {
+      if (open) covered += cur_end - cur_begin;
+      cur_begin = iv.first;
+      cur_end = iv.second;
+      open = true;
+    }
+  }
+  if (open) covered += cur_end - cur_begin;
+  if (covered == 0) return 0.0;
+  return static_cast<double>(total_busy) / static_cast<double>(covered);
+}
+
+std::string Trace::render_ascii(std::size_t width) const {
+  CDSFLOW_EXPECT(width >= 10, "timeline width must be >= 10");
+  const Cycle s = span();
+  std::ostringstream os;
+  std::size_t label_width = 0;
+  for (const auto& n : track_names_) label_width = std::max(label_width, n.size());
+  for (std::size_t t = 0; t < track_count(); ++t) {
+    // Busy cycles per bucket.
+    std::vector<double> busy(width, 0.0);
+    const double bucket_cycles =
+        static_cast<double>(s) / static_cast<double>(width);
+    for (const auto& iv : intervals_) {
+      if (iv.track != t) continue;
+      for (std::size_t k = 0; k < width; ++k) {
+        const double lo = static_cast<double>(k) * bucket_cycles;
+        const double hi = lo + bucket_cycles;
+        const double a = std::max(lo, static_cast<double>(iv.begin));
+        const double b = std::min(hi, static_cast<double>(iv.end));
+        if (b > a) busy[k] += b - a;
+      }
+    }
+    os << track_names_[t];
+    os << std::string(label_width - track_names_[t].size() + 1, ' ') << '|';
+    for (std::size_t k = 0; k < width; ++k) {
+      const double f = bucket_cycles > 0 ? busy[k] / bucket_cycles : 0.0;
+      os << (f <= 0.001 ? ' ' : (f < 0.25 ? '.' : (f < 0.5 ? '-' : (f < 0.75 ? '+' : '#'))));
+    }
+    os << "|\n";
+  }
+  os << std::string(label_width + 1, ' ') << "0" << std::string(width > 8 ? width - 8 : 1, ' ')
+     << s << " cycles\n";
+  return os.str();
+}
+
+}  // namespace cdsflow::sim

@@ -1,0 +1,68 @@
+/// \file trace.hpp
+/// Activity tracing: which process was busy during which cycle interval.
+///
+/// Traces power the figure-reproduction benches: the baseline engine's trace
+/// shows stages running strictly one after another (paper Fig. 1), while the
+/// dataflow engines' traces show them overlapped (Fig. 2). Utilities compute
+/// per-stage utilisation, pairwise overlap, and render an ASCII timeline.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cycle.hpp"
+
+namespace cdsflow::sim {
+
+/// Half-open busy interval [begin, end) attributed to a track.
+struct TraceInterval {
+  std::size_t track = 0;
+  Cycle begin = 0;
+  Cycle end = 0;
+};
+
+class Trace {
+ public:
+  /// Registers a named track (one per stage); returns its id.
+  std::size_t add_track(std::string name);
+
+  /// Records that `track` was busy over [begin, end). Intervals may be
+  /// recorded out of order but must not be empty.
+  void record(std::size_t track, Cycle begin, Cycle end);
+
+  std::size_t track_count() const { return track_names_.size(); }
+  const std::string& track_name(std::size_t t) const {
+    return track_names_.at(t);
+  }
+  const std::vector<TraceInterval>& intervals() const { return intervals_; }
+
+  /// Total busy cycles on a track (intervals on one track never overlap).
+  Cycle busy_cycles(std::size_t track) const;
+
+  /// Last cycle covered by any interval (0 for an empty trace).
+  Cycle span() const;
+
+  /// busy(track) / span() in [0,1].
+  double utilisation(std::size_t track) const;
+
+  /// Cycles during which *both* tracks were busy, as a fraction of the
+  /// smaller track's busy time. ~0 for the sequential engine, high for the
+  /// dataflow engines.
+  double overlap_fraction(std::size_t a, std::size_t b) const;
+
+  /// Mean number of tracks simultaneously busy over the trace span -- a
+  /// single-number "dataflow-ness" metric (1.0 == fully sequential).
+  double mean_concurrency() const;
+
+  /// ASCII timeline: one row per track, `width` buckets over the span.
+  /// Bucket glyphs: ' ' idle, '.' <25% busy, '-' <50%, '+' <75%, '#' >=75%.
+  std::string render_ascii(std::size_t width = 100) const;
+
+ private:
+  std::vector<std::string> track_names_;
+  std::vector<TraceInterval> intervals_;
+};
+
+}  // namespace cdsflow::sim

@@ -1,0 +1,112 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cdsflow::sim {
+
+namespace {
+
+/// VCD identifier for track `i`: short strings over the printable range
+/// '!'..'~' (94 characters), little-endian digits.
+std::string vcd_identifier(std::size_t i) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + i % 94);
+    i /= 94;
+  } while (i != 0);
+  return id;
+}
+
+/// Sanitises a track name into a VCD signal name (no whitespace).
+std::string vcd_signal_name(std::string name) {
+  for (char& c : name) {
+    if (c == ' ' || c == '\t') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const Trace& trace, VcdOptions options) {
+  CDSFLOW_EXPECT(trace.track_count() > 0, "VCD export needs >= 1 track");
+
+  os << "$date cdsflow simulation $end\n";
+  os << "$version cdsflow dataflow simulator $end\n";
+  if (!options.comment.empty()) {
+    os << "$comment " << options.comment << " $end\n";
+  }
+  os << "$comment one VCD tick == one kernel clock cycle $end\n";
+  os << "$timescale " << options.timescale << " $end\n";
+  os << "$scope module " << options.module_name << " $end\n";
+  for (std::size_t t = 0; t < trace.track_count(); ++t) {
+    os << "$var wire 1 " << vcd_identifier(t) << ' '
+       << vcd_signal_name(trace.track_name(t)) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Edge list: (cycle, track, value). Intervals are half-open [begin, end).
+  struct Edge {
+    Cycle at;
+    std::size_t track;
+    bool value;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(trace.intervals().size() * 2);
+  for (const auto& iv : trace.intervals()) {
+    edges.push_back({iv.begin, iv.track, true});
+    edges.push_back({iv.end, iv.track, false});
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) { return a.at < b.at; });
+
+  // Initial values: everything low.
+  os << "$dumpvars\n";
+  for (std::size_t t = 0; t < trace.track_count(); ++t) {
+    os << '0' << vcd_identifier(t) << '\n';
+  }
+  os << "$end\n";
+
+  // Emit changes; merge adjacent intervals (a falling edge followed by a
+  // rising edge of the same signal at the same cycle cancels out).
+  std::size_t i = 0;
+  std::vector<bool> state(trace.track_count(), false);
+  while (i < edges.size()) {
+    const Cycle at = edges[i].at;
+    std::map<std::size_t, int> pending;  // track -> net level change
+    while (i < edges.size() && edges[i].at == at) {
+      pending[edges[i].track] += edges[i].value ? 1 : -1;
+      ++i;
+    }
+    bool header_written = false;
+    for (const auto& [track, delta] : pending) {
+      const bool new_value = delta > 0 ? true
+                             : delta < 0 ? false
+                                         : state[track];
+      if (new_value == state[track]) continue;
+      if (!header_written) {
+        os << '#' << at << '\n';
+        header_written = true;
+      }
+      os << (new_value ? '1' : '0') << vcd_identifier(track) << '\n';
+      state[track] = new_value;
+    }
+  }
+  // Close the dump at the final span so viewers show the full window.
+  os << '#' << trace.span() << '\n';
+}
+
+void write_vcd_file(const std::string& path, const Trace& trace,
+                    VcdOptions options) {
+  std::ofstream out(path);
+  CDSFLOW_EXPECT(out.good(), "cannot open '" + path + "' for writing");
+  write_vcd(out, trace, std::move(options));
+  CDSFLOW_EXPECT(out.good(), "I/O failure while writing '" + path + "'");
+}
+
+}  // namespace cdsflow::sim

@@ -1,0 +1,88 @@
+#include "workload/curves.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cdsflow::workload {
+
+const char* to_string(CurveShape shape) {
+  switch (shape) {
+    case CurveShape::kFlat:
+      return "flat";
+    case CurveShape::kUpwardSloping:
+      return "upward-sloping";
+    case CurveShape::kHumped:
+      return "humped";
+    case CurveShape::kStressed:
+      return "stressed";
+  }
+  return "unknown";
+}
+
+cds::TermStructure make_curve(const CurveSpec& spec) {
+  CDSFLOW_EXPECT(spec.points >= 1, "curve requires at least one point");
+  CDSFLOW_EXPECT(spec.span_years > 0.0, "curve span must be positive");
+  CDSFLOW_EXPECT(spec.base_rate > 0.0, "base rate must be positive");
+  CDSFLOW_EXPECT(spec.jitter >= 0.0 && spec.jitter < 1.0,
+                 "jitter must lie in [0, 1)");
+
+  Rng rng(spec.seed);
+  std::vector<double> times(spec.points);
+  std::vector<double> values(spec.points);
+  const auto n = static_cast<double>(spec.points);
+  for (std::size_t i = 0; i < spec.points; ++i) {
+    const double frac = static_cast<double>(i + 1) / n;  // (0, 1]
+    times[i] = frac * spec.span_years;
+    double shape_factor = 1.0;
+    switch (spec.shape) {
+      case CurveShape::kFlat:
+        shape_factor = 1.0;
+        break;
+      case CurveShape::kUpwardSloping:
+        // +80% from front to back.
+        shape_factor = 0.8 + 0.8 * frac;
+        break;
+      case CurveShape::kHumped:
+        // Peaks at ~1.6x around 40% of the span.
+        shape_factor =
+            0.9 + 0.7 * std::exp(-12.0 * (frac - 0.4) * (frac - 0.4));
+        break;
+      case CurveShape::kStressed:
+        // Elevated, inverted front end.
+        shape_factor = 1.8 - 0.6 * frac;
+        break;
+    }
+    double v = spec.base_rate * shape_factor;
+    if (spec.jitter > 0.0) {
+      v *= 1.0 + spec.jitter * (rng.uniform01() - 0.5);
+    }
+    values[i] = v;
+  }
+  return cds::TermStructure(std::move(times), std::move(values));
+}
+
+cds::TermStructure paper_interest_curve(std::size_t points,
+                                        std::uint64_t seed) {
+  CurveSpec spec;
+  spec.points = points;
+  spec.span_years = 30.0;
+  spec.base_rate = 0.02;  // ~2% risk-free level
+  spec.shape = CurveShape::kUpwardSloping;
+  spec.seed = seed;
+  return make_curve(spec);
+}
+
+cds::TermStructure paper_hazard_curve(std::size_t points, std::uint64_t seed) {
+  CurveSpec spec;
+  spec.points = points;
+  spec.span_years = 30.0;
+  spec.base_rate = 0.03;  // ~300 bps flat-ish credit
+  spec.shape = CurveShape::kHumped;
+  spec.seed = seed;
+  return make_curve(spec);
+}
+
+}  // namespace cdsflow::workload

@@ -1,0 +1,59 @@
+/// \file curves.hpp
+/// Synthetic term-structure generators.
+///
+/// SUBSTITUTION NOTE: the paper uses "1024 interest and hazard rates" for
+/// every experiment but does not publish the market data behind them (such
+/// curves are commercially licensed). These generators produce curves with
+/// the same *shape class* a stripped USD curve or CDS-bootstrapped hazard
+/// curve exhibits (level + slope + hump, small deterministic noise), at any
+/// point count, so the engines exercise identical code paths: the cost of
+/// every kernel depends only on point count and knot spacing, never on the
+/// rate values themselves.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cds/curve.hpp"
+
+namespace cdsflow::workload {
+
+enum class CurveShape {
+  /// Constant rate (closed-form checks use this).
+  kFlat,
+  /// Linearly rising with tenor (normal yield-curve regime).
+  kUpwardSloping,
+  /// Nelson-Siegel-style hump peaking mid-curve.
+  kHumped,
+  /// Inverted front end + elevated level (stressed credit regime).
+  kStressed,
+};
+
+const char* to_string(CurveShape shape);
+
+struct CurveSpec {
+  std::size_t points = 1024;       ///< paper: 1024 for all experiments
+  double span_years = 30.0;        ///< last knot tenor
+  double base_rate = 0.02;         ///< level (2% interest / 2% hazard)
+  CurveShape shape = CurveShape::kUpwardSloping;
+  /// Deterministic per-knot jitter amplitude as a fraction of base_rate
+  /// (0 disables; keeps knots realistic without randomising experiment
+  /// cost).
+  double jitter = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a curve per the spec. Knots are evenly spaced on
+/// (0, span_years]; values are positive.
+cds::TermStructure make_curve(const CurveSpec& spec);
+
+/// Convenience: the interest-rate curve used by the paper scenario.
+cds::TermStructure paper_interest_curve(std::size_t points = 1024,
+                                        std::uint64_t seed = 11);
+
+/// Convenience: the hazard-rate curve used by the paper scenario.
+cds::TermStructure paper_hazard_curve(std::size_t points = 1024,
+                                      std::uint64_t seed = 23);
+
+}  // namespace cdsflow::workload

@@ -1,0 +1,50 @@
+#include "workload/options.hpp"
+
+#include "cds/schedule.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cdsflow::workload {
+
+void PortfolioSpec::validate() const {
+  CDSFLOW_EXPECT(count >= 1, "portfolio must contain at least one option");
+  CDSFLOW_EXPECT(maturity_min_years > 0.0, "minimum maturity must be > 0");
+  CDSFLOW_EXPECT(maturity_max_years >= maturity_min_years,
+                 "maturity range is inverted");
+  CDSFLOW_EXPECT(!frequencies.empty(), "at least one payment frequency");
+  CDSFLOW_EXPECT(frequencies.size() == frequency_weights.size(),
+                 "frequency/weight length mismatch");
+  for (double f : frequencies) {
+    CDSFLOW_EXPECT(f > 0.0, "payment frequencies must be positive");
+  }
+  CDSFLOW_EXPECT(recovery_min >= 0.0 && recovery_max < 1.0 &&
+                     recovery_min <= recovery_max,
+                 "recovery range must lie in [0, 1)");
+}
+
+std::vector<cds::CdsOption> make_portfolio(const PortfolioSpec& spec) {
+  spec.validate();
+  Rng rng(spec.seed);
+  std::vector<cds::CdsOption> options;
+  options.reserve(spec.count);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    cds::CdsOption opt;
+    opt.id = static_cast<std::int32_t>(i);
+    opt.maturity_years =
+        rng.uniform(spec.maturity_min_years, spec.maturity_max_years);
+    opt.payment_frequency =
+        spec.frequencies[rng.weighted_index(spec.frequency_weights)];
+    opt.recovery_rate = rng.uniform(spec.recovery_min, spec.recovery_max);
+    opt.validate();
+    options.push_back(opt);
+  }
+  return options;
+}
+
+std::uint64_t total_time_points(const std::vector<cds::CdsOption>& options) {
+  std::uint64_t total = 0;
+  for (const auto& opt : options) total += cds::schedule_size(opt);
+  return total;
+}
+
+}  // namespace cdsflow::workload

@@ -1,0 +1,81 @@
+#include "workload/scenario.hpp"
+
+#include "workload/curves.hpp"
+#include "workload/options.hpp"
+
+namespace cdsflow::workload {
+
+Scenario paper_scenario(std::size_t n_options, std::uint64_t seed) {
+  Scenario s;
+  s.name = "paper";
+  s.description =
+      "1024 interest + 1024 hazard rates over 30y; maturities U[1,10]y, "
+      "quarterly premiums, recovery U[0.2,0.6] (calibration in DESIGN.md)";
+  s.interest = paper_interest_curve();
+  s.hazard = paper_hazard_curve();
+  PortfolioSpec spec;
+  spec.count = n_options;
+  spec.seed = seed;
+  s.options = make_portfolio(spec);
+  return s;
+}
+
+Scenario smoke_scenario(std::size_t n_options, std::uint64_t seed) {
+  Scenario s;
+  s.name = "smoke";
+  s.description = "64-point curves, small book; fast unit/integration tests";
+  CurveSpec interest;
+  interest.points = 64;
+  interest.span_years = 12.0;
+  interest.base_rate = 0.02;
+  interest.shape = CurveShape::kUpwardSloping;
+  interest.seed = 3;
+  CurveSpec hazard = interest;
+  hazard.base_rate = 0.04;
+  hazard.shape = CurveShape::kHumped;
+  hazard.seed = 5;
+  s.interest = make_curve(interest);
+  s.hazard = make_curve(hazard);
+  PortfolioSpec spec;
+  spec.count = n_options;
+  spec.maturity_min_years = 0.5;
+  spec.maturity_max_years = 8.0;
+  spec.frequencies = {1.0, 2.0, 4.0, 12.0};
+  spec.frequency_weights = {1.0, 1.0, 2.0, 1.0};
+  spec.seed = seed;
+  s.options = make_portfolio(spec);
+  return s;
+}
+
+Scenario stressed_scenario(std::size_t n_options, std::uint64_t seed) {
+  Scenario s;
+  s.name = "stressed";
+  s.description =
+      "stressed credit regime: inverted elevated hazards, mixed coupon "
+      "frequencies";
+  CurveSpec interest;
+  interest.points = 1024;
+  interest.span_years = 30.0;
+  interest.base_rate = 0.045;
+  interest.shape = CurveShape::kStressed;
+  interest.seed = 17;
+  CurveSpec hazard = interest;
+  hazard.base_rate = 0.09;
+  hazard.shape = CurveShape::kStressed;
+  hazard.seed = 19;
+  s.interest = make_curve(interest);
+  s.hazard = make_curve(hazard);
+  PortfolioSpec spec;
+  spec.count = n_options;
+  spec.maturity_min_years = 0.25;
+  spec.maturity_max_years = 7.0;
+  spec.frequencies = {4.0, 12.0};
+  spec.frequency_weights = {3.0, 1.0};
+  spec.recovery_min = 0.1;
+  spec.recovery_max = 0.4;
+  spec.seed = seed;
+  s.options = make_portfolio(spec);
+  return s;
+}
+
+}  // namespace cdsflow::workload

@@ -1,0 +1,40 @@
+/// \file scenario.hpp
+/// Named end-to-end workloads: curves + portfolio + description.
+///
+/// `paper_scenario` is the workload every table/figure bench runs: 1024
+/// interest and 1024 hazard rates (paper Sec. II-B) with the calibrated
+/// option mix. Other scenarios feed the examples and property tests.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::workload {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  cds::TermStructure interest;
+  cds::TermStructure hazard;
+  std::vector<cds::CdsOption> options;
+};
+
+/// The paper's experimental setup: 1024+1024 rates, `n_options` contracts.
+/// The paper does not state its batch size; benches default to a size large
+/// enough to amortise one-time costs the same way (>= several hundred).
+Scenario paper_scenario(std::size_t n_options = 1024, std::uint64_t seed = 42);
+
+/// Small smoke scenario for tests (fast: 64 curve points, few options).
+Scenario smoke_scenario(std::size_t n_options = 16, std::uint64_t seed = 7);
+
+/// Stressed-credit scenario for the examples (elevated hazards, mixed
+/// frequencies including monthly).
+Scenario stressed_scenario(std::size_t n_options = 256,
+                           std::uint64_t seed = 1234);
+
+}  // namespace cdsflow::workload

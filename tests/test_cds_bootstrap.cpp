@@ -1,0 +1,133 @@
+/// \file test_cds_bootstrap.cpp
+/// Unit tests for hazard-curve bootstrapping: exact round trips (price a
+/// known curve, bootstrap it back), flat-curve recovery, repricing accuracy,
+/// and failure on inconsistent quotes.
+
+#include <gtest/gtest.h>
+
+#include "cds/bootstrap.hpp"
+#include "cds/legs.hpp"
+#include "common/error.hpp"
+#include "workload/curves.hpp"
+
+namespace cdsflow::cds {
+namespace {
+
+struct BootstrapFixture : ::testing::Test {
+  TermStructure interest = workload::paper_interest_curve(256);
+
+  /// Par spreads of a given hazard curve at the quote tenors.
+  std::vector<SpreadQuote> quotes_from_curve(const TermStructure& hazard,
+                                             const std::vector<double>& tenors,
+                                             const BootstrapOptions& o = {}) {
+    std::vector<SpreadQuote> quotes;
+    for (const double tenor : tenors) {
+      const CdsOption contract{.id = 0,
+                               .maturity_years = tenor,
+                               .payment_frequency = o.payment_frequency,
+                               .recovery_rate = o.recovery_rate};
+      quotes.push_back(
+          {tenor, price_breakdown(interest, hazard, contract).spread_bps});
+    }
+    return quotes;
+  }
+};
+
+TEST_F(BootstrapFixture, RecoversFlatHazardCurve) {
+  // Build a flat 250 bps hazard curve with knots AT the quote tenors so the
+  // bootstrap parameterisation can represent it exactly.
+  const std::vector<double> tenors = {1.0, 3.0, 5.0, 10.0};
+  const TermStructure truth(tenors, {0.025, 0.025, 0.025, 0.025});
+  const auto quotes = quotes_from_curve(truth, tenors);
+
+  const auto result = bootstrap_hazard_curve(interest, quotes);
+  ASSERT_EQ(result.hazard.size(), tenors.size());
+  for (std::size_t i = 0; i < tenors.size(); ++i) {
+    EXPECT_NEAR(result.hazard.value(i), 0.025, 1e-8) << "segment " << i;
+  }
+  EXPECT_LT(result.max_error_bps, 1e-6);
+}
+
+TEST_F(BootstrapFixture, RecoversPiecewiseCurveExactly) {
+  const std::vector<double> tenors = {1.0, 2.0, 5.0, 7.0, 10.0};
+  const std::vector<double> rates = {0.01, 0.02, 0.035, 0.03, 0.045};
+  const TermStructure truth(tenors, rates);
+  const auto quotes = quotes_from_curve(truth, tenors);
+
+  const auto result = bootstrap_hazard_curve(interest, quotes);
+  for (std::size_t i = 0; i < tenors.size(); ++i) {
+    EXPECT_NEAR(result.hazard.value(i), rates[i], 1e-7) << "segment " << i;
+  }
+}
+
+TEST_F(BootstrapFixture, RepricesQuotesWithinTolerance) {
+  const std::vector<SpreadQuote> quotes = {
+      {1.0, 110.0}, {3.0, 150.0}, {5.0, 185.0}, {7.0, 205.0}, {10.0, 230.0}};
+  const auto result = bootstrap_hazard_curve(interest, quotes);
+  // Reprice each quote on the bootstrapped curve.
+  for (const auto& quote : quotes) {
+    const CdsOption contract{.id = 0,
+                             .maturity_years = quote.tenor_years,
+                             .payment_frequency = 4.0,
+                             .recovery_rate = 0.4};
+    const double repriced =
+        price_breakdown(interest, result.hazard, contract).spread_bps;
+    EXPECT_NEAR(repriced, quote.spread_bps, 1e-6)
+        << "tenor " << quote.tenor_years;
+  }
+  EXPECT_LT(result.max_error_bps, 1e-6);
+  EXPECT_GT(result.total_iterations, 0);
+}
+
+TEST_F(BootstrapFixture, UpwardSpreadsGiveUpwardHazards) {
+  const std::vector<SpreadQuote> quotes = {
+      {1.0, 100.0}, {5.0, 200.0}, {10.0, 300.0}};
+  const auto result = bootstrap_hazard_curve(interest, quotes);
+  EXPECT_LT(result.hazard.value(0), result.hazard.value(1));
+  EXPECT_LT(result.hazard.value(1), result.hazard.value(2));
+}
+
+TEST_F(BootstrapFixture, SingleQuoteMatchesCreditTriangle) {
+  const std::vector<SpreadQuote> quotes = {{5.0, 180.0}};
+  const auto result = bootstrap_hazard_curve(interest, quotes);
+  // spread ~ (1-R) * h: 180 bps at R=0.4 => h ~ 300 bps.
+  EXPECT_NEAR(result.hazard.value(0), 0.03, 0.002);
+}
+
+TEST_F(BootstrapFixture, RecoveryAssumptionChangesCurve) {
+  const std::vector<SpreadQuote> quotes = {{5.0, 180.0}};
+  BootstrapOptions lo, hi;
+  lo.recovery_rate = 0.2;
+  hi.recovery_rate = 0.6;
+  const auto low = bootstrap_hazard_curve(interest, quotes, lo);
+  const auto high = bootstrap_hazard_curve(interest, quotes, hi);
+  // Same spread with more recovery requires more default risk.
+  EXPECT_GT(high.hazard.value(0), low.hazard.value(0));
+}
+
+TEST_F(BootstrapFixture, RejectsMalformedQuotes) {
+  EXPECT_THROW(bootstrap_hazard_curve(interest, {}), Error);
+  EXPECT_THROW(
+      bootstrap_hazard_curve(interest, {{5.0, 100.0}, {3.0, 100.0}}), Error);
+  EXPECT_THROW(bootstrap_hazard_curve(interest, {{-1.0, 100.0}}), Error);
+  EXPECT_THROW(bootstrap_hazard_curve(interest, {{5.0, -50.0}}), Error);
+}
+
+TEST_F(BootstrapFixture, FailsOnArbitrageInconsistentQuotes) {
+  // A 1y spread of 5000 bps followed by a 2y spread of 1 bp would need a
+  // hugely negative hazard on (1y, 2y]: the solver must refuse, not
+  // silently produce nonsense.
+  const std::vector<SpreadQuote> quotes = {{1.0, 5000.0}, {2.0, 1.0}};
+  EXPECT_THROW(bootstrap_hazard_curve(interest, quotes), Error);
+}
+
+TEST_F(BootstrapFixture, MonthlyQuotedContractsAlsoBootstrap) {
+  BootstrapOptions options;
+  options.payment_frequency = 12.0;
+  const std::vector<SpreadQuote> quotes = {{2.0, 140.0}, {5.0, 190.0}};
+  const auto result = bootstrap_hazard_curve(interest, quotes, options);
+  EXPECT_LT(result.max_error_bps, 1e-6);
+}
+
+}  // namespace
+}  // namespace cdsflow::cds

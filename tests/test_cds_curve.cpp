@@ -1,0 +1,109 @@
+/// \file test_cds_curve.cpp
+/// Unit tests for TermStructure: validation, bracket scan, interpolation
+/// exactness and clamping.
+
+#include <gtest/gtest.h>
+
+#include "cds/curve.hpp"
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+namespace {
+
+TermStructure simple_curve() {
+  return TermStructure({1.0, 2.0, 4.0, 8.0}, {0.01, 0.02, 0.04, 0.08});
+}
+
+TEST(TermStructure, ValidationAcceptsGoodCurve) {
+  EXPECT_NO_THROW(simple_curve());
+  EXPECT_NO_THROW(TermStructure({0.0}, {0.05}));  // single point, t=0 ok
+}
+
+TEST(TermStructure, ValidationRejectsBadCurves) {
+  EXPECT_THROW(TermStructure({}, {}), Error);
+  EXPECT_THROW(TermStructure({1.0, 2.0}, {0.01}), Error);
+  EXPECT_THROW(TermStructure({2.0, 1.0}, {0.01, 0.02}), Error);   // not increasing
+  EXPECT_THROW(TermStructure({1.0, 1.0}, {0.01, 0.02}), Error);   // duplicate
+  EXPECT_THROW(TermStructure({-1.0, 1.0}, {0.01, 0.02}), Error);  // negative
+}
+
+TEST(TermStructure, Accessors) {
+  const auto c = simple_curve();
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_FALSE(c.empty());
+  EXPECT_DOUBLE_EQ(c.time(2), 4.0);
+  EXPECT_DOUBLE_EQ(c.value(2), 0.04);
+  EXPECT_DOUBLE_EQ(c.max_time(), 8.0);
+}
+
+TEST(TermStructure, InterpolationExactAtKnots) {
+  const auto c = simple_curve();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.interpolate(c.time(i)), c.value(i));
+  }
+}
+
+TEST(TermStructure, InterpolationLinearBetweenKnots) {
+  const auto c = simple_curve();
+  EXPECT_DOUBLE_EQ(c.interpolate(1.5), 0.015);
+  EXPECT_DOUBLE_EQ(c.interpolate(3.0), 0.03);
+  EXPECT_DOUBLE_EQ(c.interpolate(6.0), 0.06);
+}
+
+TEST(TermStructure, InterpolationClampsOutsideRange) {
+  const auto c = simple_curve();
+  EXPECT_DOUBLE_EQ(c.interpolate(0.0), 0.01);
+  EXPECT_DOUBLE_EQ(c.interpolate(0.5), 0.01);
+  EXPECT_DOUBLE_EQ(c.interpolate(100.0), 0.08);
+}
+
+TEST(TermStructure, BracketScanFindsLastKnotAtOrBefore) {
+  const auto c = simple_curve();
+  EXPECT_EQ(c.find_bracket_scan(1.0), 0u);
+  EXPECT_EQ(c.find_bracket_scan(3.9), 1u);
+  EXPECT_EQ(c.find_bracket_scan(4.0), 2u);
+  EXPECT_EQ(c.find_bracket_scan(9.0), 3u);
+  // Before the first knot: "not found" sentinel is size().
+  EXPECT_EQ(c.find_bracket_scan(0.5), c.size());
+}
+
+TEST(TermStructure, CountAtOrBeforeMatchesScanSemantics) {
+  const auto c = simple_curve();
+  EXPECT_EQ(c.count_at_or_before(0.5), 0u);
+  EXPECT_EQ(c.count_at_or_before(1.0), 1u);
+  EXPECT_EQ(c.count_at_or_before(4.5), 3u);
+  EXPECT_EQ(c.count_at_or_before(100.0), 4u);
+}
+
+TEST(TermStructure, ScanAndBinarySearchAgreeEverywhere) {
+  const auto c = simple_curve();
+  for (double t = 0.0; t <= 9.0; t += 0.1) {
+    const std::size_t count = c.count_at_or_before(t);
+    const std::size_t scan = c.find_bracket_scan(t);
+    if (count == 0) {
+      EXPECT_EQ(scan, c.size());
+    } else {
+      EXPECT_EQ(scan, count - 1);
+    }
+  }
+}
+
+TEST(TermStructure, SinglePointCurveInterpolatesFlat) {
+  const TermStructure c({5.0}, {0.03});
+  EXPECT_DOUBLE_EQ(c.interpolate(0.0), 0.03);
+  EXPECT_DOUBLE_EQ(c.interpolate(5.0), 0.03);
+  EXPECT_DOUBLE_EQ(c.interpolate(50.0), 0.03);
+}
+
+TEST(TermStructure, InterpolationIsMonotoneOnMonotoneCurve) {
+  const auto c = simple_curve();
+  double prev = -1.0;
+  for (double t = 0.0; t <= 9.0; t += 0.05) {
+    const double v = c.interpolate(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace cdsflow::cds

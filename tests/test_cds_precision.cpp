@@ -1,0 +1,111 @@
+/// \file test_cds_precision.cpp
+/// Unit tests for the reduced-precision study (paper Sec. V future work):
+/// fp32/mixed pricing accuracy against the fp64 golden model, and the
+/// projected fp32 hardware model.
+
+#include <gtest/gtest.h>
+
+#include "cds/legs.hpp"
+#include "cds/precision.hpp"
+#include "common/error.hpp"
+#include "fpga/reduced_precision.hpp"
+#include "workload/options.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow {
+namespace {
+
+using cds::Precision;
+
+struct PrecisionFixture : ::testing::Test {
+  workload::Scenario scenario = workload::paper_scenario(48, 77);
+};
+
+TEST_F(PrecisionFixture, DoubleModeIsExactlyTheGoldenModel) {
+  for (const auto& option : scenario.options) {
+    const double golden =
+        cds::price_breakdown(scenario.interest, scenario.hazard, option)
+            .spread_bps;
+    const double via = cds::spread_bps_with_precision(
+        scenario.interest, scenario.hazard, option, Precision::kDouble);
+    EXPECT_DOUBLE_EQ(via, golden);
+  }
+}
+
+TEST_F(PrecisionFixture, SingleModeWithinFractionOfABp) {
+  const auto report = cds::evaluate_precision(
+      scenario.interest, scenario.hazard, scenario.options,
+      Precision::kSingle);
+  EXPECT_GT(report.max_abs_error_bps, 0.0);  // it *is* an approximation
+  EXPECT_LT(report.max_abs_error_bps, 0.5);  // but a tight one
+  EXPECT_LT(report.max_rel_error, 2e-3);
+}
+
+TEST_F(PrecisionFixture, MixedModeNoWorseThanSingleOnAverage) {
+  const auto single = cds::evaluate_precision(
+      scenario.interest, scenario.hazard, scenario.options,
+      Precision::kSingle);
+  const auto mixed = cds::evaluate_precision(
+      scenario.interest, scenario.hazard, scenario.options,
+      Precision::kMixed);
+  EXPECT_LE(mixed.mean_abs_error_bps, single.mean_abs_error_bps * 1.5);
+}
+
+TEST_F(PrecisionFixture, ErrorsAreSystematicallySmallAcrossBook) {
+  const auto report = cds::evaluate_precision(
+      scenario.interest, scenario.hazard, scenario.options,
+      Precision::kSingle);
+  EXPECT_LT(report.mean_abs_error_bps, report.max_abs_error_bps + 1e-12);
+  EXPECT_GT(report.mean_abs_error_bps, 0.0);
+}
+
+TEST(Precision, Names) {
+  EXPECT_STREQ(cds::to_string(Precision::kDouble), "fp64");
+  EXPECT_STREQ(cds::to_string(Precision::kSingle), "fp32");
+  EXPECT_STREQ(cds::to_string(Precision::kMixed), "fp32/fp64-acc");
+}
+
+TEST(Precision, EvaluateRequiresOptions) {
+  const auto s = workload::smoke_scenario(1);
+  EXPECT_THROW(
+      cds::evaluate_precision(s.interest, s.hazard, {}, Precision::kSingle),
+      Error);
+}
+
+// --- hardware projection ------------------------------------------------------
+
+TEST(ReducedPrecisionModel, ShortensLatenciesAndWidensFeed) {
+  const fpga::ReducedPrecisionModel model;
+  const auto fp32 = model.apply(fpga::default_cost_model());
+  const auto& fp64 = fpga::default_cost_model();
+  EXPECT_LT(fp32.dadd_latency, fp64.dadd_latency);
+  EXPECT_LT(fp32.dexp_latency, fp64.dexp_latency);
+  EXPECT_EQ(fp32.baseline_accumulation_ii, fp32.dadd_latency);
+  EXPECT_EQ(fp32.listing1_lanes, fp32.dadd_latency);
+  EXPECT_DOUBLE_EQ(fp32.uram_feed_elements_per_cycle,
+                   2.0 * fp64.uram_feed_elements_per_cycle);
+}
+
+TEST(ReducedPrecisionModel, ShrinksOperatorResources) {
+  const fpga::ReducedPrecisionModel model;
+  const fpga::OperatorCosts fp64;
+  const auto fp32 = model.apply(fp64);
+  EXPECT_LT(fp32.dmul.dsp_slices, fp64.dmul.dsp_slices);
+  EXPECT_LT(fp32.dadd.luts, fp64.dadd.luts);
+  EXPECT_LT(fp32.dexp.dsp_slices, fp64.dexp.dsp_slices);
+}
+
+TEST(ReducedPrecisionModel, MoreEnginesFitInSingle) {
+  const auto device = fpga::alveo_u280();
+  const fpga::ReducedPrecisionModel model;
+  const fpga::ResourceEstimator fp64(device);
+  const fpga::ResourceEstimator fp32(device,
+                                     model.apply(fpga::OperatorCosts{}));
+  fpga::EngineShape shape;
+  shape.hazard_lanes = 6;
+  shape.interpolation_lanes = 6;
+  EXPECT_GT(fp32.max_engines(shape), fp64.max_engines(shape));
+}
+
+}  // namespace
+}  // namespace cdsflow

@@ -1,0 +1,199 @@
+/// \file test_cds_pricer.cpp
+/// Unit tests for the legs and the golden pricer: closed-form flat-curve
+/// checks (the credit-triangle approximation spread ~ (1-R)*h), leg signs,
+/// discount factors, and financial monotonicity properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cds/legs.hpp"
+#include "cds/pricer.hpp"
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+namespace {
+
+TermStructure flat_curve(double rate, std::size_t points = 128,
+                         double span = 30.0) {
+  std::vector<double> times(points), values(points, rate);
+  for (std::size_t i = 0; i < points; ++i) {
+    times[i] = (static_cast<double>(i + 1) / static_cast<double>(points)) * span;
+  }
+  return TermStructure(std::move(times), std::move(values));
+}
+
+CdsOption option(double maturity = 5.0, double freq = 4.0,
+                 double recovery = 0.4) {
+  return {.id = 7,
+          .maturity_years = maturity,
+          .payment_frequency = freq,
+          .recovery_rate = recovery};
+}
+
+TEST(Legs, DiscountFactorFlatRate) {
+  const auto interest = flat_curve(0.02);
+  EXPECT_NEAR(discount_factor(interest, 3.0), std::exp(-0.02 * 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(discount_factor(interest, 0.0), 1.0);
+  EXPECT_THROW(discount_factor(interest, -1.0), Error);
+}
+
+TEST(Legs, TermsSignsAndMagnitudes) {
+  const auto interest = flat_curve(0.02);
+  const LegTerms t = leg_terms(interest, 0.99, 0.98, 1.0, 0.25);
+  EXPECT_GT(t.premium, 0.0);
+  EXPECT_GT(t.accrual, 0.0);
+  EXPECT_GT(t.payoff, 0.0);
+  // Accrual is half a period of the payoff premium base.
+  EXPECT_NEAR(t.accrual, 0.5 * t.payoff * 0.25, 1e-15);
+}
+
+TEST(Pricer, CreditTriangleOnFlatCurves) {
+  // With flat hazard h, flat rates, and recovery R, the par spread is close
+  // to the credit triangle (1-R)*h (exact in continuous time; quarterly
+  // premiums give a small correction).
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(0.03));
+  const double spread = pricer.spread_bps(option(5.0, 4.0, 0.40));
+  const double triangle = (1.0 - 0.40) * 0.03 * kBasisPointsPerUnit;  // 180
+  EXPECT_NEAR(spread, triangle, 0.02 * triangle);
+}
+
+TEST(Pricer, CreditTriangleAccuracyImprovesWithFrequency) {
+  const ReferencePricer pricer(flat_curve(0.0001), flat_curve(0.02));
+  const double triangle = (1.0 - 0.4) * 0.02 * kBasisPointsPerUnit;
+  const double annual =
+      std::fabs(pricer.spread_bps(option(5.0, 1.0)) - triangle);
+  const double monthly =
+      std::fabs(pricer.spread_bps(option(5.0, 12.0)) - triangle);
+  EXPECT_LT(monthly, annual);
+}
+
+TEST(Pricer, ZeroHazardGivesZeroSpread) {
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(1e-12));
+  EXPECT_NEAR(pricer.spread_bps(option()), 0.0, 1e-4);
+}
+
+TEST(Pricer, BreakdownLegsArePositiveAndConsistent) {
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(0.03));
+  const auto b = pricer.breakdown(option());
+  EXPECT_GT(b.premium_leg, 0.0);
+  EXPECT_GT(b.accrual_leg, 0.0);
+  EXPECT_GT(b.protection_leg, 0.0);
+  EXPECT_LT(b.accrual_leg, b.premium_leg);  // accrual is a small correction
+  EXPECT_NEAR(b.spread_bps,
+              kBasisPointsPerUnit * b.protection_leg /
+                  (b.premium_leg + b.accrual_leg),
+              1e-9);
+}
+
+TEST(Pricer, SpreadIncreasesWithHazard) {
+  const auto interest = flat_curve(0.02);
+  double prev = 0.0;
+  for (const double h : {0.005, 0.01, 0.02, 0.04, 0.08, 0.16}) {
+    const ReferencePricer pricer(interest, flat_curve(h));
+    const double s = pricer.spread_bps(option());
+    EXPECT_GT(s, prev) << "h=" << h;
+    prev = s;
+  }
+}
+
+TEST(Pricer, SpreadDecreasesWithRecovery) {
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(0.03));
+  double prev = 1e9;
+  for (const double r : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const double s = pricer.spread_bps(option(5.0, 4.0, r));
+    EXPECT_LT(s, prev) << "R=" << r;
+    prev = s;
+  }
+}
+
+TEST(Pricer, SpreadScalesLinearlyInOneMinusRecovery) {
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(0.03));
+  const double s0 = pricer.spread_bps(option(5.0, 4.0, 0.0));
+  const double s50 = pricer.spread_bps(option(5.0, 4.0, 0.5));
+  EXPECT_NEAR(s50 / s0, 0.5, 1e-9);  // protection scales by (1-R), legs don't
+}
+
+TEST(Pricer, FlatCurvesSpreadNearlyTenorIndependent) {
+  // With flat hazard and flat rates, par spreads are almost flat across
+  // maturities (small accrual/discounting second-order effects).
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(0.03));
+  const double s2 = pricer.spread_bps(option(2.0));
+  const double s10 = pricer.spread_bps(option(10.0));
+  EXPECT_NEAR(s2, s10, 0.02 * s2);
+}
+
+TEST(Pricer, HigherRatesLowerBothLegs) {
+  const auto hazard = flat_curve(0.03);
+  const ReferencePricer low(flat_curve(0.01), hazard);
+  const ReferencePricer high(flat_curve(0.10), hazard);
+  const auto bl = low.breakdown(option());
+  const auto bh = high.breakdown(option());
+  EXPECT_LT(bh.premium_leg, bl.premium_leg);
+  EXPECT_LT(bh.protection_leg, bl.protection_leg);
+}
+
+TEST(Pricer, PortfolioPreservesOrderAndIds) {
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(0.03));
+  std::vector<CdsOption> book;
+  for (int i = 0; i < 5; ++i) {
+    auto o = option(1.0 + i);
+    o.id = 100 - i;
+    book.push_back(o);
+  }
+  const auto results = pricer.price(book);
+  ASSERT_EQ(results.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].id, 100 - i);
+  }
+}
+
+TEST(Pricer, CombineSpreadRejectsNonPositiveAnnuity) {
+  EXPECT_THROW(combine_spread_bps(0.0, 0.0, 1.0, 0.4), Error);
+  EXPECT_THROW(combine_spread_bps(-1.0, 0.5, 1.0, 0.4), Error);
+}
+
+TEST(Pricer, OptionValidation) {
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(0.03));
+  CdsOption bad = option();
+  bad.maturity_years = -1.0;
+  EXPECT_THROW(pricer.spread_bps(bad), Error);
+  bad = option();
+  bad.recovery_rate = 1.5;
+  EXPECT_THROW(pricer.spread_bps(bad), Error);
+}
+
+TEST(Pricer, NegativeInterestRatesPriceCleanly) {
+  // Negative-rate regimes (EUR 2015-2022) are routine inputs: discount
+  // factors exceed 1 but the model stays well-defined.
+  std::vector<double> times, values;
+  for (int i = 1; i <= 64; ++i) {
+    times.push_back(0.5 * i);
+    values.push_back(-0.005);  // -50 bps everywhere
+  }
+  const TermStructure negative(times, values);
+  const ReferencePricer pricer(negative, flat_curve(0.03));
+  const double spread = pricer.spread_bps(option());
+  EXPECT_GT(spread, 0.0);
+  EXPECT_TRUE(std::isfinite(spread));
+  EXPECT_GT(discount_factor(negative, 5.0), 1.0);
+}
+
+TEST(Pricer, VeryHighHazardStillBounded) {
+  // 80% annual hazard: survival collapses fast, spread approaches the cap
+  // (1-R) * h at the credit triangle but must remain finite/positive.
+  const ReferencePricer pricer(flat_curve(0.02), flat_curve(0.8));
+  const double spread = pricer.spread_bps(option(5.0, 4.0, 0.4));
+  EXPECT_GT(spread, 1000.0);
+  EXPECT_TRUE(std::isfinite(spread));
+}
+
+TEST(Pricer, ToStringMentionsFields) {
+  const std::string s = to_string(option());
+  EXPECT_NE(s.find("id=7"), std::string::npos);
+  EXPECT_NE(s.find("maturity=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdsflow::cds

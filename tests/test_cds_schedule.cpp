@@ -1,0 +1,104 @@
+/// \file test_cds_schedule.cpp
+/// Unit tests for payment schedule generation: counts, stub periods,
+/// edge maturities, validation.
+
+#include <gtest/gtest.h>
+
+#include "cds/schedule.hpp"
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+namespace {
+
+CdsOption option(double maturity, double freq) {
+  return {.id = 0,
+          .maturity_years = maturity,
+          .payment_frequency = freq,
+          .recovery_rate = 0.4};
+}
+
+TEST(Schedule, QuarterlyFiveYears) {
+  const auto s = make_schedule(option(5.0, 4.0));
+  ASSERT_EQ(s.size(), 20u);
+  EXPECT_DOUBLE_EQ(s.front().t, 0.25);
+  EXPECT_DOUBLE_EQ(s.front().dt, 0.25);
+  EXPECT_DOUBLE_EQ(s.back().t, 5.0);
+  EXPECT_DOUBLE_EQ(s.back().dt, 0.25);
+}
+
+TEST(Schedule, SizeHelperMatchesMaterialisedSchedule) {
+  for (const double m : {0.1, 0.25, 1.0, 3.7, 5.0, 9.99}) {
+    for (const double f : {1.0, 2.0, 4.0, 12.0}) {
+      EXPECT_EQ(schedule_size(option(m, f)), make_schedule(option(m, f)).size())
+          << "m=" << m << " f=" << f;
+    }
+  }
+}
+
+TEST(Schedule, ShortFinalStub) {
+  // 1.1 years quarterly: 0.25, 0.5, 0.75, 1.0, then a 0.1y stub.
+  const auto s = make_schedule(option(1.1, 4.0));
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.back().t, 1.1);
+  EXPECT_NEAR(s.back().dt, 0.1, 1e-12);
+}
+
+TEST(Schedule, MaturityExactlyOnPaymentDateNoEmptyStub) {
+  const auto s = make_schedule(option(2.0, 4.0));
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_DOUBLE_EQ(s.back().t, 2.0);
+}
+
+TEST(Schedule, SubPeriodMaturityGivesSinglePoint) {
+  // 0.1 years with annual payments: one point at maturity.
+  const auto s = make_schedule(option(0.1, 1.0));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.front().t, 0.1);
+  EXPECT_DOUBLE_EQ(s.front().dt, 0.1);
+}
+
+TEST(Schedule, PointsAreStrictlyIncreasingAndContiguous) {
+  const auto s = make_schedule(option(7.3, 12.0));
+  double prev = 0.0;
+  double total = 0.0;
+  for (const auto& tp : s) {
+    EXPECT_GT(tp.t, prev);
+    EXPECT_NEAR(tp.dt, tp.t - prev, 1e-12);
+    prev = tp.t;
+    total += tp.dt;
+  }
+  EXPECT_NEAR(total, 7.3, 1e-9);  // periods tile [0, maturity]
+}
+
+TEST(Schedule, MonthlyCountsScaleWithFrequency) {
+  EXPECT_EQ(schedule_size(option(1.0, 12.0)), 12u);
+  EXPECT_EQ(schedule_size(option(1.0, 2.0)), 2u);
+  EXPECT_EQ(schedule_size(option(1.0, 1.0)), 1u);
+}
+
+TEST(Schedule, FloatingPointMaturityNearPaymentDate) {
+  // 4.999999999 * 4 = 19.999..., must not create a 20th + empty 21st point.
+  const auto s = make_schedule(option(5.0 - 1e-11, 4.0));
+  EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(Schedule, RejectsInvalidOptions) {
+  EXPECT_THROW(make_schedule(option(0.0, 4.0)), Error);
+  EXPECT_THROW(make_schedule(option(-1.0, 4.0)), Error);
+  EXPECT_THROW(make_schedule(option(5.0, 0.0)), Error);
+  CdsOption bad = option(5.0, 4.0);
+  bad.recovery_rate = 1.0;
+  EXPECT_THROW(make_schedule(bad), Error);
+}
+
+TEST(Schedule, NonIntegerFrequency) {
+  // 2.5 payments/year over 2 years: periods of 0.4y -> points at
+  // 0.4, 0.8, 1.2, 1.6, 2.0.
+  const auto s = make_schedule(option(2.0, 2.5));
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_NEAR(s[0].t, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(s.back().t, 2.0);
+}
+
+}  // namespace
+}  // namespace cdsflow::cds

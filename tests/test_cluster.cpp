@@ -1,0 +1,98 @@
+/// \file test_cluster.cpp
+/// Unit tests for cluster-level (multi-card) scaling.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cds/pricer.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "engines/cluster.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow::engine {
+namespace {
+
+struct ClusterFixture : ::testing::Test {
+  workload::Scenario scenario = workload::paper_scenario(120, 11);
+
+  ClusterConfig config(unsigned cards, unsigned engines_per_card = 2) {
+    ClusterConfig cfg;
+    cfg.n_cards = cards;
+    cfg.per_card.n_engines = engines_per_card;
+    return cfg;
+  }
+};
+
+TEST_F(ClusterFixture, MatchesGoldenModel) {
+  ClusterEngine engine(scenario.interest, scenario.hazard, config(3));
+  const auto run = engine.price(scenario.options);
+  const cds::ReferencePricer golden(scenario.interest, scenario.hazard);
+  ASSERT_EQ(run.results.size(), scenario.options.size());
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    EXPECT_LT(relative_difference(run.results[i].spread_bps,
+                                  golden.spread_bps(scenario.options[i])),
+              1e-9);
+  }
+}
+
+TEST_F(ClusterFixture, CoversEveryOptionExactlyOnce) {
+  ClusterEngine engine(scenario.interest, scenario.hazard, config(4));
+  const auto run = engine.price(scenario.options);
+  std::set<std::int32_t> ids;
+  for (const auto& r : run.results) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), scenario.options.size());
+}
+
+TEST_F(ClusterFixture, CardsScaleNearLinearly) {
+  // A book large enough to amortise per-chunk pipeline fills (small books
+  // under-utilise 4 cards x 2 engines).
+  const auto big = workload::paper_scenario(320, 12);
+  ClusterEngine one(big.interest, big.hazard, config(1));
+  ClusterEngine four(big.interest, big.hazard, config(4));
+  const auto r1 = one.price(big.options);
+  const auto r4 = four.price(big.options);
+  const double speedup = r1.total_seconds / r4.total_seconds;
+  EXPECT_GT(speedup, 2.8);  // 4 cards minus fan-out + chunk imbalance
+  EXPECT_LT(speedup, 4.0);  // but never super-linear
+}
+
+TEST_F(ClusterFixture, FanoutCostChargedPerExtraCard) {
+  ClusterConfig cheap = config(3);
+  cheap.host_fanout_s_per_extra_card = 0.0;
+  ClusterConfig costly = config(3);
+  costly.host_fanout_s_per_extra_card = 1.0e-3;
+  ClusterEngine a(scenario.interest, scenario.hazard, cheap);
+  ClusterEngine b(scenario.interest, scenario.hazard, costly);
+  const auto ra = a.price(scenario.options);
+  const auto rb = b.price(scenario.options);
+  EXPECT_NEAR(rb.total_seconds - ra.total_seconds, 2.0e-3, 1e-4);
+}
+
+TEST_F(ClusterFixture, NameAndDescription) {
+  ClusterEngine engine(scenario.interest, scenario.hazard, config(2, 5));
+  EXPECT_EQ(engine.name(), "cluster-2x5");
+  EXPECT_EQ(engine.total_engines(), 10u);
+  EXPECT_NE(engine.description().find("2 card(s)"), std::string::npos);
+}
+
+TEST_F(ClusterFixture, EnforcesPerCardDeviceFit) {
+  ClusterConfig cfg = config(2, 6);  // 6 engines per card: does not fit
+  cfg.per_card.device = fpga::alveo_u280();
+  EXPECT_THROW(ClusterEngine(scenario.interest, scenario.hazard, cfg),
+               Error);
+}
+
+TEST_F(ClusterFixture, ValidationErrors) {
+  EXPECT_THROW(ClusterEngine(scenario.interest, scenario.hazard, config(0)),
+               Error);
+  ClusterEngine engine(scenario.interest, scenario.hazard, config(8, 5));
+  // 120 options across 40 engines is fine; 16 options is not.
+  std::vector<cds::CdsOption> tiny(scenario.options.begin(),
+                                   scenario.options.begin() + 16);
+  EXPECT_THROW(engine.price(tiny), Error);
+}
+
+}  // namespace
+}  // namespace cdsflow::engine

@@ -1,0 +1,249 @@
+/// \file test_common.cpp
+/// Unit tests for the common module: error macros, deterministic RNG,
+/// running statistics, histogram, and formatting helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace cdsflow {
+namespace {
+
+// --- error ------------------------------------------------------------------
+
+TEST(Error, ExpectPassesOnTrue) {
+  EXPECT_NO_THROW(CDSFLOW_EXPECT(1 + 1 == 2, "math works"));
+}
+
+TEST(Error, ExpectThrowsWithContext) {
+  try {
+    CDSFLOW_EXPECT(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsAsInternal) {
+  try {
+    CDSFLOW_ASSERT(false, "bug");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("internal invariant"),
+              std::string::npos);
+  }
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform01());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 9.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) {
+    counts[rng.weighted_index({1.0, 2.0, 1.0})]++;
+  }
+  EXPECT_NEAR(counts[1] / 30000.0, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({}), Error);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.weighted_index({-1.0, 2.0}), Error);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+  // Same salt => same stream.
+  Rng c = parent.split(1);
+  Rng d = parent.split(1);
+  EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(4, 8.0);
+  h.add(0.1);   // bucket 0
+  h.add(3.0);   // bucket 1
+  h.add(7.9);   // bucket 3
+  h.add(100.0); // clamped to bucket 3
+  h.add(-5.0);  // clamped to bucket 0
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.4);
+}
+
+TEST(Histogram, RejectsInvalidConfig) {
+  EXPECT_THROW(Histogram(0, 1.0), Error);
+  EXPECT_THROW(Histogram(4, 0.0), Error);
+}
+
+TEST(Stats, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(relative_difference(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_difference(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+// --- format ---------------------------------------------------------------------
+
+TEST(Format, WithThousands) {
+  EXPECT_EQ(with_thousands(1234567.891, 2), "1,234,567.89");
+  EXPECT_EQ(with_thousands(-1234.5, 1), "-1,234.5");
+  EXPECT_EQ(with_thousands(999.0, 0), "999");
+  EXPECT_EQ(with_thousands(1000.0, 0), "1,000");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-1.0, 0), "-1");
+}
+
+TEST(Format, DurationScales) {
+  EXPECT_EQ(format_duration_ns(12.0), "12.00 ns");
+  EXPECT_EQ(format_duration_ns(1500.0), "1.50 us");
+  EXPECT_EQ(format_duration_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(format_duration_ns(3.2e9), "3.20 s");
+}
+
+TEST(Format, PercentDelta) {
+  EXPECT_EQ(format_percent_delta(110.0, 100.0), "+10.0%");
+  EXPECT_EQ(format_percent_delta(90.0, 100.0), "-10.0%");
+  EXPECT_EQ(format_percent_delta(1.0, 0.0), "n/a");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 3), "abcde");  // no truncation
+}
+
+TEST(Format, FormatCyclesIncludesDuration) {
+  const std::string s = format_cycles(300, 300.0e6);
+  EXPECT_NE(s.find("300 cycles"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdsflow

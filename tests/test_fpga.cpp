@@ -1,0 +1,216 @@
+/// \file test_fpga.cpp
+/// Unit tests for the fpga module: device specs, resource estimation (the
+/// five-engine packing limit), power models, interconnect costs, and the
+/// calibrated HLS cost model's provenance-critical relationships.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fpga/device.hpp"
+#include "fpga/hls_cost_model.hpp"
+#include "fpga/interconnect.hpp"
+#include "fpga/power.hpp"
+#include "fpga/resource.hpp"
+
+namespace cdsflow::fpga {
+namespace {
+
+// --- device -----------------------------------------------------------------
+
+TEST(Device, U280MatchesPaperNumbers) {
+  const auto d = alveo_u280();
+  EXPECT_EQ(d.luts, 1'304'000u);                      // "1.3 million LUTs"
+  EXPECT_EQ(d.bram_bytes, 4'718'592u);                // 4.5 MB BRAM
+  EXPECT_EQ(d.uram_bytes, 30u * 1024 * 1024);         // 30 MB URAM
+  EXPECT_EQ(d.dsp_slices, 9024u);                     // 9024 DSP slices
+  EXPECT_EQ(d.hbm_bytes, 8ull * 1024 * 1024 * 1024);  // 8 GB HBM2
+  EXPECT_EQ(d.dram_bytes, 32ull * 1024 * 1024 * 1024);
+}
+
+TEST(Device, UramBlockCount) {
+  const auto d = alveo_u280();
+  // 30 MiB / 36 KiB per URAM288 block.
+  EXPECT_EQ(d.uram_blocks(), 853u);
+}
+
+TEST(Device, ClockConversions) {
+  ClockConfig clock;  // 300 MHz
+  EXPECT_DOUBLE_EQ(clock.cycles_to_seconds(300'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(clock.seconds_to_cycles(2.0), 600.0e6);
+}
+
+// --- resource estimation ------------------------------------------------------
+
+TEST(Resource, UsageArithmetic) {
+  ResourceUsage a{.luts = 10, .flip_flops = 20, .dsp_slices = 3};
+  ResourceUsage b{.luts = 1, .flip_flops = 2, .dsp_slices = 30};
+  const auto c = a + b;
+  EXPECT_EQ(c.luts, 11u);
+  EXPECT_EQ(c.dsp_slices, 33u);
+  const auto d = a.scaled(4);
+  EXPECT_EQ(d.luts, 40u);
+  EXPECT_EQ(d.flip_flops, 80u);
+}
+
+TEST(Resource, PaperConfigFitsFiveEnginesNotSix) {
+  const ResourceEstimator estimator(alveo_u280());
+  EngineShape paper_shape;  // defaults: 6+6 lanes, 7 acc lanes, 1024 points
+  paper_shape.hazard_lanes = 6;
+  paper_shape.interpolation_lanes = 6;
+  EXPECT_TRUE(estimator.fits(paper_shape, 5));
+  EXPECT_FALSE(estimator.fits(paper_shape, 6));
+  EXPECT_EQ(estimator.max_engines(paper_shape), 5u);
+}
+
+TEST(Resource, MoreLanesCostMore) {
+  const ResourceEstimator estimator(alveo_u280());
+  EngineShape narrow, wide;
+  narrow.hazard_lanes = narrow.interpolation_lanes = 1;
+  wide.hazard_lanes = wide.interpolation_lanes = 8;
+  const auto n = estimator.estimate_engine(narrow).total;
+  const auto w = estimator.estimate_engine(wide).total;
+  EXPECT_LT(n.luts, w.luts);
+  EXPECT_LT(n.dsp_slices, w.dsp_slices);
+  EXPECT_LT(n.uram_blocks, w.uram_blocks);
+  // And the narrow engine packs more instances.
+  EXPECT_GT(estimator.max_engines(narrow), estimator.max_engines(wide));
+}
+
+TEST(Resource, BaselineShapeIsSmallerThanVectorised) {
+  const ResourceEstimator estimator(alveo_u280());
+  EngineShape baseline;
+  baseline.hazard_lanes = 1;
+  baseline.interpolation_lanes = 1;
+  baseline.accumulation_lanes = 1;
+  baseline.dataflow_plumbing = false;
+  EngineShape vectorised;
+  vectorised.hazard_lanes = vectorised.interpolation_lanes = 6;
+  EXPECT_LT(estimator.estimate_engine(baseline).total.luts,
+            estimator.estimate_engine(vectorised).total.luts);
+}
+
+TEST(Resource, UramGrowsWithCurveSize) {
+  const ResourceEstimator estimator(alveo_u280());
+  EngineShape small, big;
+  small.curve_points = 1024;
+  big.curve_points = 16384;  // 16k points: 256 KiB per replica pair
+  EXPECT_LT(estimator.estimate_engine(small).total.uram_blocks,
+            estimator.estimate_engine(big).total.uram_blocks);
+}
+
+TEST(Resource, BreakdownSumsToTotal) {
+  const ResourceEstimator estimator(alveo_u280());
+  const auto est = estimator.estimate_engine(EngineShape{});
+  ResourceUsage sum;
+  for (const auto& [name, usage] : est.breakdown) sum += usage;
+  EXPECT_EQ(sum.luts, est.total.luts);
+  EXPECT_EQ(sum.dsp_slices, est.total.dsp_slices);
+  EXPECT_EQ(sum.uram_blocks, est.total.uram_blocks);
+}
+
+TEST(Resource, RejectsDegenerateShapes) {
+  const ResourceEstimator estimator(alveo_u280());
+  EngineShape bad;
+  bad.hazard_lanes = 0;
+  EXPECT_THROW(estimator.estimate_engine(bad), Error);
+  EXPECT_THROW(estimator.estimate_design(EngineShape{}, 0), Error);
+}
+
+TEST(Resource, UtilisationReportMentionsVerdict) {
+  const ResourceEstimator estimator(alveo_u280());
+  EngineShape paper_shape;
+  paper_shape.hazard_lanes = 6;
+  paper_shape.interpolation_lanes = 6;
+  const auto report = estimator.utilisation_report(paper_shape, 5);
+  EXPECT_NE(report.find("FITS"), std::string::npos);
+  EXPECT_NE(report.find("LUT"), std::string::npos);
+  const auto report6 = estimator.utilisation_report(paper_shape, 6);
+  EXPECT_NE(report6.find("DOES NOT FIT"), std::string::npos);
+}
+
+// --- power ------------------------------------------------------------------------
+
+TEST(Power, FpgaModelMatchesTableII) {
+  const FpgaPowerModel model;
+  // Paper: 35.86 / 35.79 / 37.38 W at 1/2/5 engines; affine fit within 0.5 W.
+  EXPECT_NEAR(model.watts(1), 35.86, 0.5);
+  EXPECT_NEAR(model.watts(2), 35.79, 0.5);
+  EXPECT_NEAR(model.watts(5), 37.38, 0.5);
+}
+
+TEST(Power, FpgaPowerNearlyFlatInEngines) {
+  const FpgaPowerModel model;
+  // Adding four engines costs < 10% more power (the paper's key point).
+  EXPECT_LT(model.watts(5) / model.watts(1), 1.10);
+}
+
+TEST(Power, CpuModelMatchesTableII) {
+  const CpuPowerModel model;
+  EXPECT_NEAR(model.watts(24), 175.39, 1.0);
+}
+
+TEST(Power, PaperPowerRatioReproduced) {
+  const FpgaPowerModel fpga;
+  const CpuPowerModel cpu;
+  // "the FPGA running with five engines draws around 4.7 times less power".
+  EXPECT_NEAR(cpu.watts(24) / fpga.watts(5), 4.7, 0.15);
+}
+
+TEST(Power, EfficiencyMetric) {
+  EXPECT_DOUBLE_EQ(power_efficiency(1000.0, 40.0), 25.0);
+  EXPECT_THROW(power_efficiency(1.0, 0.0), Error);
+}
+
+// --- interconnect --------------------------------------------------------------------
+
+TEST(Interconnect, TransferTimeScalesWithBytes) {
+  const Interconnect pcie;
+  const double small = pcie.transfer_seconds(1024);
+  const double large = pcie.transfer_seconds(1024 * 1024);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(pcie.transfer_seconds(0), 0.0);
+  // Latency floor dominates tiny transfers.
+  EXPECT_GT(small, 9.0e-6);
+}
+
+TEST(Interconnect, DispatchCostPerInvocation) {
+  const Interconnect pcie;
+  EXPECT_DOUBLE_EQ(pcie.dispatch_seconds(10),
+                   10 * pcie.config().kernel_dispatch_s);
+}
+
+TEST(Interconnect, ArbitrationOnlyWithMultipleEngines) {
+  const Interconnect pcie;
+  EXPECT_EQ(pcie.arbitration_seconds(1000, 1), 0.0);
+  const double two = pcie.arbitration_seconds(1000, 2);
+  const double five = pcie.arbitration_seconds(1000, 5);
+  EXPECT_GT(two, 0.0);
+  EXPECT_DOUBLE_EQ(five, 4.0 * two);
+}
+
+// --- cost model provenance ------------------------------------------------------------
+
+TEST(CostModel, RestartGapMatchesTableIDerivation) {
+  const auto& cost = default_cost_model();
+  // The calibration: 1/7368.42 - 1/13298.70 seconds/option at 300 MHz.
+  const double gap_s = 1.0 / 7368.42 - 1.0 / 13298.70;
+  const double gap_cycles = gap_s * cost.kernel_clock_hz;
+  EXPECT_NEAR(static_cast<double>(cost.region_restart_cycles), gap_cycles,
+              0.02 * gap_cycles);
+}
+
+TEST(CostModel, Listing1CoversAddLatency) {
+  const auto& cost = default_cost_model();
+  // The number of partial sums must cover the add latency, or the carried
+  // dependency re-appears (this is the entire premise of Listing 1).
+  EXPECT_GE(cost.listing1_lanes, cost.dadd_latency);
+  EXPECT_EQ(cost.baseline_accumulation_ii, cost.dadd_latency);
+  EXPECT_EQ(cost.optimised_accumulation_ii, 1u);
+}
+
+TEST(CostModel, UramFeedIsDualPorted) {
+  EXPECT_DOUBLE_EQ(default_cost_model().uram_feed_elements_per_cycle, 2.0);
+}
+
+}  // namespace
+}  // namespace cdsflow::fpga

@@ -1,0 +1,115 @@
+/// \file test_hls_memory_dataflow.cpp
+/// Unit tests for the memory-port model and the region runner policies.
+
+#include <gtest/gtest.h>
+
+#include "hls/dataflow.hpp"
+#include "hls/memory.hpp"
+
+namespace cdsflow::hls {
+namespace {
+
+// --- MemoryPortModel -----------------------------------------------------------
+
+TEST(MemoryPortModel, BytesPerBeatFromWidth) {
+  MemoryPortModel port;  // 512-bit default
+  EXPECT_EQ(port.bytes_per_beat(), 64u);
+  MemoryPortModel narrow({.data_width_bits = 64});
+  EXPECT_EQ(narrow.bytes_per_beat(), 8u);
+}
+
+TEST(MemoryPortModel, TransferCyclesSingleBurst) {
+  MemoryPortModel port({.data_width_bits = 512,
+                        .burst_latency = 60,
+                        .max_burst_beats = 64});
+  // 1 KiB = 16 beats -> one burst: 60 + 16.
+  EXPECT_EQ(port.transfer_cycles(1024), 76u);
+  EXPECT_EQ(port.transfer_cycles(0), 0u);
+}
+
+TEST(MemoryPortModel, TransferCyclesMultiBurst) {
+  MemoryPortModel port({.data_width_bits = 512,
+                        .burst_latency = 60,
+                        .max_burst_beats = 64});
+  // 8 KiB = 128 beats -> two bursts: 2*60 + 128.
+  EXPECT_EQ(port.transfer_cycles(8192), 248u);
+}
+
+TEST(MemoryPortModel, PartialBeatRoundsUp) {
+  MemoryPortModel port;
+  // 65 bytes needs 2 beats.
+  EXPECT_EQ(port.transfer_cycles(65) - port.transfer_cycles(64), 1u);
+}
+
+TEST(MemoryPortModel, PacingCycles) {
+  MemoryPortModel port;
+  EXPECT_EQ(port.pacing_cycles(24), 1u);    // sub-beat token
+  EXPECT_EQ(port.pacing_cycles(64), 1u);
+  EXPECT_EQ(port.pacing_cycles(65), 2u);
+  EXPECT_EQ(port.pacing_cycles(0), 1u);     // still one cycle minimum
+}
+
+TEST(MemoryPortModel, RejectsInvalidConfig) {
+  EXPECT_THROW(MemoryPortModel({.data_width_bits = 0}), Error);
+  EXPECT_THROW(MemoryPortModel({.data_width_bits = 12}), Error);
+  EXPECT_THROW(MemoryPortModel({.data_width_bits = 512,
+                                .burst_latency = 1,
+                                .max_burst_beats = 0}),
+               Error);
+}
+
+// --- RegionRunner -----------------------------------------------------------------
+
+TEST(RegionRunner, FreeRunningInvokesOnce) {
+  RegionRunner runner(ExecutionPolicy::kFreeRunning,
+                      {.restart_cycles = 1000, .initial_start_cycles = 50});
+  int calls = 0;
+  const auto r = runner.run(1, [&](std::uint64_t) {
+    ++calls;
+    return sim::Cycle{400};
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(r.invocations, 1u);
+  EXPECT_EQ(r.total_cycles, 450u);  // initial start + body, no restarts
+}
+
+TEST(RegionRunner, FreeRunningRejectsMultipleItems) {
+  RegionRunner runner(ExecutionPolicy::kFreeRunning, {});
+  EXPECT_THROW(runner.run(3, [](std::uint64_t) { return sim::Cycle{1}; }),
+               Error);
+}
+
+TEST(RegionRunner, RestartPerOptionChargesRestarts) {
+  RegionRunner runner(ExecutionPolicy::kRestartPerOption,
+                      {.restart_cycles = 100, .initial_start_cycles = 10});
+  const auto r = runner.run(4, [](std::uint64_t i) {
+    return sim::Cycle{1000 + i};  // slightly different spans
+  });
+  EXPECT_EQ(r.invocations, 4u);
+  // 10 + (1000+1001+1002+1003) + 3*100.
+  EXPECT_EQ(r.total_cycles, 10u + 4006u + 300u);
+}
+
+TEST(RegionRunner, SequentialLoopsSameAccountingAsRestart) {
+  const RegionOverheads oh{.restart_cycles = 7, .initial_start_cycles = 3};
+  RegionRunner a(ExecutionPolicy::kRestartPerOption, oh);
+  RegionRunner b(ExecutionPolicy::kSequentialLoops, oh);
+  auto body = [](std::uint64_t) { return sim::Cycle{50}; };
+  EXPECT_EQ(a.run(5, body).total_cycles, b.run(5, body).total_cycles);
+}
+
+TEST(RegionRunner, PolicyNames) {
+  EXPECT_STREQ(to_string(ExecutionPolicy::kSequentialLoops),
+               "sequential-loops");
+  EXPECT_STREQ(to_string(ExecutionPolicy::kRestartPerOption),
+               "restart-per-option");
+  EXPECT_STREQ(to_string(ExecutionPolicy::kFreeRunning), "free-running");
+}
+
+TEST(RegionRunner, RequiresBuilder) {
+  RegionRunner runner(ExecutionPolicy::kFreeRunning, {});
+  EXPECT_THROW(runner.run(1, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace cdsflow::hls

@@ -1,0 +1,183 @@
+/// \file test_hls_replicate.cpp
+/// Unit tests for the round-robin replication pool (paper Fig. 3):
+/// ordering preservation, lane balance, feed-rate limiting, and throughput
+/// saturation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hls/replicate.hpp"
+#include "hls/stream.hpp"
+#include "sim/simulation.hpp"
+
+namespace cdsflow::hls {
+namespace {
+
+using sim::Simulation;
+
+std::vector<int> iota_tokens(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+struct PoolFixture {
+  Simulation sim;
+  sim::Channel<int>* in = nullptr;
+  sim::Channel<int>* out = nullptr;
+  ReplicatedPoolHandles<int, int> handles;
+  SinkStage<int>* sink = nullptr;
+
+  /// Pool where each token costs `work` lane cycles and `feed` elements.
+  void build(int n_tokens, std::size_t lanes, double feed_rate,
+             sim::Cycle work, double feed_elems) {
+    in = &make_stream<int>(sim, "in", 8);
+    out = &make_stream<int>(sim, "out", 8);
+    sim.add_process<SourceStage<int>>("src", *in, iota_tokens(n_tokens),
+                                      StageTiming{.latency = 1, .ii = 1});
+    ReplicationConfig cfg;
+    cfg.lanes = lanes;
+    cfg.feed_elements_per_cycle = feed_rate;
+    handles = make_replicated_pool<int, int>(
+        sim, "pool", *in, *out, cfg,
+        [](std::size_t lane) {
+          return std::function<int(const int&)>(
+              [lane](const int& v) { return v * 10 + static_cast<int>(lane % 10); });
+        },
+        [work](const int&) { return work; },
+        [feed_elems](const int&) { return feed_elems; },
+        StageTiming{.latency = 2, .ii = 1}, static_cast<std::uint64_t>(n_tokens));
+    sink = &sim.add_process<SinkStage<int>>(
+        "sink", *out, static_cast<std::uint64_t>(n_tokens),
+        StageTiming{.latency = 1, .ii = 1});
+  }
+};
+
+TEST(ReplicatedPool, PreservesTokenOrder) {
+  PoolFixture f;
+  f.build(24, 4, 100.0, 17, 1.0);
+  f.sim.run();
+  const auto& results = f.sink->collected();
+  ASSERT_EQ(results.size(), 24u);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)] / 10, i)
+        << "out-of-order result at " << i;
+  }
+}
+
+TEST(ReplicatedPool, RoundRobinAssignsLanesCyclically) {
+  PoolFixture f;
+  f.build(12, 3, 100.0, 5, 1.0);
+  f.sim.run();
+  const auto& results = f.sink->collected();
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)] % 10, i % 3)
+        << "token " << i << " went to the wrong lane";
+  }
+}
+
+TEST(ReplicatedPool, LaneSharesAreBalanced) {
+  PoolFixture f;
+  f.build(14, 4, 100.0, 5, 1.0);  // 14 = 4*3 + 2: lanes get 4,4,3,3
+  f.sim.run();
+  EXPECT_EQ(f.handles.lanes[0]->processed_tokens(), 4u);
+  EXPECT_EQ(f.handles.lanes[1]->processed_tokens(), 4u);
+  EXPECT_EQ(f.handles.lanes[2]->processed_tokens(), 3u);
+  EXPECT_EQ(f.handles.lanes[3]->processed_tokens(), 3u);
+}
+
+TEST(ReplicatedPool, ComputeBoundWhenFeedIsFast) {
+  // 1 lane, work=50/token: throughput ~ 50 cycles/token.
+  PoolFixture f;
+  f.build(10, 1, 1000.0, 50, 1.0);
+  const auto r = f.sim.run();
+  EXPECT_GE(r.end_cycle, 450u);
+  EXPECT_LE(r.end_cycle, 520u);
+}
+
+TEST(ReplicatedPool, ParallelLanesDivideComputeTime) {
+  PoolFixture one, five;
+  one.build(20, 1, 1000.0, 50, 1.0);
+  five.build(20, 5, 1000.0, 50, 1.0);
+  const auto r1 = one.sim.run();
+  const auto r5 = five.sim.run();
+  const double speedup = static_cast<double>(r1.end_cycle) /
+                         static_cast<double>(r5.end_cycle);
+  EXPECT_GT(speedup, 3.5);  // ~5x minus fill/drain
+}
+
+TEST(ReplicatedPool, FeedRateCapsThroughput) {
+  // Each token needs 100 elements at 2 elements/cycle => the distributor
+  // alone takes 50 cycles/token no matter how many lanes exist.
+  PoolFixture f;
+  f.build(10, 8, 2.0, 60, 100.0);
+  const auto r = f.sim.run();
+  EXPECT_GE(r.end_cycle, 450u);  // >= 10 tokens * 50 cycles of feed
+  // The distributor is the busy process.
+  EXPECT_GE(f.handles.distributor->busy_cycles(), 500u);
+}
+
+TEST(ReplicatedPool, SaturationMatchesMinOfFeedAndCompute) {
+  // work=100, feed=50 cycles/token: 1 lane -> compute-bound (~100/token),
+  // 2 lanes -> ~50+, >=3 lanes -> feed-bound (~50/token, flat).
+  std::vector<sim::Cycle> ends;
+  for (const std::size_t lanes : {1u, 2u, 3u, 6u}) {
+    PoolFixture f;
+    f.build(20, lanes, 2.0, 100, 100.0);
+    ends.push_back(f.sim.run().end_cycle);
+  }
+  EXPECT_GT(ends[0], ends[1]);                   // 2 lanes beat 1
+  const double plateau = static_cast<double>(ends[2]) /
+                         static_cast<double>(ends[3]);
+  EXPECT_NEAR(plateau, 1.0, 0.1);                // 3 vs 6 lanes: flat
+  EXPECT_NEAR(static_cast<double>(ends[0]) / static_cast<double>(ends[3]),
+              2.0, 0.3);                          // overall ~2x
+}
+
+TEST(ReplicatedPool, SingleLaneMatchesPlainMapThroughput) {
+  // A 1-lane pool should behave like a plain MapStage with the same work
+  // (plus negligible scheduler/collector overhead).
+  PoolFixture pool;
+  pool.build(16, 1, 1000.0, 30, 1.0);
+  const auto pool_end = pool.sim.run().end_cycle;
+
+  Simulation sim;
+  auto& in = make_stream<int>(sim, "in", 8);
+  auto& out = make_stream<int>(sim, "out", 8);
+  sim.add_process<SourceStage<int>>("src", in, iota_tokens(16),
+                                    StageTiming{.latency = 1, .ii = 1});
+  sim.add_process<MapStage<int, int>>(
+      "map", in, out, [](const int& v) { return v; },
+      StageTiming{.latency = 2, .ii = 1}, 16, nullptr,
+      [](const int&) { return sim::Cycle{30}; });
+  sim.add_process<SinkStage<int>>("sink", out, 16,
+                                  StageTiming{.latency = 1, .ii = 1});
+  const auto plain_end = sim.run().end_cycle;
+  EXPECT_NEAR(static_cast<double>(pool_end),
+              static_cast<double>(plain_end), 10.0);
+}
+
+TEST(ReplicatedPool, RejectsBadConfig) {
+  Simulation sim;
+  auto& in = make_stream<int>(sim, "in", 8);
+  auto& out = make_stream<int>(sim, "out", 8);
+  ReplicationConfig cfg;
+  cfg.lanes = 0;
+  auto make_kernel = [](std::size_t) {
+    return std::function<int(const int&)>([](const int& v) { return v; });
+  };
+  EXPECT_THROW(
+      (make_replicated_pool<int, int>(sim, "p", in, out, cfg, make_kernel,
+                                      nullptr, nullptr, StageTiming{}, 1)),
+      Error);
+  cfg.lanes = 2;
+  cfg.feed_elements_per_cycle = 0.0;
+  EXPECT_THROW(
+      (make_replicated_pool<int, int>(sim, "p", in, out, cfg, make_kernel,
+                                      nullptr, nullptr, StageTiming{}, 1)),
+      Error);
+}
+
+}  // namespace
+}  // namespace cdsflow::hls

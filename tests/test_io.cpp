@@ -1,0 +1,168 @@
+/// \file test_io.cpp
+/// Unit tests for CSV import/export: exact round trips, header/field/number
+/// validation with line diagnostics, and validation propagation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "io/csv.hpp"
+#include "workload/curves.hpp"
+#include "workload/options.hpp"
+
+namespace cdsflow::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temp-file helper: unique path, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) {
+    static int counter = 0;
+    path_ = (fs::temp_directory_path() /
+             ("cdsflow_test_" + stem + "_" + std::to_string(counter++) +
+              ".csv"))
+                .string();
+  }
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+  void write(const std::string& content) const {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(CsvCurve, RoundTripsExactly) {
+  const auto curve = workload::paper_interest_curve(128);
+  TempFile file("curve");
+  write_curve_csv(file.path(), curve);
+  const auto loaded = read_curve_csv(file.path());
+  ASSERT_EQ(loaded.size(), curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.time(i), curve.time(i));
+    EXPECT_DOUBLE_EQ(loaded.value(i), curve.value(i));
+  }
+}
+
+TEST(CsvCurve, RejectsWrongHeader) {
+  TempFile file("badheader");
+  file.write("years,rate\n1.0,0.02\n");
+  EXPECT_THROW(read_curve_csv(file.path()), Error);
+}
+
+TEST(CsvCurve, RejectsBadNumberWithLineDiagnostic) {
+  TempFile file("badnum");
+  file.write("time_years,rate\n1.0,0.02\nnot_a_number,0.03\n");
+  try {
+    read_curve_csv(file.path());
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(":3"), std::string::npos);
+  }
+}
+
+TEST(CsvCurve, RejectsWrongFieldCount) {
+  TempFile file("fields");
+  file.write("time_years,rate\n1.0,0.02,extra\n");
+  EXPECT_THROW(read_curve_csv(file.path()), Error);
+}
+
+TEST(CsvCurve, RejectsNonMonotoneCurveOnLoad) {
+  TempFile file("monotone");
+  file.write("time_years,rate\n2.0,0.02\n1.0,0.03\n");
+  EXPECT_THROW(read_curve_csv(file.path()), Error);
+}
+
+TEST(CsvCurve, MissingFile) {
+  EXPECT_THROW(read_curve_csv("/nonexistent/nowhere.csv"), Error);
+}
+
+TEST(CsvCurve, EmptyFileAndHeaderOnly) {
+  TempFile empty("empty");
+  empty.write("");
+  EXPECT_THROW(read_curve_csv(empty.path()), Error);
+  TempFile header_only("header");
+  header_only.write("time_years,rate\n");
+  EXPECT_THROW(read_curve_csv(header_only.path()), Error);  // no points
+}
+
+TEST(CsvPortfolio, RoundTripsExactly) {
+  workload::PortfolioSpec spec;
+  spec.count = 37;
+  spec.frequencies = {2.0, 4.0, 12.0};
+  spec.frequency_weights = {1.0, 2.0, 1.0};
+  const auto book = workload::make_portfolio(spec);
+  TempFile file("portfolio");
+  write_portfolio_csv(file.path(), book);
+  const auto loaded = read_portfolio_csv(file.path());
+  ASSERT_EQ(loaded.size(), book.size());
+  for (std::size_t i = 0; i < book.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, book[i].id);
+    EXPECT_DOUBLE_EQ(loaded[i].maturity_years, book[i].maturity_years);
+    EXPECT_DOUBLE_EQ(loaded[i].payment_frequency,
+                     book[i].payment_frequency);
+    EXPECT_DOUBLE_EQ(loaded[i].recovery_rate, book[i].recovery_rate);
+  }
+}
+
+TEST(CsvPortfolio, RejectsInvalidOption) {
+  TempFile file("badopt");
+  file.write(
+      "id,maturity_years,payment_frequency,recovery_rate\n"
+      "0,-5.0,4,0.4\n");
+  EXPECT_THROW(read_portfolio_csv(file.path()), Error);
+}
+
+TEST(CsvPortfolio, RejectsNonIntegerId) {
+  TempFile file("badid");
+  file.write(
+      "id,maturity_years,payment_frequency,recovery_rate\n"
+      "zero,5.0,4,0.4\n");
+  EXPECT_THROW(read_portfolio_csv(file.path()), Error);
+}
+
+TEST(CsvResults, RoundTrips) {
+  const std::vector<cds::SpreadResult> results = {
+      {0, 181.25}, {1, 203.5}, {7, 99.875}};
+  TempFile file("results");
+  write_results_csv(file.path(), results);
+  const auto loaded = read_results_csv(file.path());
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[2].id, 7);
+  EXPECT_DOUBLE_EQ(loaded[2].spread_bps, 99.875);
+}
+
+TEST(CsvQuotes, RoundTrips) {
+  const std::vector<cds::SpreadQuote> quotes = {{1.0, 110.0}, {5.0, 185.0}};
+  TempFile file("quotes");
+  write_quotes_csv(file.path(), quotes);
+  const auto loaded = read_quotes_csv(file.path());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[1].tenor_years, 5.0);
+  EXPECT_DOUBLE_EQ(loaded[1].spread_bps, 185.0);
+}
+
+TEST(CsvQuotes, SkipsBlankLines) {
+  TempFile file("blank");
+  file.write("tenor_years,spread_bps\n1.0,110\n\n5.0,185\n");
+  EXPECT_EQ(read_quotes_csv(file.path()).size(), 2u);
+}
+
+TEST(CsvWrite, UnwritablePathFails) {
+  EXPECT_THROW(write_results_csv("/nonexistent_dir/out.csv", {{0, 1.0}}),
+               Error);
+}
+
+}  // namespace
+}  // namespace cdsflow::io

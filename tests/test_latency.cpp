@@ -1,0 +1,110 @@
+/// \file test_latency.cpp
+/// Unit tests for end-to-end latency tracking (the AAT streaming extension):
+/// emission/arrival recording, per-option latency extraction, percentile
+/// stats, and the queueing behaviour under paced arrivals.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "engines/interoption_engine.hpp"
+#include "engines/vectorised_engine.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow::engine {
+namespace {
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.5);
+  EXPECT_THROW(percentile({}, 50.0), Error);
+  EXPECT_THROW(percentile(xs, 101.0), Error);
+}
+
+TEST(LatencyStats, ComputedFromCycles) {
+  const std::vector<sim::Cycle> latencies = {100, 200, 300, 400};
+  const auto stats = latency_stats(latencies);
+  EXPECT_DOUBLE_EQ(stats.mean, 250.0);
+  EXPECT_DOUBLE_EQ(stats.max, 400.0);
+  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+  EXPECT_THROW(latency_stats({}), Error);
+}
+
+TEST(Latency, FreeRunningEngineReportsPerOptionLatency) {
+  const auto scenario = workload::smoke_scenario(16, 5);
+  InterOptionEngine engine(scenario.interest, scenario.hazard, {});
+  engine.price(scenario.options);
+  const auto& latencies = engine.last_run().option_latency_cycles;
+  ASSERT_EQ(latencies.size(), scenario.options.size());
+  for (const auto l : latencies) EXPECT_GT(l, 0u);
+}
+
+TEST(Latency, VectorisedEngineReportsPerOptionLatency) {
+  const auto scenario = workload::smoke_scenario(16, 5);
+  VectorisedEngine engine(scenario.interest, scenario.hazard, {});
+  engine.price(scenario.options);
+  const auto& latencies = engine.last_run().option_latency_cycles;
+  ASSERT_EQ(latencies.size(), scenario.options.size());
+}
+
+TEST(Latency, QueueingGrowsAtFullRate) {
+  // Back-to-back arrivals saturate the bottleneck stage: later options wait
+  // behind earlier ones, so latency climbs through the batch. Sparse
+  // arrivals (pace slower than the bottleneck) keep every option near the
+  // isolated pipeline latency.
+  const auto scenario = workload::paper_scenario(24);
+
+  InterOptionEngine saturated(scenario.interest, scenario.hazard, {});
+  saturated.price(scenario.options);
+  const auto sat = latency_stats(saturated.last_run().option_latency_cycles);
+
+  FpgaEngineConfig paced_cfg;
+  paced_cfg.option_arrival_pace = [](const OptionToken& opt) {
+    // Slower than the worst-case option service time (~40 time points x
+    // ~1k cycles of interpolation scan).
+    return static_cast<sim::Cycle>(opt.n_points) * 1100 + 2000;
+  };
+  InterOptionEngine paced(scenario.interest, scenario.hazard, paced_cfg);
+  paced.price(scenario.options);
+  const auto idle = latency_stats(paced.last_run().option_latency_cycles);
+
+  EXPECT_GT(sat.p99, 5.0 * idle.p99);     // deep queueing at saturation
+  EXPECT_LT(idle.max, 1.2 * idle.p50 * 3);  // paced latencies stay tight
+}
+
+TEST(Latency, FirstOptionSeesPipelineLatencyOnly) {
+  const auto scenario = workload::paper_scenario(8);
+  InterOptionEngine engine(scenario.interest, scenario.hazard, {});
+  engine.price(scenario.options);
+  const auto& latencies = engine.last_run().option_latency_cycles;
+  // Option 0 never queues: its latency is the pure pipeline traversal,
+  // strictly below the batch's worst case.
+  EXPECT_LT(latencies.front(), latencies.back());
+}
+
+TEST(Latency, PacedArrivalsDoNotChangeResults) {
+  const auto scenario = workload::smoke_scenario(12, 9);
+  InterOptionEngine batch(scenario.interest, scenario.hazard, {});
+  const auto batch_run = batch.price(scenario.options);
+
+  FpgaEngineConfig cfg;
+  cfg.option_arrival_pace = [](const OptionToken&) {
+    return sim::Cycle{5000};
+  };
+  InterOptionEngine paced(scenario.interest, scenario.hazard, cfg);
+  const auto paced_run = paced.price(scenario.options);
+
+  ASSERT_EQ(batch_run.results.size(), paced_run.results.size());
+  for (std::size_t i = 0; i < batch_run.results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch_run.results[i].spread_bps,
+                     paced_run.results[i].spread_bps);
+  }
+  // Pacing slows the batch, of course.
+  EXPECT_GT(paced_run.kernel_cycles, batch_run.kernel_cycles);
+}
+
+}  // namespace
+}  // namespace cdsflow::engine

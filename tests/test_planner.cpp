@@ -1,0 +1,120 @@
+/// \file test_planner.cpp
+/// Unit tests for the deadline-aware batch planner.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "engines/planner.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow::engine {
+namespace {
+
+std::vector<BackendCandidate> synthetic_candidates() {
+  return {
+      {"cpu", 60.0, 10'000.0},       // slow, mid power
+      {"multi-1", 35.8, 26'000.0},   // fast-ish, low power
+      {"multi-5", 37.4, 100'000.0},  // fastest, low power
+      {"cpu-mt24", 175.0, 75'000.0}, // fast, high power
+  };
+}
+
+TEST(Planner, ProjectionsAreArithmeticallyConsistent) {
+  const BackendCandidate c{"x", 50.0, 1000.0};
+  EXPECT_DOUBLE_EQ(c.seconds_for(5000), 5.0);
+  EXPECT_DOUBLE_EQ(c.joules_for(5000), 250.0);
+}
+
+TEST(Planner, DeadlineSplitsCandidates) {
+  // 1M options in <= 15 s: only multi-5 (10 s) qualifies.
+  const auto entries =
+      plan_batch(synthetic_candidates(), {.n_options = 1'000'000,
+                                          .deadline_seconds = 15.0});
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_TRUE(entries.front().meets_deadline);
+  EXPECT_EQ(entries.front().candidate.engine_name, "multi-5");
+  EXPECT_FALSE(entries.back().meets_deadline);
+}
+
+TEST(Planner, RanksFeasibleByEnergy) {
+  // Generous deadline: everything qualifies; the FPGA back-ends win on
+  // energy (the paper's Table II conclusion).
+  const auto entries =
+      plan_batch(synthetic_candidates(), {.n_options = 1'000'000,
+                                          .deadline_seconds = 1e6});
+  ASSERT_TRUE(entries.front().meets_deadline);
+  EXPECT_EQ(entries.front().candidate.engine_name, "multi-5");
+  // Energy ordering is non-decreasing within the feasible prefix.
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].meets_deadline) {
+      EXPECT_GE(entries[i].projected_joules,
+                entries[i - 1].projected_joules);
+    }
+  }
+}
+
+TEST(Planner, InfeasibleEntriesSortedByTime) {
+  const auto entries = plan_batch(synthetic_candidates(),
+                                  {.n_options = 1'000'000'000,
+                                   .deadline_seconds = 1.0});
+  for (const auto& e : entries) EXPECT_FALSE(e.meets_deadline);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i].projected_seconds,
+              entries[i - 1].projected_seconds);
+  }
+  EXPECT_FALSE(best_plan(entries).has_value());
+}
+
+TEST(Planner, BestPlanPicksFeasibleFront) {
+  const auto entries =
+      plan_batch(synthetic_candidates(),
+                 {.n_options = 100'000, .deadline_seconds = 100.0});
+  const auto best = best_plan(entries);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_TRUE(best->meets_deadline);
+  EXPECT_EQ(best->candidate.engine_name, "multi-5");
+}
+
+TEST(Planner, ValidationErrors) {
+  EXPECT_THROW(plan_batch({}, {.n_options = 1, .deadline_seconds = 1.0}),
+               Error);
+  EXPECT_THROW(plan_batch(synthetic_candidates(),
+                          {.n_options = 0, .deadline_seconds = 1.0}),
+               Error);
+  EXPECT_THROW(plan_batch(synthetic_candidates(),
+                          {.n_options = 1, .deadline_seconds = 0.0}),
+               Error);
+  EXPECT_THROW(
+      plan_batch({{"broken", 10.0, 0.0}},
+                 {.n_options = 1, .deadline_seconds = 1.0}),
+      Error);
+}
+
+TEST(Planner, EnumerateMeasuresRealBackends) {
+  const auto scenario = workload::smoke_scenario(4);
+  PlannerConfig config;
+  config.probe_options = 16;
+  config.cpu_thread_counts = {1};
+  config.fpga_engine_counts = {1, 2};
+  const auto candidates =
+      enumerate_backends(scenario.interest, scenario.hazard, config);
+  ASSERT_EQ(candidates.size(), 3u);
+  for (const auto& c : candidates) {
+    EXPECT_GT(c.options_per_second, 0.0) << c.engine_name;
+    EXPECT_GT(c.watts, 0.0);
+  }
+  // multi-2 should out-run multi-1 on the same probe.
+  EXPECT_GT(candidates[2].options_per_second,
+            candidates[1].options_per_second);
+}
+
+TEST(Planner, EnumerateRejectsTinyProbe) {
+  const auto scenario = workload::smoke_scenario(4);
+  PlannerConfig config;
+  config.probe_options = 2;
+  EXPECT_THROW(
+      enumerate_backends(scenario.interest, scenario.hazard, config), Error);
+}
+
+}  // namespace
+}  // namespace cdsflow::engine

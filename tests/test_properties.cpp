@@ -1,0 +1,287 @@
+/// \file test_properties.cpp
+/// Property-based suites (parameterised gtest): invariants that must hold
+/// across randomised workloads, engine variants, and configuration sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "cds/hazard.hpp"
+#include "cds/pricer.hpp"
+#include "common/stats.hpp"
+#include "engines/interoption_engine.hpp"
+#include "engines/registry.hpp"
+#include "engines/vectorised_engine.hpp"
+#include "workload/curves.hpp"
+#include "workload/options.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: every engine agrees with the golden model on any workload.
+// Sweep: engine name x scenario seed.
+// ---------------------------------------------------------------------------
+
+using EngineSeedParam = std::tuple<std::string, std::uint64_t>;
+
+class EngineGoldenAgreement
+    : public ::testing::TestWithParam<EngineSeedParam> {};
+
+TEST_P(EngineGoldenAgreement, SpreadsMatchGolden) {
+  const auto& [name, seed] = GetParam();
+  const auto scenario = workload::smoke_scenario(10, seed);
+  const cds::ReferencePricer golden(scenario.interest, scenario.hazard);
+  auto engine = engine::make_engine(name, scenario.interest, scenario.hazard);
+  const auto run = engine->price(scenario.options);
+  ASSERT_EQ(run.results.size(), scenario.options.size());
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    EXPECT_LT(relative_difference(run.results[i].spread_bps,
+                                  golden.spread_bps(scenario.options[i])),
+              1e-9)
+        << name << " seed=" << seed << " option=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesManySeeds, EngineGoldenAgreement,
+    ::testing::Combine(
+        ::testing::Values("cpu", "xilinx-baseline", "dataflow",
+                          "dataflow-interoption", "vectorised", "multi-2"),
+        ::testing::Values(1u, 7u, 42u, 1234u, 987654u)),
+    [](const auto& info) {
+      auto name = std::get<0>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: lane count never changes results, only cycles.
+// ---------------------------------------------------------------------------
+
+class LaneInvariance : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LaneInvariance, ResultsIdenticalAcrossLaneCounts) {
+  const unsigned lanes = GetParam();
+  const auto scenario = workload::smoke_scenario(8, 55);
+
+  engine::FpgaEngineConfig reference_cfg;
+  reference_cfg.vector_lanes = 1;
+  engine::VectorisedEngine reference(scenario.interest, scenario.hazard,
+                                     reference_cfg);
+  const auto ref_run = reference.price(scenario.options);
+
+  engine::FpgaEngineConfig cfg;
+  cfg.vector_lanes = lanes;
+  engine::VectorisedEngine engine(scenario.interest, scenario.hazard, cfg);
+  const auto run = engine.price(scenario.options);
+
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    // Identical kernels in identical per-option order: bitwise equal.
+    EXPECT_DOUBLE_EQ(run.results[i].spread_bps,
+                     ref_run.results[i].spread_bps)
+        << "lanes=" << lanes;
+  }
+  // More lanes never slow the kernel down.
+  EXPECT_LE(run.kernel_cycles, ref_run.kernel_cycles + 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes1To8, LaneInvariance,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+// ---------------------------------------------------------------------------
+// Property: financial monotonicity across contract parameters.
+// Sweep: maturity x frequency.
+// ---------------------------------------------------------------------------
+
+using ContractParam = std::tuple<double, double>;
+
+class FinancialMonotonicity
+    : public ::testing::TestWithParam<ContractParam> {};
+
+TEST_P(FinancialMonotonicity, SpreadIncreasesWithHazardLevel) {
+  const auto& [maturity, frequency] = GetParam();
+  const auto interest = workload::paper_interest_curve(256);
+  double prev = 0.0;
+  for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
+    workload::CurveSpec spec;
+    spec.points = 256;
+    spec.base_rate = 0.02 * scale;
+    spec.shape = workload::CurveShape::kFlat;
+    spec.jitter = 0.0;
+    const cds::ReferencePricer pricer(interest, workload::make_curve(spec));
+    const double s = pricer.spread_bps({.id = 0,
+                                        .maturity_years = maturity,
+                                        .payment_frequency = frequency,
+                                        .recovery_rate = 0.4});
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST_P(FinancialMonotonicity, SpreadDecreasesWithRecovery) {
+  const auto& [maturity, frequency] = GetParam();
+  const cds::ReferencePricer pricer(workload::paper_interest_curve(256),
+                                    workload::paper_hazard_curve(256));
+  double prev = 1e12;
+  for (const double recovery : {0.0, 0.25, 0.5, 0.75}) {
+    const double s = pricer.spread_bps({.id = 0,
+                                        .maturity_years = maturity,
+                                        .payment_frequency = frequency,
+                                        .recovery_rate = recovery});
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST_P(FinancialMonotonicity, SurvivalProductDecomposition) {
+  // Q(t) must be multiplicative over disjoint intervals for a deterministic
+  // hazard: Q(t) = Q(s) * exp(-(Lambda(t)-Lambda(s))).
+  const auto& [maturity, frequency] = GetParam();
+  (void)frequency;
+  const auto hazard = workload::paper_hazard_curve(256);
+  const double s = maturity / 2.0;
+  const double qs = cds::survival_probability(hazard, s);
+  const double qt = cds::survival_probability(hazard, maturity);
+  const double lambda_gap = cds::integrated_hazard(hazard, maturity) -
+                            cds::integrated_hazard(hazard, s);
+  EXPECT_LT(relative_difference(qt, qs * std::exp(-lambda_gap)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MaturityFrequencyGrid, FinancialMonotonicity,
+    ::testing::Combine(::testing::Values(1.0, 3.0, 5.0, 10.0),
+                       ::testing::Values(1.0, 4.0, 12.0)));
+
+// ---------------------------------------------------------------------------
+// Property: the paper's Table I ordering holds for any workload -- each
+// optimisation generation is at least as fast as its predecessor in kernel
+// cycles.
+// ---------------------------------------------------------------------------
+
+class TableOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TableOrdering, GenerationsImproveMonotonically) {
+  const auto scenario = workload::smoke_scenario(12, GetParam());
+  auto cycles = [&](const char* name) {
+    auto engine =
+        engine::make_engine(name, scenario.interest, scenario.hazard);
+    return engine->price(scenario.options).kernel_cycles;
+  };
+  const auto baseline = cycles("xilinx-baseline");
+  const auto dataflow = cycles("dataflow");
+  const auto interoption = cycles("dataflow-interoption");
+  const auto vectorised = cycles("vectorised");
+  EXPECT_LT(dataflow, baseline);
+  EXPECT_LT(interoption, dataflow);
+  EXPECT_LT(vectorised, interoption);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableOrdering,
+                         ::testing::Values(3u, 19u, 202u, 5150u));
+
+// ---------------------------------------------------------------------------
+// Property: simulation determinism -- same seed, same engine => identical
+// cycle counts and bitwise-identical results.
+// ---------------------------------------------------------------------------
+
+class Determinism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Determinism, RepeatRunsAreBitwiseIdentical) {
+  const auto scenario = workload::smoke_scenario(10, 777);
+  auto engine_a =
+      engine::make_engine(GetParam(), scenario.interest, scenario.hazard);
+  auto engine_b =
+      engine::make_engine(GetParam(), scenario.interest, scenario.hazard);
+  const auto a = engine_a->price(scenario.options);
+  const auto b = engine_b->price(scenario.options);
+  EXPECT_EQ(a.kernel_cycles, b.kernel_cycles);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.results[i].spread_bps, b.results[i].spread_bps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FpgaEngines, Determinism,
+                         ::testing::Values("xilinx-baseline", "dataflow",
+                                           "dataflow-interoption",
+                                           "vectorised", "multi-3"),
+                         [](const auto& info) {
+                           auto name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Property: portfolio results are permutation-consistent -- pricing a
+// shuffled book yields the same spread per option id.
+// ---------------------------------------------------------------------------
+
+class PermutationConsistency : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(PermutationConsistency, ShuffledBookSameSpreads) {
+  auto scenario = workload::smoke_scenario(12, 31);
+  auto engine =
+      engine::make_engine(GetParam(), scenario.interest, scenario.hazard);
+  const auto original = engine->price(scenario.options);
+
+  auto shuffled = scenario.options;
+  std::rotate(shuffled.begin(), shuffled.begin() + 5, shuffled.end());
+  auto engine2 =
+      engine::make_engine(GetParam(), scenario.interest, scenario.hazard);
+  const auto rotated = engine2->price(shuffled);
+
+  for (const auto& r : rotated.results) {
+    const auto it = std::find_if(
+        original.results.begin(), original.results.end(),
+        [&](const cds::SpreadResult& o) { return o.id == r.id; });
+    ASSERT_NE(it, original.results.end());
+    EXPECT_DOUBLE_EQ(it->spread_bps, r.spread_bps) << "id=" << r.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, PermutationConsistency,
+                         ::testing::Values("dataflow-interoption",
+                                           "vectorised"),
+                         [](const auto& info) {
+                           auto name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Property: stream depth changes throughput accounting but never results.
+// ---------------------------------------------------------------------------
+
+class StreamDepthInvariance
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamDepthInvariance, ResultsUnaffectedByDepth) {
+  const auto scenario = workload::smoke_scenario(8, 91);
+  engine::FpgaEngineConfig cfg;
+  cfg.tp_stream_depth = GetParam();
+  engine::InterOptionEngine engine(scenario.interest, scenario.hazard, cfg);
+  const auto run = engine.price(scenario.options);
+  const cds::ReferencePricer golden(scenario.interest, scenario.hazard);
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    EXPECT_LT(relative_difference(run.results[i].spread_bps,
+                                  golden.spread_bps(scenario.options[i])),
+              1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, StreamDepthInvariance,
+                         ::testing::Values(1u, 2u, 3u, 8u, 32u));
+
+}  // namespace
+}  // namespace cdsflow

@@ -1,0 +1,225 @@
+/// \file test_properties2.cpp
+/// Second property-test wave: calibration round trips across curve regimes,
+/// precision behaviour across scenarios, extreme-contract robustness, and
+/// cross-module consistency sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cds/bootstrap.hpp"
+#include "cds/legs.hpp"
+#include "cds/precision.hpp"
+#include "cds/pricer.hpp"
+#include "cds/risk.hpp"
+#include "common/stats.hpp"
+#include "engines/registry.hpp"
+#include "workload/curves.hpp"
+#include "workload/options.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: bootstrap(price(curve)) == curve across rate regimes and
+// recovery assumptions.
+// ---------------------------------------------------------------------------
+
+using RegimeParam = std::tuple<workload::CurveShape, double>;
+
+class BootstrapRoundTrip : public ::testing::TestWithParam<RegimeParam> {};
+
+TEST_P(BootstrapRoundTrip, RecoversGeneratingCurve) {
+  const auto& [shape, recovery] = GetParam();
+  workload::CurveSpec interest_spec;
+  interest_spec.points = 128;
+  interest_spec.shape = shape;
+  interest_spec.seed = 5;
+  const auto interest = workload::make_curve(interest_spec);
+
+  const std::vector<double> tenors = {1.0, 3.0, 5.0, 10.0};
+  const std::vector<double> rates = {0.015, 0.028, 0.022, 0.04};
+  const cds::TermStructure truth(tenors, rates);
+
+  cds::BootstrapOptions options;
+  options.recovery_rate = recovery;
+  std::vector<cds::SpreadQuote> quotes;
+  for (const double tenor : tenors) {
+    const cds::CdsOption contract{.id = 0,
+                                  .maturity_years = tenor,
+                                  .payment_frequency = 4.0,
+                                  .recovery_rate = recovery};
+    quotes.push_back(
+        {tenor, cds::price_breakdown(interest, truth, contract).spread_bps});
+  }
+  const auto result = cds::bootstrap_hazard_curve(interest, quotes, options);
+  for (std::size_t i = 0; i < tenors.size(); ++i) {
+    EXPECT_NEAR(result.hazard.value(i), rates[i], 1e-6)
+        << "segment " << i << " shape " << workload::to_string(shape);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegimesAndRecoveries, BootstrapRoundTrip,
+    ::testing::Combine(::testing::Values(workload::CurveShape::kFlat,
+                                         workload::CurveShape::kUpwardSloping,
+                                         workload::CurveShape::kHumped,
+                                         workload::CurveShape::kStressed),
+                       ::testing::Values(0.2, 0.4, 0.6)));
+
+// ---------------------------------------------------------------------------
+// Property: fp32 pricing stays within a small fraction of a bp across
+// scenarios and frequencies.
+// ---------------------------------------------------------------------------
+
+class PrecisionAcrossScenarios
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrecisionAcrossScenarios, SingleStaysSubBp) {
+  const auto scenario = workload::paper_scenario(24, GetParam());
+  const auto report = cds::evaluate_precision(
+      scenario.interest, scenario.hazard, scenario.options,
+      cds::Precision::kSingle);
+  EXPECT_LT(report.max_abs_error_bps, 0.5) << "seed " << GetParam();
+}
+
+TEST_P(PrecisionAcrossScenarios, StressedRegimeStillSubBp) {
+  const auto scenario = workload::stressed_scenario(24, GetParam());
+  const auto report = cds::evaluate_precision(
+      scenario.interest, scenario.hazard, scenario.options,
+      cds::Precision::kSingle);
+  EXPECT_LT(report.max_abs_error_bps, 1.5) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrecisionAcrossScenarios,
+                         ::testing::Values(1u, 99u, 4242u));
+
+// ---------------------------------------------------------------------------
+// Property: engines survive extreme but valid contracts and still agree
+// with the golden model.
+// ---------------------------------------------------------------------------
+
+class ExtremeContracts : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExtremeContracts, EnginesAgreeOnEdgeBook) {
+  const auto base = workload::smoke_scenario(1, 1);
+  // Hand-built edge cases: tiny/huge maturities, odd frequencies, extreme
+  // recoveries.
+  std::vector<cds::CdsOption> book = {
+      {.id = 0, .maturity_years = 0.01, .payment_frequency = 4.0, .recovery_rate = 0.4},
+      {.id = 1, .maturity_years = 50.0, .payment_frequency = 1.0, .recovery_rate = 0.4},
+      {.id = 2, .maturity_years = 5.0, .payment_frequency = 0.5, .recovery_rate = 0.4},
+      {.id = 3, .maturity_years = 5.0, .payment_frequency = 52.0, .recovery_rate = 0.4},
+      {.id = 4, .maturity_years = 5.0, .payment_frequency = 4.0, .recovery_rate = 0.0},
+      {.id = 5, .maturity_years = 5.0, .payment_frequency = 4.0, .recovery_rate = 0.99},
+      {.id = 6, .maturity_years = 0.26, .payment_frequency = 4.0, .recovery_rate = 0.3},
+  };
+  const cds::ReferencePricer golden(base.interest, base.hazard);
+  auto engine = engine::make_engine(GetParam(), base.interest, base.hazard);
+  const auto run = engine->price(book);
+  ASSERT_EQ(run.results.size(), book.size());
+  for (std::size_t i = 0; i < book.size(); ++i) {
+    EXPECT_LT(relative_difference(run.results[i].spread_bps,
+                                  golden.spread_bps(book[i])),
+              1e-9)
+        << "option " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ExtremeContracts,
+                         ::testing::Values("cpu", "xilinx-baseline",
+                                           "dataflow-interoption",
+                                           "vectorised"),
+                         [](const auto& info) {
+                           auto name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Property: risk numbers are consistent with direct repricing across the
+// contract grid (first-order Taylor check).
+// ---------------------------------------------------------------------------
+
+class RiskConsistency
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RiskConsistency, Cs01PredictsSmallBumpRepricing) {
+  const auto& [maturity, recovery] = GetParam();
+  const auto interest = workload::paper_interest_curve(128);
+  const auto hazard = workload::paper_hazard_curve(128);
+  const cds::CdsOption option{.id = 0,
+                              .maturity_years = maturity,
+                              .payment_frequency = 4.0,
+                              .recovery_rate = recovery};
+  const auto s = cds::compute_sensitivities(interest, hazard, option);
+  // Reprice under a +2 bp parallel bump and compare with the linear
+  // prediction.
+  const double bump = 2e-4;
+  const double repriced =
+      cds::price_breakdown(interest, cds::parallel_bump(hazard, bump), option)
+          .spread_bps;
+  const double predicted = s.spread_bps + s.cs01 * (bump / 1e-4);
+  EXPECT_NEAR(repriced, predicted, 0.02 * std::fabs(s.cs01) + 1e-6)
+      << "maturity " << maturity << " recovery " << recovery;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ContractGrid, RiskConsistency,
+    ::testing::Combine(::testing::Values(1.0, 5.0, 10.0),
+                       ::testing::Values(0.0, 0.4, 0.7)));
+
+// ---------------------------------------------------------------------------
+// Property: paper-scenario throughput ordering is invariant to the book
+// composition (frequencies, maturity ranges).
+// ---------------------------------------------------------------------------
+
+struct BookShape {
+  double maturity_min;
+  double maturity_max;
+  double frequency;
+};
+
+class OrderingAcrossBooks : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderingAcrossBooks, GenerationsOrderedForAnyBookShape) {
+  static const BookShape shapes[] = {
+      {0.5, 2.0, 12.0},  // short-dated, monthly
+      {5.0, 10.0, 4.0},  // long-dated, quarterly
+      {1.0, 10.0, 1.0},  // annual premiums
+  };
+  const auto& shape = shapes[GetParam()];
+  workload::PortfolioSpec spec;
+  spec.count = 12;
+  spec.maturity_min_years = shape.maturity_min;
+  spec.maturity_max_years = shape.maturity_max;
+  spec.frequencies = {shape.frequency};
+  spec.frequency_weights = {1.0};
+  spec.seed = 1000 + static_cast<std::uint64_t>(GetParam());
+  const auto book = workload::make_portfolio(spec);
+  const auto interest = workload::paper_interest_curve();
+  const auto hazard = workload::paper_hazard_curve();
+
+  auto cycles = [&](const char* name) {
+    return engine::make_engine(name, interest, hazard)
+        ->price(book)
+        .kernel_cycles;
+  };
+  const auto baseline = cycles("xilinx-baseline");
+  const auto dataflow = cycles("dataflow");
+  const auto interoption = cycles("dataflow-interoption");
+  const auto vectorised = cycles("vectorised");
+  EXPECT_LT(dataflow, baseline);
+  EXPECT_LT(interoption, dataflow);
+  EXPECT_LT(vectorised, interoption);
+}
+
+INSTANTIATE_TEST_SUITE_P(BookShapes, OrderingAcrossBooks,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace cdsflow

@@ -1,0 +1,95 @@
+/// \file test_regression.cpp
+/// Pinned-value regression guards.
+///
+/// The simulator is deterministic and the pricing maths is pure, so exact
+/// values can be pinned: any unintended change to the numerics (summation
+/// order, interpolation, schedule generation) or to the calibrated cost
+/// model (II, latency, restart, feed constants) trips these tests. An
+/// *intentional* model change must update the pins -- that is the point:
+/// calibration drift should never be silent.
+///
+/// Pins generated from the paper scenario, seed 42, 8 options.
+
+#include <gtest/gtest.h>
+
+#include "cds/pricer.hpp"
+#include "engines/registry.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow {
+namespace {
+
+struct SpreadPin {
+  std::int32_t id;
+  double spread_bps;
+};
+
+// Golden-model spreads on the paper scenario (seed 42): full double
+// precision.
+constexpr SpreadPin kSpreadPins[] = {
+    {0, 164.14440123303959}, {1, 181.39907785955759},
+    {2, 175.39776036934504}, {3, 235.23422231758764},
+    {4, 185.5925698701331},  {5, 167.905059374232},
+    {6, 269.39375063855323}, {7, 176.8015312715969},
+};
+
+// Simulated kernel cycles for the same 8-option batch per engine
+// generation. These encode the calibrated cost model of DESIGN.md §5.
+struct CyclePin {
+  const char* engine;
+  sim::Cycle cycles;
+};
+constexpr CyclePin kCyclePins[] = {
+    {"xilinx-baseline", 806748},
+    {"dataflow", 344988},
+    {"dataflow-interoption", 217959},
+    {"vectorised", 109505},
+};
+
+workload::Scenario pinned_scenario() {
+  return workload::paper_scenario(8, 42);
+}
+
+TEST(Regression, GoldenSpreadsPinned) {
+  const auto scenario = pinned_scenario();
+  const cds::ReferencePricer golden(scenario.interest, scenario.hazard);
+  ASSERT_EQ(scenario.options.size(), std::size(kSpreadPins));
+  for (std::size_t i = 0; i < std::size(kSpreadPins); ++i) {
+    EXPECT_EQ(scenario.options[i].id, kSpreadPins[i].id);
+    // Bitwise determinism of the pure-fp64 in-order pipeline.
+    EXPECT_DOUBLE_EQ(golden.spread_bps(scenario.options[i]),
+                     kSpreadPins[i].spread_bps)
+        << "option " << i;
+  }
+}
+
+TEST(Regression, EngineKernelCyclesPinned) {
+  const auto scenario = pinned_scenario();
+  for (const auto& pin : kCyclePins) {
+    auto engine =
+        engine::make_engine(pin.engine, scenario.interest, scenario.hazard);
+    const auto run = engine->price(scenario.options);
+    EXPECT_EQ(run.kernel_cycles, pin.cycles) << pin.engine;
+  }
+}
+
+TEST(Regression, PinnedCyclesEncodeTheTableIOrdering) {
+  // Self-check of the pins themselves: they must tell the paper's story.
+  EXPECT_GT(kCyclePins[0].cycles, 2 * kCyclePins[1].cycles);  // ~2.3x
+  EXPECT_GT(kCyclePins[1].cycles,
+            static_cast<sim::Cycle>(1.5 * kCyclePins[2].cycles));
+  EXPECT_GT(kCyclePins[2].cycles,
+            static_cast<sim::Cycle>(1.9 * kCyclePins[3].cycles));
+}
+
+TEST(Regression, WorkloadGenerationPinned) {
+  // The workload generator feeding every bench must stay stable too.
+  const auto scenario = pinned_scenario();
+  EXPECT_DOUBLE_EQ(scenario.options[0].maturity_years, 1.7547667395389395);
+  EXPECT_DOUBLE_EQ(scenario.options[0].recovery_rate, 0.47201736441125575);
+  EXPECT_DOUBLE_EQ(scenario.interest.value(0), 0.015794028181275517);
+  EXPECT_DOUBLE_EQ(scenario.hazard.value(511), 0.045291199529064172);
+}
+
+}  // namespace
+}  // namespace cdsflow

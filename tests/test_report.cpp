@@ -1,0 +1,139 @@
+/// \file test_report.cpp
+/// Unit tests for the report module: table rendering in all three formats,
+/// the measurement protocol, comparison rows, and the paper constants'
+/// internal consistency.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "engines/cpu_engine.hpp"
+#include "report/experiment.hpp"
+#include "report/paper.hpp"
+#include "report/table.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow::report {
+namespace {
+
+Table sample_table() {
+  Table t("Sample");
+  t.set_columns({"Name", "Value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"beta", "2.5"});
+  return t;
+}
+
+TEST(Table, TextRenderingAlignsColumns) {
+  const std::string out = sample_table().render_text();
+  EXPECT_NE(out.find("Sample"), std::string::npos);
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Right-aligned numeric column.
+  EXPECT_NE(out.find("  1.0 |"), std::string::npos);
+}
+
+TEST(Table, MarkdownRendering) {
+  const std::string out = sample_table().render_markdown();
+  EXPECT_NE(out.find("| Name | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| --- | ---: |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1.0 |"), std::string::npos);
+}
+
+TEST(Table, CsvRenderingWithQuoting) {
+  Table t;
+  t.set_columns({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote\"inside", "line"});
+  const std::string out = t.render_csv();
+  EXPECT_NE(out.find("a,b"), std::string::npos);
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, SeparatorOnlyAffectsText) {
+  Table t;
+  t.set_columns({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 3u);
+  const std::string md = t.render_markdown();
+  EXPECT_EQ(md.find("+--"), std::string::npos);
+}
+
+TEST(Table, EnforcesShape) {
+  Table t;
+  EXPECT_THROW(t.add_row({"x"}), Error);       // columns not set
+  EXPECT_THROW(t.render_text(), Error);
+  t.set_columns({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(t.set_columns({}), Error);
+  EXPECT_THROW(t.set_columns({"a"}, {Align::kLeft, Align::kRight}), Error);
+}
+
+TEST(Measure, AveragesRequestedRuns) {
+  const auto scenario = workload::smoke_scenario(6);
+  engine::CpuEngine engine(scenario.interest, scenario.hazard);
+  const auto m = measure(engine, scenario.options, 3, "label");
+  EXPECT_EQ(m.label, "label");
+  EXPECT_EQ(m.options_per_second.count(), 3u);
+  EXPECT_GT(m.mean_ops(), 0.0);
+  EXPECT_EQ(m.last_run.results.size(), scenario.options.size());
+  EXPECT_THROW(measure(engine, scenario.options, 0), Error);
+}
+
+TEST(Measure, DefaultLabelIsEngineName) {
+  const auto scenario = workload::smoke_scenario(4);
+  engine::CpuEngine engine(scenario.interest, scenario.hazard);
+  EXPECT_EQ(measure(engine, scenario.options, 1).label, "cpu");
+}
+
+TEST(Comparison, TableShowsDeltas) {
+  const auto table = comparison_table(
+      "T", "Options/second",
+      {{"engine A", 110.0, 100.0}, {"engine B", 50.0, 0.0}});
+  const std::string out = table.render_text();
+  EXPECT_NE(out.find("+10.0%"), std::string::npos);
+  EXPECT_NE(out.find("engine B"), std::string::npos);
+  // No paper value => dashes.
+  EXPECT_NE(out.find(" - "), std::string::npos);
+}
+
+TEST(PaperConstants, HeadlineRatiosMatchProse) {
+  // "around eight times faster ... than the original Xilinx library version"
+  EXPECT_NEAR(paper::kSpeedupVsLibrary, 8.0, 0.25);
+  // "outperforming the CPU by around 1.55 times"
+  EXPECT_NEAR(paper::kFpgaVsCpu, 1.5, 0.06);
+  // "consuming 4.7 times less power"
+  EXPECT_NEAR(paper::kPowerRatio, 4.7, 0.05);
+  // "around seven times the power efficiency"
+  EXPECT_NEAR(paper::kEfficiencyRatio, 7.06, 0.1);
+}
+
+TEST(PaperConstants, TableIIEfficienciesAreConsistent) {
+  // Options/W column = options/s / W within rounding.
+  EXPECT_NEAR(paper::kCpu24CoreOptsPerSec / paper::kCpu24CoreWatts,
+              paper::kCpu24CoreOptsPerWatt, 0.5);
+  EXPECT_NEAR(paper::kFpga5EngineOptsPerSec / paper::kFpga5EngineWatts,
+              paper::kFpga5EngineOptsPerWatt, 0.5);
+  EXPECT_NEAR(paper::kFpga2EngineOptsPerSec / paper::kFpga2EngineWatts,
+              paper::kFpga2EngineOptsPerWatt, 0.5);
+}
+
+TEST(PaperConstants, TableIRatiosMatchSectionIII) {
+  // "our initial optimised engine was around twice as fast as the Xilinx
+  // open source implementation"
+  EXPECT_NEAR(paper::kOptimisedDataflowOptsPerSec /
+                  paper::kXilinxLibraryOptsPerSec,
+              2.13, 0.05);
+  // "significantly improved our performance by almost two times"
+  EXPECT_NEAR(paper::kInterOptionOptsPerSec /
+                  paper::kOptimisedDataflowOptsPerSec,
+              1.80, 0.05);
+  // "which doubled performance"
+  EXPECT_NEAR(paper::kVectorisedOptsPerSec / paper::kInterOptionOptsPerSec,
+              2.08, 0.05);
+}
+
+}  // namespace
+}  // namespace cdsflow::report

@@ -1,0 +1,96 @@
+/// \file test_sim_channel.cpp
+/// Unit tests for sim::Channel: FIFO semantics, capacity/back-pressure,
+/// statistics counters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/channel.hpp"
+
+namespace cdsflow::sim {
+namespace {
+
+TEST(Channel, StartsEmpty) {
+  Channel<int> c("c", 4);
+  EXPECT_TRUE(c.empty());
+  EXPECT_FALSE(c.full());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.capacity(), 4u);
+  EXPECT_TRUE(c.can_push());
+  EXPECT_FALSE(c.can_pop());
+}
+
+TEST(Channel, FifoOrder) {
+  Channel<int> c("c", 8);
+  for (int i = 0; i < 5; ++i) c.push(i);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(c.pop(), i);
+}
+
+TEST(Channel, FrontPeeksWithoutConsuming) {
+  Channel<std::string> c("c", 2);
+  c.push("a");
+  EXPECT_EQ(c.front(), "a");
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.pop(), "a");
+}
+
+TEST(Channel, CapacityEnforced) {
+  Channel<int> c("c", 2);
+  c.push(1);
+  c.push(2);
+  EXPECT_TRUE(c.full());
+  EXPECT_FALSE(c.can_push());
+  EXPECT_THROW(c.push(3), Error);
+}
+
+TEST(Channel, PopOnEmptyThrows) {
+  Channel<int> c("c", 2);
+  EXPECT_THROW(c.pop(), Error);
+  EXPECT_THROW(c.front(), Error);
+}
+
+TEST(Channel, ZeroCapacityRejected) {
+  EXPECT_THROW(Channel<int>("c", 0), Error);
+}
+
+TEST(Channel, StatsTrackTrafficAndHighWater) {
+  Channel<int> c("c", 4);
+  c.push(1);
+  c.push(2);
+  c.push(3);
+  c.pop();
+  c.push(4);
+  EXPECT_EQ(c.total_pushed(), 4u);
+  EXPECT_EQ(c.max_occupancy(), 3u);
+}
+
+TEST(Channel, StallCountersAreManual) {
+  Channel<int> c("c", 1);
+  EXPECT_EQ(c.push_stalls(), 0u);
+  c.record_push_stall();
+  c.record_push_stall();
+  c.record_pop_stall();
+  EXPECT_EQ(c.push_stalls(), 2u);
+  EXPECT_EQ(c.pop_stalls(), 1u);
+}
+
+TEST(Channel, MoveOnlyFriendly) {
+  Channel<std::unique_ptr<int>> c("c", 2);
+  c.push(std::make_unique<int>(42));
+  auto p = c.pop();
+  EXPECT_EQ(*p, 42);
+}
+
+TEST(Channel, DepthOneBehavesLikeRegister) {
+  Channel<int> c("c", 1);
+  c.push(7);
+  EXPECT_TRUE(c.full());
+  EXPECT_EQ(c.pop(), 7);
+  EXPECT_TRUE(c.empty());
+  c.push(8);
+  EXPECT_EQ(c.pop(), 8);
+}
+
+}  // namespace
+}  // namespace cdsflow::sim

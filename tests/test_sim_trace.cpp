@@ -1,0 +1,119 @@
+/// \file test_sim_trace.cpp
+/// Unit tests for sim::Trace: busy accounting, overlap, concurrency metric,
+/// ASCII rendering.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/trace.hpp"
+
+namespace cdsflow::sim {
+namespace {
+
+TEST(Trace, EmptyTrace) {
+  Trace t;
+  EXPECT_EQ(t.span(), 0u);
+  EXPECT_EQ(t.mean_concurrency(), 0.0);
+}
+
+TEST(Trace, BusyCyclesPerTrack) {
+  Trace t;
+  const auto a = t.add_track("a");
+  const auto b = t.add_track("b");
+  t.record(a, 0, 10);
+  t.record(a, 20, 25);
+  t.record(b, 5, 8);
+  EXPECT_EQ(t.busy_cycles(a), 15u);
+  EXPECT_EQ(t.busy_cycles(b), 3u);
+  EXPECT_EQ(t.span(), 25u);
+}
+
+TEST(Trace, UtilisationFractions) {
+  Trace t;
+  const auto a = t.add_track("a");
+  t.record(a, 0, 50);
+  const auto b = t.add_track("b");
+  t.record(b, 0, 100);
+  EXPECT_DOUBLE_EQ(t.utilisation(a), 0.5);
+  EXPECT_DOUBLE_EQ(t.utilisation(b), 1.0);
+}
+
+TEST(Trace, RejectsEmptyIntervalAndUnknownTrack) {
+  Trace t;
+  const auto a = t.add_track("a");
+  EXPECT_THROW(t.record(a, 5, 5), Error);
+  EXPECT_THROW(t.record(a + 1, 0, 1), Error);
+}
+
+TEST(Trace, OverlapFullPartialNone) {
+  Trace t;
+  const auto a = t.add_track("a");
+  const auto b = t.add_track("b");
+  const auto c = t.add_track("c");
+  t.record(a, 0, 10);
+  t.record(b, 0, 10);   // full overlap with a
+  t.record(c, 10, 20);  // no overlap with a
+  EXPECT_DOUBLE_EQ(t.overlap_fraction(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(t.overlap_fraction(a, c), 0.0);
+
+  Trace t2;
+  const auto x = t2.add_track("x");
+  const auto y = t2.add_track("y");
+  t2.record(x, 0, 10);
+  t2.record(y, 5, 15);  // 5 cycles of 10 overlap
+  EXPECT_DOUBLE_EQ(t2.overlap_fraction(x, y), 0.5);
+}
+
+TEST(Trace, OverlapHandlesFragmentedIntervals) {
+  Trace t;
+  const auto a = t.add_track("a");
+  const auto b = t.add_track("b");
+  t.record(a, 0, 2);
+  t.record(a, 4, 6);
+  t.record(b, 1, 5);  // overlaps [1,2) and [4,5) => 2 of min(4,4)=4
+  EXPECT_DOUBLE_EQ(t.overlap_fraction(a, b), 0.5);
+}
+
+TEST(Trace, MeanConcurrencySequentialIsOne) {
+  Trace t;
+  const auto a = t.add_track("a");
+  const auto b = t.add_track("b");
+  t.record(a, 0, 10);
+  t.record(b, 10, 20);
+  EXPECT_DOUBLE_EQ(t.mean_concurrency(), 1.0);
+}
+
+TEST(Trace, MeanConcurrencyParallelIsTwo) {
+  Trace t;
+  const auto a = t.add_track("a");
+  const auto b = t.add_track("b");
+  t.record(a, 0, 10);
+  t.record(b, 0, 10);
+  EXPECT_DOUBLE_EQ(t.mean_concurrency(), 2.0);
+}
+
+TEST(Trace, AsciiRenderingShape) {
+  Trace t;
+  const auto a = t.add_track("stage_a");
+  t.record(a, 0, 100);
+  const std::string out = t.render_ascii(50);
+  EXPECT_NE(out.find("stage_a"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_THROW(t.render_ascii(2), Error);
+}
+
+TEST(Trace, AsciiGlyphsReflectDensity) {
+  Trace t;
+  const auto a = t.add_track("a");
+  // Busy only in the first half of a 2-bucket timeline.
+  t.record(a, 0, 50);
+  const auto b = t.add_track("b");
+  t.record(b, 0, 100);
+  const std::string out = t.render_ascii(10);
+  // Track a: 5 busy buckets then 5 idle; track b: all busy.
+  EXPECT_NE(out.find("#####     "), std::string::npos);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdsflow::sim

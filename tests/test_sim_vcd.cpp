@@ -1,0 +1,128 @@
+/// \file test_sim_vcd.cpp
+/// Unit tests for the VCD trace exporter: header structure, edge emission,
+/// adjacent-interval merging, identifier scheme, and an end-to-end dump of
+/// an engine run.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "engines/interoption_engine.hpp"
+#include "sim/vcd.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow::sim {
+namespace {
+
+Trace two_track_trace() {
+  Trace t;
+  const auto a = t.add_track("stage_a");
+  const auto b = t.add_track("stage_b");
+  t.record(a, 0, 10);
+  t.record(b, 5, 15);
+  return t;
+}
+
+std::string dump(const Trace& t, VcdOptions o = {}) {
+  std::ostringstream os;
+  write_vcd(os, t, std::move(o));
+  return os.str();
+}
+
+TEST(Vcd, HeaderStructure) {
+  const std::string out = dump(two_track_trace());
+  EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$scope module cdsflow $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! stage_a $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 \" stage_b $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(out.find("$dumpvars"), std::string::npos);
+}
+
+TEST(Vcd, EdgesAtCorrectTimes) {
+  const std::string out = dump(two_track_trace());
+  // stage_a rises at 0, stage_b at 5, stage_a falls at 10, stage_b at 15.
+  EXPECT_NE(out.find("#0\n1!"), std::string::npos);
+  EXPECT_NE(out.find("#5\n1\""), std::string::npos);
+  EXPECT_NE(out.find("#10\n0!"), std::string::npos);
+  EXPECT_NE(out.find("#15\n0\""), std::string::npos);
+}
+
+TEST(Vcd, AdjacentIntervalsMergeWithoutGlitch) {
+  Trace t;
+  const auto a = t.add_track("a");
+  t.record(a, 0, 5);
+  t.record(a, 5, 9);  // back-to-back: no 0-then-1 glitch at #5
+  const std::string out = dump(t);
+  EXPECT_EQ(out.find("#5\n0!"), std::string::npos);
+  EXPECT_NE(out.find("#9\n0!"), std::string::npos);
+}
+
+TEST(Vcd, CommentAndModuleOptions) {
+  VcdOptions o;
+  o.module_name = "engine0";
+  o.comment = "vectorised, 12 options";
+  const std::string out = dump(two_track_trace(), o);
+  EXPECT_NE(out.find("$scope module engine0 $end"), std::string::npos);
+  EXPECT_NE(out.find("vectorised, 12 options"), std::string::npos);
+}
+
+TEST(Vcd, SanitisesSignalNames) {
+  Trace t;
+  const auto a = t.add_track("hazard lane 0");
+  t.record(a, 0, 1);
+  const std::string out = dump(t);
+  EXPECT_NE(out.find("hazard_lane_0"), std::string::npos);
+}
+
+TEST(Vcd, IdentifiersStayPrintableForManyTracks) {
+  Trace t;
+  for (int i = 0; i < 200; ++i) {
+    const auto track = t.add_track("s" + std::to_string(i));
+    t.record(track, static_cast<Cycle>(i), static_cast<Cycle>(i + 1));
+  }
+  const std::string out = dump(t);
+  for (const char c : out) {
+    EXPECT_TRUE(c == '\n' || (c >= ' ' && c <= '~')) << int(c);
+  }
+}
+
+TEST(Vcd, RejectsEmptyTrace) {
+  Trace t;
+  std::ostringstream os;
+  EXPECT_THROW(write_vcd(os, t), Error);
+}
+
+TEST(Vcd, FileWriterRoundTrips) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cdsflow_test.vcd").string();
+  write_vcd_file(path, two_track_trace());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("$enddefinitions"), std::string::npos);
+  std::filesystem::remove(path);
+  EXPECT_THROW(write_vcd_file("/nonexistent/x.vcd", two_track_trace()),
+               Error);
+}
+
+TEST(Vcd, EngineRunExportsCleanly) {
+  const auto scenario = workload::smoke_scenario(6, 3);
+  Trace trace;
+  engine::FpgaEngineConfig cfg;
+  cfg.trace = &trace;
+  engine::InterOptionEngine engine(scenario.interest, scenario.hazard, cfg);
+  engine.price(scenario.options);
+  const std::string out = dump(trace);
+  // Every stage appears as a signal and the dump ends at the trace span.
+  EXPECT_NE(out.find("rate_interp"), std::string::npos);
+  EXPECT_NE(out.find("spread_combine"), std::string::npos);
+  EXPECT_NE(out.find("#" + std::to_string(trace.span())),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdsflow::sim

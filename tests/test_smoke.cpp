@@ -1,0 +1,39 @@
+/// \file test_smoke.cpp
+/// End-to-end smoke: every engine prices a small book and agrees with the
+/// golden model. Deeper per-module suites live in the sibling test files.
+
+#include <gtest/gtest.h>
+
+#include "cds/pricer.hpp"
+#include "common/stats.hpp"
+#include "engines/registry.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow {
+namespace {
+
+TEST(Smoke, AllEnginesAgreeWithGoldenModel) {
+  const auto scenario = workload::smoke_scenario(12, 99);
+  const cds::ReferencePricer golden(scenario.interest, scenario.hazard);
+  const auto expected = golden.price(scenario.options);
+
+  for (const auto& name :
+       {"cpu", "xilinx-baseline", "dataflow", "dataflow-interoption",
+        "vectorised", "multi-2"}) {
+    SCOPED_TRACE(name);
+    auto engine = engine::make_engine(name, scenario.interest,
+                                      scenario.hazard);
+    const auto run = engine->price(scenario.options);
+    ASSERT_EQ(run.results.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(run.results[i].id, expected[i].id);
+      EXPECT_LT(relative_difference(run.results[i].spread_bps,
+                                    expected[i].spread_bps),
+                1e-9);
+    }
+    EXPECT_GT(run.options_per_second, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cdsflow

@@ -1,0 +1,88 @@
+/// \file test_solver.cpp
+/// Unit tests for the Brent root finder used by curve calibration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/solver.hpp"
+
+namespace cdsflow {
+namespace {
+
+TEST(Brent, FindsPolynomialRoot) {
+  const auto r = find_root_brent([](double x) { return x * x - 4.0; }, 0.0,
+                                 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 2.0, 1e-10);
+  EXPECT_LE(std::fabs(r.residual), 1e-9);
+}
+
+TEST(Brent, FindsTranscendentalRoot) {
+  // exp(-x) = x has the Omega constant as root: ~0.567143.
+  const auto r = find_root_brent(
+      [](double x) { return std::exp(-x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 0.56714329040978384, 1e-9);
+}
+
+TEST(Brent, HandlesRootAtBracketEnd) {
+  const auto lo = find_root_brent([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(lo.converged);
+  EXPECT_DOUBLE_EQ(lo.root, 0.0);
+  const auto hi =
+      find_root_brent([](double x) { return x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(hi.converged);
+  EXPECT_DOUBLE_EQ(hi.root, 1.0);
+}
+
+TEST(Brent, SteepAndFlatFunctions) {
+  const auto steep = find_root_brent(
+      [](double x) { return 1e9 * (x - 0.3); }, 0.0, 1.0);
+  EXPECT_TRUE(steep.converged);
+  EXPECT_NEAR(steep.root, 0.3, 1e-9);
+  const auto flat = find_root_brent(
+      [](double x) { return 1e-9 * (x - 0.7); }, 0.0, 1.0,
+      {.f_tolerance = 1e-15});
+  EXPECT_TRUE(flat.converged);
+  EXPECT_NEAR(flat.root, 0.7, 1e-5);
+}
+
+TEST(Brent, RejectsNonBracketingInterval) {
+  EXPECT_THROW(
+      find_root_brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      Error);
+  EXPECT_THROW(find_root_brent([](double x) { return x; }, 2.0, 1.0), Error);
+  EXPECT_THROW(find_root_brent(nullptr, 0.0, 1.0), Error);
+}
+
+TEST(Brent, IterationCountIsSmall) {
+  const auto r = find_root_brent(
+      [](double x) { return std::cos(x) - x; }, 0.0, 1.5);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, 30);  // superlinear convergence
+}
+
+TEST(Expanding, GrowsBracketUntilSignChange) {
+  // Root at 1000; initial bracket [0, 1] must expand.
+  const auto r = find_root_expanding(
+      [](double x) { return x - 1000.0; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 1000.0, 1e-6);
+}
+
+TEST(Expanding, FailsWhenNoRootExists) {
+  EXPECT_THROW(find_root_expanding(
+                   [](double x) { return x * x + 1.0; }, 0.0, 1.0, 10),
+               Error);
+}
+
+TEST(Expanding, ImmediateRootAtLowerBound) {
+  const auto r = find_root_expanding([](double) { return 0.0; }, 0.5, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.root, 0.5);
+}
+
+}  // namespace
+}  // namespace cdsflow

@@ -1,0 +1,216 @@
+/// \file test_workload.cpp
+/// Unit tests for workload generation: curve shapes, portfolio draws,
+/// determinism, scenario composition.
+
+#include <gtest/gtest.h>
+
+#include "cds/schedule.hpp"
+#include "common/error.hpp"
+#include "workload/curves.hpp"
+#include "workload/options.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow::workload {
+namespace {
+
+TEST(Curves, SpecHonoursPointCountAndSpan) {
+  CurveSpec spec;
+  spec.points = 100;
+  spec.span_years = 12.0;
+  const auto c = make_curve(spec);
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_DOUBLE_EQ(c.max_time(), 12.0);
+  EXPECT_GT(c.time(0), 0.0);
+}
+
+TEST(Curves, AllValuesPositive) {
+  for (const auto shape :
+       {CurveShape::kFlat, CurveShape::kUpwardSloping, CurveShape::kHumped,
+        CurveShape::kStressed}) {
+    CurveSpec spec;
+    spec.shape = shape;
+    const auto c = make_curve(spec);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_GT(c.value(i), 0.0) << to_string(shape) << " @ " << i;
+    }
+  }
+}
+
+TEST(Curves, FlatWithoutJitterIsExactlyFlat) {
+  CurveSpec spec;
+  spec.shape = CurveShape::kFlat;
+  spec.jitter = 0.0;
+  spec.base_rate = 0.025;
+  const auto c = make_curve(spec);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.value(i), 0.025);
+  }
+}
+
+TEST(Curves, UpwardSlopingSlopesUp) {
+  CurveSpec spec;
+  spec.shape = CurveShape::kUpwardSloping;
+  spec.jitter = 0.0;
+  const auto c = make_curve(spec);
+  EXPECT_GT(c.value(c.size() - 1), c.value(0));
+}
+
+TEST(Curves, StressedSlopesDown) {
+  CurveSpec spec;
+  spec.shape = CurveShape::kStressed;
+  spec.jitter = 0.0;
+  const auto c = make_curve(spec);
+  EXPECT_LT(c.value(c.size() - 1), c.value(0));
+}
+
+TEST(Curves, HumpedPeaksInTheMiddle) {
+  CurveSpec spec;
+  spec.shape = CurveShape::kHumped;
+  spec.jitter = 0.0;
+  const auto c = make_curve(spec);
+  const std::size_t peak_region = c.size() * 2 / 5;
+  EXPECT_GT(c.value(peak_region), c.value(0));
+  EXPECT_GT(c.value(peak_region), c.value(c.size() - 1));
+}
+
+TEST(Curves, DeterministicForSameSeed) {
+  CurveSpec spec;
+  spec.seed = 77;
+  const auto a = make_curve(spec);
+  const auto b = make_curve(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value(i), b.value(i));
+  }
+  spec.seed = 78;
+  const auto c = make_curve(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.value(i) != c.value(i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Curves, RejectsBadSpecs) {
+  CurveSpec spec;
+  spec.points = 0;
+  EXPECT_THROW(make_curve(spec), Error);
+  spec = {};
+  spec.span_years = 0.0;
+  EXPECT_THROW(make_curve(spec), Error);
+  spec = {};
+  spec.jitter = 1.5;
+  EXPECT_THROW(make_curve(spec), Error);
+}
+
+TEST(Curves, PaperCurvesHave1024Points) {
+  EXPECT_EQ(paper_interest_curve().size(), 1024u);
+  EXPECT_EQ(paper_hazard_curve().size(), 1024u);
+}
+
+TEST(Portfolio, CountAndRanges) {
+  PortfolioSpec spec;
+  spec.count = 200;
+  const auto book = make_portfolio(spec);
+  ASSERT_EQ(book.size(), 200u);
+  for (std::size_t i = 0; i < book.size(); ++i) {
+    const auto& o = book[i];
+    EXPECT_EQ(o.id, static_cast<std::int32_t>(i));
+    EXPECT_GE(o.maturity_years, spec.maturity_min_years);
+    EXPECT_LT(o.maturity_years, spec.maturity_max_years);
+    EXPECT_GE(o.recovery_rate, spec.recovery_min);
+    EXPECT_LT(o.recovery_rate, spec.recovery_max + 1e-12);
+    EXPECT_EQ(o.payment_frequency, 4.0);  // default all-quarterly
+  }
+}
+
+TEST(Portfolio, FrequencyMixRespected) {
+  PortfolioSpec spec;
+  spec.count = 500;
+  spec.frequencies = {2.0, 12.0};
+  spec.frequency_weights = {1.0, 1.0};
+  const auto book = make_portfolio(spec);
+  int semi = 0, monthly = 0;
+  for (const auto& o : book) {
+    if (o.payment_frequency == 2.0) ++semi;
+    if (o.payment_frequency == 12.0) ++monthly;
+  }
+  EXPECT_EQ(semi + monthly, 500);
+  EXPECT_GT(semi, 150);
+  EXPECT_GT(monthly, 150);
+}
+
+TEST(Portfolio, DeterministicAndSeedSensitive) {
+  PortfolioSpec spec;
+  spec.count = 50;
+  spec.seed = 5;
+  const auto a = make_portfolio(spec);
+  const auto b = make_portfolio(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].maturity_years, b[i].maturity_years);
+  }
+  spec.seed = 6;
+  const auto c = make_portfolio(spec);
+  EXPECT_NE(a[0].maturity_years, c[0].maturity_years);
+}
+
+TEST(Portfolio, ValidationRejectsBadSpecs) {
+  PortfolioSpec spec;
+  spec.count = 0;
+  EXPECT_THROW(make_portfolio(spec), Error);
+  spec = {};
+  spec.maturity_min_years = 5.0;
+  spec.maturity_max_years = 1.0;
+  EXPECT_THROW(make_portfolio(spec), Error);
+  spec = {};
+  spec.frequencies = {4.0};
+  spec.frequency_weights = {1.0, 2.0};
+  EXPECT_THROW(make_portfolio(spec), Error);
+  spec = {};
+  spec.recovery_max = 1.0;
+  EXPECT_THROW(make_portfolio(spec), Error);
+}
+
+TEST(Portfolio, TotalTimePointsMatchesSchedules) {
+  PortfolioSpec spec;
+  spec.count = 20;
+  const auto book = make_portfolio(spec);
+  std::uint64_t expected = 0;
+  for (const auto& o : book) expected += cds::schedule_size(o);
+  EXPECT_EQ(total_time_points(book), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(Scenario, PaperScenarioShape) {
+  const auto s = paper_scenario(64);
+  EXPECT_EQ(s.interest.size(), 1024u);
+  EXPECT_EQ(s.hazard.size(), 1024u);
+  EXPECT_EQ(s.options.size(), 64u);
+  EXPECT_EQ(s.name, "paper");
+  // The calibrated option mix averages ~22 time points per option.
+  const double avg_tp = static_cast<double>(total_time_points(s.options)) /
+                        static_cast<double>(s.options.size());
+  EXPECT_GT(avg_tp, 18.0);
+  EXPECT_LT(avg_tp, 26.0);
+}
+
+TEST(Scenario, SmokeScenarioIsSmall) {
+  const auto s = smoke_scenario();
+  EXPECT_LT(s.interest.size(), 128u);
+  EXPECT_FALSE(s.options.empty());
+}
+
+TEST(Scenario, StressedScenarioHasElevatedHazards) {
+  const auto stressed = stressed_scenario(16);
+  const auto normal = paper_scenario(16);
+  EXPECT_GT(stressed.hazard.value(0), normal.hazard.value(0));
+}
+
+TEST(Scenario, SeedChangesOptionsNotCurves) {
+  const auto a = paper_scenario(16, 1);
+  const auto b = paper_scenario(16, 2);
+  EXPECT_DOUBLE_EQ(a.interest.value(0), b.interest.value(0));
+  EXPECT_NE(a.options[0].maturity_years, b.options[0].maturity_years);
+}
+
+}  // namespace
+}  // namespace cdsflow::workload

@@ -1,0 +1,190 @@
+/// \file cdsflow_cli.cpp
+/// Command-line front end: price portfolios, bootstrap hazard curves, and
+/// inspect device fit without writing C++.
+///
+///   cdsflow_cli price --engine vectorised --count 256 [--seed 42]
+///                     [--curve-interest f.csv] [--curve-hazard f.csv]
+///                     [--portfolio book.csv] [--out results.csv]
+///   cdsflow_cli bootstrap --quotes quotes.csv [--out hazard.csv]
+///   cdsflow_cli engines
+///   cdsflow_cli device [--engines N] [--lanes L]
+///
+/// Exit code 0 on success, 1 on usage/validation errors (message on
+/// stderr).
+
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cds/bootstrap.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "engines/registry.hpp"
+#include "fpga/resource.hpp"
+#include "io/csv.hpp"
+#include "workload/curves.hpp"
+#include "workload/options.hpp"
+
+namespace {
+
+using namespace cdsflow;
+
+/// --flag value parser; flags are unique, all take one value.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      CDSFLOW_EXPECT(key.rfind("--", 0) == 0, "expected --flag, got '" + key +
+                                                  "'");
+      CDSFLOW_EXPECT(i + 1 < argc, "flag '" + key + "' needs a value");
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, std::string fallback) const {
+    return get(key).value_or(std::move(fallback));
+  }
+
+  long get_long_or(const std::string& key, long fallback) const {
+    const auto v = get(key);
+    if (!v) return fallback;
+    return std::stol(*v);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_price(const Args& args) {
+  const auto interest = args.get("curve-interest")
+                            ? io::read_curve_csv(*args.get("curve-interest"))
+                            : workload::paper_interest_curve();
+  const auto hazard = args.get("curve-hazard")
+                          ? io::read_curve_csv(*args.get("curve-hazard"))
+                          : workload::paper_hazard_curve();
+
+  std::vector<cds::CdsOption> book;
+  if (args.get("portfolio")) {
+    book = io::read_portfolio_csv(*args.get("portfolio"));
+  } else {
+    workload::PortfolioSpec spec;
+    spec.count = static_cast<std::size_t>(args.get_long_or("count", 256));
+    spec.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 42));
+    book = workload::make_portfolio(spec);
+  }
+
+  const std::string engine_name = args.get_or("engine", "vectorised");
+  auto engine = engine::make_engine(engine_name, interest, hazard);
+  const auto run = engine->price(book);
+
+  std::cout << engine->description() << '\n'
+            << "options: " << book.size() << "\n"
+            << "throughput: " << with_thousands(run.options_per_second, 2)
+            << " options/s";
+  if (run.kernel_cycles > 0) {
+    std::cout << " (" << with_thousands(double(run.kernel_cycles), 0)
+              << " simulated kernel cycles)";
+  }
+  std::cout << '\n';
+
+  if (args.get("out")) {
+    io::write_results_csv(*args.get("out"), run.results);
+    std::cout << "results written to " << *args.get("out") << '\n';
+  } else {
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, run.results.size());
+         ++i) {
+      std::cout << "  id " << run.results[i].id << ": "
+                << fixed(run.results[i].spread_bps, 2) << " bps\n";
+    }
+    if (run.results.size() > 5) {
+      std::cout << "  ... (" << run.results.size() - 5
+                << " more; use --out to save)\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_bootstrap(const Args& args) {
+  CDSFLOW_EXPECT(args.get("quotes").has_value(),
+                 "bootstrap requires --quotes quotes.csv");
+  const auto quotes = io::read_quotes_csv(*args.get("quotes"));
+  const auto interest = args.get("curve-interest")
+                            ? io::read_curve_csv(*args.get("curve-interest"))
+                            : workload::paper_interest_curve();
+  const auto result = cds::bootstrap_hazard_curve(interest, quotes);
+  std::cout << "bootstrapped " << result.hazard.size()
+            << "-segment hazard curve, max repricing error "
+            << compact(result.max_error_bps) << " bps ("
+            << result.total_iterations << " solver iterations)\n";
+  for (std::size_t i = 0; i < result.hazard.size(); ++i) {
+    std::cout << "  (" << fixed(result.hazard.time(i), 2) << "y] h = "
+              << fixed(result.hazard.value(i) * 1e4, 1) << " bps\n";
+  }
+  if (args.get("out")) {
+    io::write_curve_csv(*args.get("out"), result.hazard);
+    std::cout << "curve written to " << *args.get("out") << '\n';
+  }
+  return 0;
+}
+
+int cmd_engines() {
+  std::cout << "registered engines:\n";
+  const auto interest = workload::paper_interest_curve(64);
+  const auto hazard = workload::paper_hazard_curve(64);
+  for (const auto& name : engine::engine_names()) {
+    const auto engine = engine::make_engine(name, interest, hazard);
+    std::cout << "  " << pad_right(name, 22) << engine->description()
+              << '\n';
+  }
+  std::cout << "parameterised forms: cpu-mt<N>, multi-<N>\n";
+  return 0;
+}
+
+int cmd_device(const Args& args) {
+  const auto device = fpga::alveo_u280();
+  const fpga::ResourceEstimator estimator(device);
+  fpga::EngineShape shape;
+  shape.hazard_lanes = static_cast<unsigned>(args.get_long_or("lanes", 6));
+  shape.interpolation_lanes = shape.hazard_lanes;
+  const auto engines =
+      static_cast<unsigned>(args.get_long_or("engines", 5));
+  std::cout << estimator.utilisation_report(shape, engines);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: cdsflow_cli <price|bootstrap|engines|device> "
+               "[--flag value ...]\n"
+               "see the file header of tools/cdsflow_cli.cpp for details\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "price") return cmd_price(args);
+    if (command == "bootstrap") return cmd_bootstrap(args);
+    if (command == "engines") return cmd_engines();
+    if (command == "device") return cmd_device(args);
+    return usage();
+  } catch (const cdsflow::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
