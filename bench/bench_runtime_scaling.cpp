@@ -1,0 +1,110 @@
+/// \file bench_runtime_scaling.cpp
+/// Host-side scaling: throughput of the sharded portfolio runtime vs worker
+/// count, reported as JSON.
+///
+/// Mirrors the paper's Table II ablation (N concurrent engines on one card)
+/// at the host layer: the same book is priced with 1, 2, 4, ... worker
+/// lanes and the modelled makespan of the deterministic shard schedule
+/// gives the paper-style throughput figure. Wall-clock throughput is
+/// reported alongside (it only scales when the host has the cores). The
+/// bench also cross-checks that every multi-worker run merges to results
+/// bit-identical to the single-engine baseline.
+///
+/// Usage: bench_runtime_scaling [n_options] [engine] [max_workers] [out.json]
+///   defaults: 16384 vectorised 8 BENCH_runtime_scaling.json
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "engines/registry.hpp"
+#include "report/table.hpp"
+#include "runtime/portfolio_runtime.hpp"
+#include "runtime/shard.hpp"
+#include "workload/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16384;
+  const std::string engine_name = argc > 2 ? argv[2] : "vectorised";
+  const unsigned max_workers =
+      argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 8;
+  const std::string out_path =
+      argc > 4 ? argv[4] : "BENCH_runtime_scaling.json";
+
+  const auto scenario = workload::paper_scenario(n_options, /*seed=*/7);
+  std::cout << "== Runtime scaling: " << engine_name << " lanes over "
+            << n_options << " options ==\n\n";
+
+  // Single-engine baseline for the bit-identity cross-check.
+  auto baseline_engine =
+      engine::make_engine(engine_name, scenario.interest, scenario.hazard);
+  const auto baseline = baseline_engine->price(scenario.options);
+
+  report::Table table("Throughput vs worker lanes (" + engine_name + ")");
+  table.set_columns({"Workers", "Shards", "Modelled opts/s", "Scaling",
+                     "Wall opts/s", "Identical"});
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"runtime_scaling\",\n"
+       << "  \"engine\": \"" << engine_name << "\",\n"
+       << "  \"n_options\": " << n_options << ",\n"
+       << "  \"baseline_options_per_second\": "
+       << baseline.options_per_second << ",\n"
+       << "  \"points\": [";
+
+  double base_ops = 0.0;
+  bool first = true;
+  bool all_identical = true;
+  for (unsigned workers = 1; workers <= max_workers; workers *= 2) {
+    runtime::RuntimeConfig cfg;
+    cfg.engine = engine_name;
+    cfg.workers = workers;
+    cfg.shard_size = runtime::auto_shard_size(n_options, max_workers);
+    runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard, cfg);
+    const auto run = rt.price(scenario.options);
+
+    bool identical = run.run.results.size() == baseline.results.size();
+    for (std::size_t i = 0; identical && i < baseline.results.size(); ++i) {
+      identical = run.run.results[i].id == baseline.results[i].id &&
+                  run.run.results[i].spread_bps ==
+                      baseline.results[i].spread_bps;
+    }
+    all_identical = all_identical && identical;
+
+    if (workers == 1) base_ops = run.run.options_per_second;
+    const double scaling = run.run.options_per_second / base_ops;
+    table.add_row({std::to_string(workers),
+                   std::to_string(run.shards.size()),
+                   with_thousands(run.run.options_per_second, 0),
+                   fixed(scaling, 2) + "x",
+                   with_thousands(run.wall_options_per_second, 0),
+                   identical ? "yes" : "NO"});
+
+    json << (first ? "" : ",") << "\n    {\"workers\": " << workers
+         << ", \"shards\": " << run.shards.size()
+         << ", \"shard_size\": " << run.shard_size
+         << ", \"modelled_options_per_second\": "
+         << run.run.options_per_second
+         << ", \"wall_options_per_second\": " << run.wall_options_per_second
+         << ", \"scaling_vs_1_worker\": " << scaling
+         << ", \"bit_identical_to_baseline\": "
+         << (identical ? "true" : "false") << "}";
+    first = false;
+  }
+  json << "\n  ],\n"
+       << "  \"all_bit_identical\": " << (all_identical ? "true" : "false")
+       << "\n}\n";
+
+  std::cout << table.render_text() << '\n';
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "JSON written to " << out_path << '\n';
+  return all_identical ? 0 : 1;
+}

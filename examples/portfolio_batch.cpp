@@ -18,6 +18,7 @@
 #include "engines/planner.hpp"
 #include "fpga/power.hpp"
 #include "report/table.hpp"
+#include "runtime/portfolio_runtime.hpp"
 #include "workload/scenario.hpp"
 
 int main(int argc, char** argv) {
@@ -41,6 +42,13 @@ int main(int argc, char** argv) {
   fpga_cfg.device = fpga::alveo_u280();
   engine::MultiEngine fpga(scenario.interest, scenario.hazard, fpga_cfg);
   const auto fpga_run = fpga.price(scenario.options);
+
+  // --- sharded runtime (4 concurrent simulated cards) -------------------------
+  runtime::RuntimeConfig rt_cfg;
+  rt_cfg.engine = "vectorised";
+  rt_cfg.workers = 4;
+  runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard, rt_cfg);
+  const auto rt_run = rt.price(scenario.options);
 
   // --- validation: both back-ends agree ---------------------------------------
   double max_rel = 0.0;
@@ -72,7 +80,20 @@ int main(int argc, char** argv) {
       cpu_run.options_per_second, cpu_watts);
   add("FPGA x5 engines (simulated U280)", fpga_run.options_per_second,
       fpga_watts);
+  add("Runtime: 4 sharded vectorised lanes (modelled)",
+      rt_run.run.options_per_second, 4 * fpga_power.watts(1));
   std::cout << table.render_text() << '\n';
+  bool rt_identical = rt_run.run.results.size() == n_options;
+  for (std::size_t i = 0; rt_identical && i < n_options; ++i) {
+    rt_identical = rt_run.run.results[i].id == fpga_run.results[i].id &&
+                   rt_run.run.results[i].spread_bps ==
+                       fpga_run.results[i].spread_bps;
+  }
+  std::cout << "sharded runtime: " << rt_run.shards.size()
+            << " shards of <= " << rt_run.shard_size << " options over "
+            << rt_run.lanes << " lanes; results "
+            << (rt_identical ? "match" : "DO NOT match")
+            << " the single-engine ordering bit for bit\n\n";
 
   // --- book statistics -------------------------------------------------------------
   RunningStats spreads;

@@ -1,0 +1,162 @@
+#include "runtime/portfolio_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "engines/registry.hpp"
+#include "runtime/shard.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace cdsflow::runtime {
+
+namespace {
+
+/// Hands each in-flight shard task an exclusive engine replica. One replica
+/// exists per pool thread, so acquire() never waits.
+class EnginePool {
+ public:
+  explicit EnginePool(std::size_t n) {
+    free_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) free_.push_back(n - 1 - i);
+  }
+
+  std::size_t acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CDSFLOW_ASSERT(!free_.empty(), "more in-flight shards than engines");
+    const std::size_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+
+  void release(std::size_t idx) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(idx);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::size_t> free_;
+};
+
+/// Deterministic list schedule: shards in submission order, each onto the
+/// earliest-free lane. Returns the makespan and writes lane assignments.
+double schedule_lanes(std::vector<ShardOutcome>& shards, unsigned lanes) {
+  std::vector<double> lane_busy_until(lanes, 0.0);
+  double makespan = 0.0;
+  for (auto& shard : shards) {
+    const auto lane = static_cast<unsigned>(
+        std::min_element(lane_busy_until.begin(), lane_busy_until.end()) -
+        lane_busy_until.begin());
+    shard.lane = lane;
+    lane_busy_until[lane] += shard.engine_seconds;
+    makespan = std::max(makespan, lane_busy_until[lane]);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+PortfolioRuntime::PortfolioRuntime(cds::TermStructure interest,
+                                   cds::TermStructure hazard,
+                                   RuntimeConfig config)
+    : config_(std::move(config)) {
+  unsigned workers = config_.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  lanes_ = config_.engine_replicas == 0
+               ? workers
+               : std::min(workers, config_.engine_replicas);
+  CDSFLOW_EXPECT(lanes_ > 0, "runtime needs at least one lane");
+  engines_.reserve(lanes_);
+  for (unsigned i = 0; i < lanes_; ++i) {
+    engines_.push_back(engine::make_engine(config_.engine, interest, hazard,
+                                           config_.fpga, config_.cpu));
+  }
+}
+
+PortfolioRuntime::~PortfolioRuntime() = default;
+
+std::string PortfolioRuntime::worker_description() const {
+  return engines_.front()->description();
+}
+
+RuntimeRun PortfolioRuntime::price(const std::vector<cds::CdsOption>& options) {
+  RuntimeRun out;
+  out.lanes = lanes_;
+  out.shard_size = config_.shard_size != 0
+                       ? config_.shard_size
+                       : auto_shard_size(options.size(), lanes_);
+  if (options.empty()) return out;
+
+  const auto plan = plan_shards(options.size(), out.shard_size);
+  std::vector<engine::PricingRun> shard_runs(plan.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (lanes_ == 1) {
+    for (const auto& shard : plan) {
+      const std::vector<cds::CdsOption> slice(options.begin() + shard.begin,
+                                              options.begin() + shard.end);
+      shard_runs[shard.index] = engines_.front()->price(slice);
+    }
+  } else {
+    EnginePool engine_pool(engines_.size());
+    ThreadPool pool(lanes_);
+    std::vector<std::future<void>> pending;
+    pending.reserve(plan.size());
+    for (const auto& shard : plan) {
+      pending.push_back(pool.submit([this, &engine_pool, &options, &shard,
+                                     &shard_runs] {
+        const std::size_t engine_idx = engine_pool.acquire();
+        try {
+          const std::vector<cds::CdsOption> slice(
+              options.begin() + shard.begin, options.begin() + shard.end);
+          shard_runs[shard.index] = engines_[engine_idx]->price(slice);
+        } catch (...) {
+          engine_pool.release(engine_idx);
+          throw;
+        }
+        engine_pool.release(engine_idx);
+      }));
+    }
+    for (auto& f : pending) f.get();  // rethrows the first shard failure
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Deterministic merge in shard (= submission) order.
+  out.run.results.reserve(options.size());
+  out.shards.reserve(plan.size());
+  for (const auto& shard : plan) {
+    const auto& run = shard_runs[shard.index];
+    CDSFLOW_ASSERT(run.results.size() == shard.size(),
+                   "shard result count mismatch");
+    out.run.results.insert(out.run.results.end(), run.results.begin(),
+                           run.results.end());
+    out.run.kernel_cycles += run.kernel_cycles;
+    out.run.kernel_seconds += run.kernel_seconds;
+    out.run.transfer_seconds += run.transfer_seconds;
+    out.run.invocations += run.invocations;
+    out.shards.push_back({shard.index, shard.begin, shard.end,
+                          run.total_seconds, run.kernel_cycles,
+                          run.invocations, /*lane=*/0});
+  }
+
+  out.run.total_seconds = schedule_lanes(out.shards, lanes_);
+  CDSFLOW_ASSERT(out.run.total_seconds > 0.0,
+                 "merged run must take non-zero time");
+  out.run.options_per_second =
+      static_cast<double>(options.size()) / out.run.total_seconds;
+
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (out.wall_seconds > 0.0) {
+    out.wall_options_per_second =
+        static_cast<double>(options.size()) / out.wall_seconds;
+  }
+  return out;
+}
+
+}  // namespace cdsflow::runtime

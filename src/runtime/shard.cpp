@@ -1,0 +1,27 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cdsflow::runtime {
+
+std::vector<Shard> plan_shards(std::size_t n_options, std::size_t shard_size) {
+  CDSFLOW_EXPECT(shard_size > 0, "shard_size must be positive");
+  std::vector<Shard> plan;
+  plan.reserve((n_options + shard_size - 1) / shard_size);
+  for (std::size_t begin = 0; begin < n_options; begin += shard_size) {
+    plan.push_back({plan.size(), begin, std::min(n_options, begin + shard_size)});
+  }
+  return plan;
+}
+
+std::size_t auto_shard_size(std::size_t n_options, unsigned workers) {
+  CDSFLOW_EXPECT(workers > 0, "workers must be positive");
+  const std::size_t target_shards =
+      static_cast<std::size_t>(workers) * 4;  // oversubscribe for balance
+  return std::max<std::size_t>(1, (n_options + target_shards - 1) /
+                                      target_shards);
+}
+
+}  // namespace cdsflow::runtime

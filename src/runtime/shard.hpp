@@ -1,0 +1,37 @@
+/// \file shard.hpp
+/// Portfolio sharding: cut a batch of options into contiguous, fixed-size
+/// chunks for concurrent pricing.
+///
+/// "There are no dependencies between calculations involving different
+/// options" (paper Sec. IV) -- so the decomposition is a plain contiguous
+/// partition in submission order. Contiguity is what makes the merge
+/// deterministic: concatenating per-shard results in shard order restores
+/// the submission order exactly, whichever worker priced which shard.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cdsflow::runtime {
+
+/// One contiguous slice [begin, end) of the submitted portfolio.
+struct Shard {
+  std::size_t index = 0;  ///< Position in the plan (merge key).
+  std::size_t begin = 0;  ///< First option (inclusive).
+  std::size_t end = 0;    ///< One past the last option.
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Cuts `n_options` into shards of `shard_size` (the final shard carries the
+/// remainder). `shard_size` must be > 0. Returns an empty plan for an empty
+/// portfolio.
+std::vector<Shard> plan_shards(std::size_t n_options, std::size_t shard_size);
+
+/// Default shard size for a portfolio priced by `workers` concurrent engine
+/// lanes: enough shards per lane that list scheduling balances the load
+/// (about 4x oversubscription), never smaller than one option.
+std::size_t auto_shard_size(std::size_t n_options, unsigned workers);
+
+}  // namespace cdsflow::runtime

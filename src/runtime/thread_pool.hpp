@@ -1,0 +1,50 @@
+/// \file thread_pool.hpp
+/// A small fixed-size worker pool for the batch runtime.
+///
+/// Deliberately minimal: FIFO task queue, std::future-based completion, no
+/// work stealing. The runtime submits one task per shard; fairness and load
+/// balance come from shard oversubscription (see shard.hpp), not from the
+/// pool. Kept as its own component so later PRs (async streaming ingest,
+/// request servers) can reuse it.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdsflow::runtime {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads. `workers` must be > 0.
+  explicit ThreadPool(unsigned workers);
+
+  /// Drains nothing: outstanding tasks are completed before destruction
+  /// returns (join semantics, never detach).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueues a task; the future resolves when it has run (or carries the
+  /// exception it threw).
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cdsflow::runtime

@@ -1,0 +1,187 @@
+/// \file test_runtime.cpp
+/// The sharded portfolio runtime: shard planning, shard-boundary
+/// correctness (bit-identical to a single-engine run, including empty and
+/// one-option books), determinism across worker counts, and the modelled
+/// multi-lane scaling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engines/registry.hpp"
+#include "runtime/portfolio_runtime.hpp"
+#include "runtime/shard.hpp"
+#include "runtime/thread_pool.hpp"
+#include "workload/scenario.hpp"
+
+namespace cdsflow {
+namespace {
+
+TEST(ShardPlan, ExactDivision) {
+  const auto plan = runtime::plan_shards(12, 4);
+  ASSERT_EQ(plan.size(), 3u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].index, i);
+    EXPECT_EQ(plan[i].begin, i * 4);
+    EXPECT_EQ(plan[i].end, (i + 1) * 4);
+    EXPECT_EQ(plan[i].size(), 4u);
+  }
+}
+
+TEST(ShardPlan, RemainderGoesToLastShard) {
+  const auto plan = runtime::plan_shards(10, 4);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[2].begin, 8u);
+  EXPECT_EQ(plan[2].end, 10u);
+  EXPECT_EQ(plan[2].size(), 2u);
+}
+
+TEST(ShardPlan, EmptyAndDegenerate) {
+  EXPECT_TRUE(runtime::plan_shards(0, 4).empty());
+  const auto one = runtime::plan_shards(1, 100);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].size(), 1u);
+  EXPECT_THROW(runtime::plan_shards(5, 0), Error);
+}
+
+TEST(ShardPlan, AutoShardSizeOversubscribes) {
+  // ~4 shards per worker, never zero.
+  EXPECT_EQ(runtime::auto_shard_size(1600, 4), 100u);
+  EXPECT_EQ(runtime::auto_shard_size(3, 8), 1u);
+  EXPECT_EQ(runtime::auto_shard_size(0, 4), 1u);
+  EXPECT_THROW(runtime::auto_shard_size(100, 0), Error);
+}
+
+TEST(ThreadPool, RunsAllTasksAndPropagatesExceptions) {
+  runtime::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  auto failing = pool.submit([] { throw Error("boom"); });
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_THROW(failing.get(), Error);
+}
+
+/// Bit-identical: sharded pricing must merge to exactly the bytes the
+/// single-engine baseline produces, in submission order.
+void expect_identical(const std::vector<cds::SpreadResult>& got,
+                      const std::vector<cds::SpreadResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "at " << i;
+    EXPECT_EQ(got[i].spread_bps, want[i].spread_bps) << "at " << i;
+  }
+}
+
+TEST(PortfolioRuntime, MatchesSingleEngineAcrossShardBoundaries) {
+  const auto scenario = workload::smoke_scenario(53, 11);
+  for (const auto* name : {"cpu", "dataflow", "vectorised"}) {
+    SCOPED_TRACE(name);
+    auto single = engine::make_engine(name, scenario.interest,
+                                      scenario.hazard);
+    const auto baseline = single->price(scenario.options);
+
+    runtime::RuntimeConfig cfg;
+    cfg.engine = name;
+    cfg.workers = 3;
+    cfg.shard_size = 7;  // 53 = 7*7 + 4: exercises a ragged final shard
+    runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard, cfg);
+    const auto run = rt.price(scenario.options);
+
+    expect_identical(run.run.results, baseline.results);
+    EXPECT_EQ(run.shards.size(), 8u);
+    EXPECT_EQ(run.lanes, 3u);
+    EXPECT_GT(run.run.options_per_second, 0.0);
+    EXPECT_GT(run.wall_seconds, 0.0);
+  }
+}
+
+TEST(PortfolioRuntime, EmptyPortfolio) {
+  const auto scenario = workload::smoke_scenario(1, 5);
+  runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard,
+                               {.workers = 4});
+  const auto run = rt.price({});
+  EXPECT_TRUE(run.run.results.empty());
+  EXPECT_TRUE(run.shards.empty());
+  EXPECT_EQ(run.run.options_per_second, 0.0);
+  EXPECT_EQ(run.run.total_seconds, 0.0);
+}
+
+TEST(PortfolioRuntime, SingleOptionPortfolio) {
+  const auto scenario = workload::smoke_scenario(1, 5);
+  auto single = engine::make_engine("vectorised", scenario.interest,
+                                    scenario.hazard);
+  const auto baseline = single->price(scenario.options);
+
+  runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard,
+                               {.engine = "vectorised", .workers = 4});
+  const auto run = rt.price(scenario.options);
+  ASSERT_EQ(run.shards.size(), 1u);
+  expect_identical(run.run.results, baseline.results);
+}
+
+TEST(PortfolioRuntime, DeterministicAcrossWorkerCounts) {
+  const auto scenario = workload::smoke_scenario(41, 23);
+  std::vector<cds::SpreadResult> reference;
+  for (const unsigned workers : {1u, 2u, 5u}) {
+    SCOPED_TRACE(workers);
+    runtime::RuntimeConfig cfg;
+    cfg.engine = "vectorised";
+    cfg.workers = workers;
+    cfg.shard_size = 6;  // hold the plan fixed while the lane count varies
+    runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard, cfg);
+    const auto run = rt.price(scenario.options);
+    if (reference.empty()) {
+      reference = run.run.results;
+    } else {
+      expect_identical(run.run.results, reference);
+    }
+  }
+}
+
+TEST(PortfolioRuntime, ModelledMakespanScalesWithLanes) {
+  // Simulated engine => deterministic per-shard times: one lane prices
+  // shards back to back, four lanes overlap them.
+  const auto scenario = workload::smoke_scenario(64, 3);
+  auto run_with = [&](unsigned workers) {
+    runtime::RuntimeConfig cfg;
+    cfg.engine = "vectorised";
+    cfg.workers = workers;
+    cfg.shard_size = 4;
+    runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard, cfg);
+    return rt.price(scenario.options);
+  };
+  const auto one = run_with(1);
+  const auto four = run_with(4);
+  expect_identical(four.run.results, one.run.results);
+  EXPECT_GT(one.run.total_seconds, four.run.total_seconds * 1.5);
+  // Total simulated work is lane-count independent.
+  EXPECT_EQ(one.run.kernel_cycles, four.run.kernel_cycles);
+}
+
+TEST(PortfolioRuntime, EngineReplicasCapConcurrency) {
+  const auto scenario = workload::smoke_scenario(8, 2);
+  runtime::RuntimeConfig cfg;
+  cfg.workers = 8;
+  cfg.engine_replicas = 2;
+  runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard, cfg);
+  EXPECT_EQ(rt.lanes(), 2u);
+  const auto run = rt.price(scenario.options);
+  for (const auto& shard : run.shards) EXPECT_LT(shard.lane, 2u);
+}
+
+TEST(PortfolioRuntime, RejectsUnknownEngine) {
+  const auto scenario = workload::smoke_scenario(4, 2);
+  EXPECT_THROW(runtime::PortfolioRuntime(scenario.interest, scenario.hazard,
+                                         {.engine = "warp-drive"}),
+               Error);
+}
+
+}  // namespace
+}  // namespace cdsflow

@@ -5,6 +5,11 @@
 ///   cdsflow_cli price --engine vectorised --count 256 [--seed 42]
 ///                     [--curve-interest f.csv] [--curve-hazard f.csv]
 ///                     [--portfolio book.csv] [--out results.csv]
+///                     [--workers N] [--shard-size S] [--replicas R]
+///
+/// `--workers` / `--shard-size` route pricing through the sharded batch
+/// runtime (src/runtime/): the book is cut into shards and priced on N
+/// concurrent engine replicas, results merged back in submission order.
 ///   cdsflow_cli bootstrap --quotes quotes.csv [--out hazard.csv]
 ///   cdsflow_cli engines
 ///   cdsflow_cli device [--engines N] [--lanes L]
@@ -24,6 +29,7 @@
 #include "engines/registry.hpp"
 #include "fpga/resource.hpp"
 #include "io/csv.hpp"
+#include "runtime/portfolio_runtime.hpp"
 #include "workload/curves.hpp"
 #include "workload/options.hpp"
 
@@ -83,18 +89,45 @@ int cmd_price(const Args& args) {
   }
 
   const std::string engine_name = args.get_or("engine", "vectorised");
-  auto engine = engine::make_engine(engine_name, interest, hazard);
-  const auto run = engine->price(book);
-
-  std::cout << engine->description() << '\n'
-            << "options: " << book.size() << "\n"
-            << "throughput: " << with_thousands(run.options_per_second, 2)
-            << " options/s";
-  if (run.kernel_cycles > 0) {
-    std::cout << " (" << with_thousands(double(run.kernel_cycles), 0)
-              << " simulated kernel cycles)";
+  engine::PricingRun run;
+  if (args.get("workers") || args.get("shard-size") || args.get("replicas")) {
+    const long workers = args.get_long_or("workers", 0);
+    const long shard_size = args.get_long_or("shard-size", 0);
+    const long replicas = args.get_long_or("replicas", 0);
+    CDSFLOW_EXPECT(workers >= 0, "--workers must be >= 0 (0 = all cores)");
+    CDSFLOW_EXPECT(shard_size >= 0, "--shard-size must be >= 0 (0 = auto)");
+    CDSFLOW_EXPECT(replicas >= 0, "--replicas must be >= 0 (0 = per worker)");
+    runtime::RuntimeConfig cfg;
+    cfg.engine = engine_name;
+    cfg.workers = static_cast<unsigned>(workers);
+    cfg.shard_size = static_cast<std::size_t>(shard_size);
+    cfg.engine_replicas = static_cast<unsigned>(replicas);
+    runtime::PortfolioRuntime rt(interest, hazard, cfg);
+    auto batch = rt.price(book);
+    std::cout << "sharded runtime: " << batch.lanes << " lane(s) of ["
+              << rt.worker_description() << "], " << batch.shards.size()
+              << " shard(s) of <= " << batch.shard_size << " options\n"
+              << "options: " << book.size() << "\n"
+              << "modelled throughput: "
+              << with_thousands(batch.run.options_per_second, 2)
+              << " options/s\n"
+              << "wall throughput: "
+              << with_thousands(batch.wall_options_per_second, 2)
+              << " options/s\n";
+    run = std::move(batch.run);
+  } else {
+    auto engine = engine::make_engine(engine_name, interest, hazard);
+    run = engine->price(book);
+    std::cout << engine->description() << '\n'
+              << "options: " << book.size() << "\n"
+              << "throughput: " << with_thousands(run.options_per_second, 2)
+              << " options/s";
+    if (run.kernel_cycles > 0) {
+      std::cout << " (" << with_thousands(double(run.kernel_cycles), 0)
+                << " simulated kernel cycles)";
+    }
+    std::cout << '\n';
   }
-  std::cout << '\n';
 
   if (args.get("out")) {
     io::write_results_csv(*args.get("out"), run.results);
