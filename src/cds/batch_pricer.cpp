@@ -1,0 +1,133 @@
+#include "cds/batch_pricer.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "cds/legs.hpp"
+#include "common/error.hpp"
+
+namespace cdsflow::cds {
+
+void BatchPricer::Workspace::clear() {
+  grid_of.clear();
+  grid_maturity.clear();
+  grid_frequency.clear();
+  grid_annuity.clear();
+  grid_payoff.clear();
+  grid_offset.clear();
+  points.clear();
+  discount.clear();
+  survival.clear();
+  default_mass.clear();
+  dedup.clear();  // keeps the bucket array, so a warmed workspace stays
+                  // allocation-free
+}
+
+BatchPricer::BatchPricer(TermStructure interest, TermStructure hazard)
+    : interest_(std::move(interest)),
+      hazard_(std::move(hazard)),
+      hazard_prefix_(make_hazard_prefix(hazard_)) {
+  interest_.validate();
+}
+
+BatchStats BatchPricer::price(std::span<const CdsOption> options,
+                              std::span<SpreadResult> out,
+                              Workspace& ws) const {
+  CDSFLOW_EXPECT(out.size() == options.size(),
+                 "batch price() needs out.size() == options.size()");
+  ws.clear();
+  BatchStats stats;
+  stats.options = options.size();
+  if (options.empty()) return stats;
+
+  // Pass 1 -- dedup: map every option onto a unique (maturity, frequency)
+  // grid id. Options are validated here, as in the scalar reference.
+  ws.grid_of.reserve(options.size());
+  for (const CdsOption& option : options) {
+    option.validate();
+    const detail::ScheduleKey key{
+        std::bit_cast<std::uint64_t>(option.maturity_years),
+        std::bit_cast<std::uint64_t>(option.payment_frequency)};
+    const auto next_id = static_cast<std::uint32_t>(ws.grid_maturity.size());
+    const auto [it, inserted] = ws.dedup.try_emplace(key, next_id);
+    if (inserted) {
+      ws.grid_maturity.push_back(option.maturity_years);
+      ws.grid_frequency.push_back(option.payment_frequency);
+    }
+    ws.grid_of.push_back(it->second);
+  }
+
+  // Pass 2 -- per unique grid: materialise the schedule once into the flat
+  // arena, tabulate D/Q/dq, and reduce the three leg sums in exactly the
+  // scalar reference's accumulation order (so spreads match bit-for-bit).
+  const std::size_t n_grids = ws.grid_maturity.size();
+  ws.grid_offset.reserve(n_grids);
+  ws.grid_annuity.reserve(n_grids);
+  ws.grid_payoff.reserve(n_grids);
+  for (std::size_t g = 0; g < n_grids; ++g) {
+    CdsOption probe;  // schedule depends only on (maturity, frequency)
+    probe.maturity_years = ws.grid_maturity[g];
+    probe.payment_frequency = ws.grid_frequency[g];
+    const std::size_t offset = ws.points.size();
+    ws.grid_offset.push_back(offset);
+    const std::size_t n_points = make_schedule(probe, ws.points);
+
+    double premium = 0.0;
+    double accrual = 0.0;
+    double payoff = 0.0;
+    double q_prev = 1.0;  // Q(0)
+    for (std::size_t i = offset; i < offset + n_points; ++i) {
+      const TimePoint tp = ws.points[i];
+      const double q = survival_probability_prefix(hazard_prefix_, tp.t);
+      const double r = interest_.interpolate_fast(tp.t);
+      const double d = std::exp(-r * tp.t);
+      const LegTerms terms = leg_terms_from_discount(d, q_prev, q, tp.dt);
+      ws.discount.push_back(d);
+      ws.survival.push_back(q);
+      ws.default_mass.push_back(q_prev - q);
+      premium += terms.premium;
+      accrual += terms.accrual;
+      payoff += terms.payoff;
+      q_prev = q;
+    }
+    const double annuity = premium + accrual;
+    // Hoisted from the per-option combine: the annuity is recovery-free, so
+    // one check per grid covers every option on it (same diagnostic as
+    // combine_spread_bps).
+    CDSFLOW_EXPECT(annuity > 0.0,
+                   "risky annuity must be positive to quote a spread");
+    ws.grid_annuity.push_back(annuity);
+    ws.grid_payoff.push_back(payoff);
+  }
+  stats.unique_schedules = n_grids;
+  stats.grid_points = ws.points.size();
+
+  // Pass 3 -- per option: a branch-free combine against the reduced grid
+  // sums. Association order matches combine_spread_bps.
+  const double* annuity = ws.grid_annuity.data();
+  const double* payoff = ws.grid_payoff.data();
+  const std::uint32_t* grid_of = ws.grid_of.data();
+  std::size_t scalar_points = 0;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    const std::uint32_t g = grid_of[i];
+    const double protection =
+        (1.0 - options[i].recovery_rate) * payoff[g];
+    out[i] = {options[i].id,
+              kBasisPointsPerUnit * protection / annuity[g]};
+    const std::size_t grid_end =
+        g + 1 < n_grids ? ws.grid_offset[g + 1] : ws.points.size();
+    scalar_points += grid_end - ws.grid_offset[g];
+  }
+  stats.scalar_points = scalar_points;
+  return stats;
+}
+
+std::vector<SpreadResult> BatchPricer::price(
+    const std::vector<CdsOption>& options) const {
+  Workspace ws;
+  std::vector<SpreadResult> out(options.size());
+  price(options, out, ws);
+  return out;
+}
+
+}  // namespace cdsflow::cds

@@ -1,0 +1,142 @@
+/// \file batch_pricer.hpp
+/// Batched structure-of-arrays fast-path pricing kernel for the CPU.
+///
+/// The host-side scalar path re-derives everything per option: an O(knots)
+/// hazard scan plus an exp per schedule point, an O(knots) interpolation
+/// scan plus an exp per schedule point, and a heap-allocated schedule per
+/// option. That is exactly the redundant recomputation the paper strips out
+/// of the FPGA kernel by restructuring it as dataflow (Sec. III); this
+/// kernel performs the same restructuring for the CPU path the sharded
+/// runtime's workers execute:
+///
+///   1. *Schedule dedup.* Options sharing (maturity, frequency) share one
+///      payment grid; a standard-tenor book of 16k options collapses to a
+///      handful of grids. Grids live in one flat arena (no per-option
+///      allocation).
+///   2. *Curve-grid precompute.* Once per (interest, hazard) pair and unique
+///      grid, the kernel tabulates the discount factor D(t_i), survival
+///      Q(t_i) and default mass dq_i on that grid -- hazard integration via
+///      O(log) prefix sums (integrated_hazard_prefix), interpolation via
+///      O(log) binary search (interpolate_fast) -- and reduces the three leg
+///      sums in the reference accumulation order.
+///   3. *Per-option combine.* Pricing an option is then a branch-free
+///      multiply-divide against its grid's reduced sums: no exp, no curve
+///      scan, no allocation in the inner loop.
+///
+/// Numerics: every intermediate is computed with the same association order
+/// as the scalar reference (`price_breakdown`), so spreads agree with
+/// ReferencePricer bit-for-bit under default compilation (and to well below
+/// 1e-9 relative under any IEEE-conforming contraction). The HLS-mirroring
+/// fixed-bound scans stay untouched for the simulated engines -- they model
+/// what the hardware pays; this kernel is what the host should pay.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/hazard.hpp"
+#include "cds/schedule.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::cds {
+
+namespace detail {
+
+/// Dedup key: the exact bit patterns of (maturity, frequency). Near-equal
+/// doubles hash to distinct grids, which costs a redundant grid but never
+/// correctness.
+struct ScheduleKey {
+  std::uint64_t maturity_bits = 0;
+  std::uint64_t frequency_bits = 0;
+  friend bool operator==(const ScheduleKey&, const ScheduleKey&) = default;
+};
+
+struct ScheduleKeyHash {
+  std::size_t operator()(const ScheduleKey& key) const noexcept {
+    // splitmix64-style finaliser over the combined words.
+    std::uint64_t x =
+        key.maturity_bits ^ (key.frequency_bits * 0x9E3779B97F4A7C15ULL);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace detail
+
+/// What one batch cost and how much work dedup removed.
+struct BatchStats {
+  std::size_t options = 0;
+  /// Distinct (maturity, frequency) grids the batch collapsed to.
+  std::size_t unique_schedules = 0;
+  /// Schedule points actually materialised and walked (sum over grids).
+  std::size_t grid_points = 0;
+  /// Schedule points the scalar path would have walked (sum over options);
+  /// grid_points / scalar_points is the dedup factor.
+  std::size_t scalar_points = 0;
+};
+
+class BatchPricer {
+ public:
+  /// Reusable scratch for price(): flat SoA arrays plus the dedup map. All
+  /// memory is retained between calls, so a warmed workspace makes a batch
+  /// allocation-free. One workspace per concurrent caller.
+  struct Workspace {
+    // Per option, in batch order.
+    std::vector<std::uint32_t> grid_of;
+    // Per unique grid.
+    std::vector<double> grid_maturity;
+    std::vector<double> grid_frequency;
+    std::vector<double> grid_annuity;  ///< premium + accrual leg sums
+    std::vector<double> grid_payoff;   ///< unscaled payoff sum
+    std::vector<std::size_t> grid_offset;
+    // Flat arena over all unique grids. The three tabulated curves are not
+    // read by the spread combine (its reductions fold them immediately);
+    // they are the per-grid intermediates a risk pass differentiates --
+    // CS01/JTD are one more reduction over these arrays (see the ROADMAP
+    // batch-kernel-Greeks item) -- and the parity tests check them against
+    // the reference curve math directly.
+    std::vector<TimePoint> points;
+    std::vector<double> discount;  ///< D(t_i)
+    std::vector<double> survival;  ///< Q(t_i)
+    std::vector<double> default_mass;  ///< dq_i = Q(t_{i-1}) - Q(t_i)
+    std::unordered_map<detail::ScheduleKey, std::uint32_t,
+                       detail::ScheduleKeyHash>
+        dedup;
+
+    void clear();
+  };
+
+  /// Both curves are copied and the hazard prefix table is built once; the
+  /// pricer is immutable afterwards (safe to share across threads, each
+  /// thread bringing its own Workspace).
+  BatchPricer(TermStructure interest, TermStructure hazard);
+
+  const TermStructure& interest() const { return interest_; }
+  const TermStructure& hazard() const { return hazard_; }
+  const HazardPrefix& hazard_prefix() const { return hazard_prefix_; }
+
+  /// Prices options[i] into out[i] (ids preserved, batch order). `out` must
+  /// have the same length as `options`. Throws cdsflow::Error on invalid
+  /// options or an unpriceable grid (non-positive risky annuity), exactly
+  /// like the scalar reference.
+  BatchStats price(std::span<const CdsOption> options,
+                   std::span<SpreadResult> out, Workspace& workspace) const;
+
+  /// Convenience overload that owns its workspace and result vector.
+  std::vector<SpreadResult> price(const std::vector<CdsOption>& options) const;
+
+ private:
+  TermStructure interest_;
+  TermStructure hazard_;
+  HazardPrefix hazard_prefix_;
+};
+
+}  // namespace cdsflow::cds

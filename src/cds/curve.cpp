@@ -45,17 +45,30 @@ std::size_t TermStructure::count_at_or_before(double t) const {
       std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
 }
 
-double TermStructure::interpolate(double t) const {
-  CDSFLOW_ASSERT(!times_.empty(), "interpolate on empty curve");
-  if (t <= times_.front()) return values_.front();
-  if (t >= times_.back()) return values_.back();
-  const std::size_t lo = find_bracket_scan(t);
+double TermStructure::lerp_on_bracket(std::size_t lo, double t) const {
   const std::size_t hi = lo + 1;
   const double t0 = times_[lo];
   const double t1 = times_[hi];
   const double v0 = values_[lo];
   const double v1 = values_[hi];
   return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+}
+
+double TermStructure::interpolate(double t) const {
+  CDSFLOW_ASSERT(!times_.empty(), "interpolate on empty curve");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  return lerp_on_bracket(find_bracket_scan(t), t);
+}
+
+double TermStructure::interpolate_fast(double t) const {
+  CDSFLOW_ASSERT(!times_.empty(), "interpolate on empty curve");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  // Last knot with time <= t: the same index find_bracket_scan returns for
+  // any t strictly inside the knot range (count_at_or_before is never zero
+  // here because t > times_.front()).
+  return lerp_on_bracket(count_at_or_before(t) - 1, t);
 }
 
 }  // namespace cdsflow::cds

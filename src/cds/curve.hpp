@@ -52,11 +52,24 @@ class TermStructure {
   /// the knot range.
   double interpolate(double t) const;
 
+  /// Same value as interpolate(), bracket located by binary search instead
+  /// of the HLS-mirroring fixed-bound scan: O(log n) per query. The bracket
+  /// index and the interpolation arithmetic are identical, so the result is
+  /// bit-for-bit equal to interpolate() -- this is the host fast path the
+  /// batch pricer uses, while the simulated engines keep paying the scan the
+  /// hardware pays.
+  double interpolate_fast(double t) const;
+
   /// Throws cdsflow::Error if the invariants fail (used after deserialising
   /// external data).
   void validate() const;
 
  private:
+  /// Linear interpolation on the bracket [lo, lo+1] -- the one arithmetic
+  /// both interpolate() and interpolate_fast() share, so their bit-for-bit
+  /// equality is structural.
+  double lerp_on_bracket(std::size_t lo, double t) const;
+
   std::vector<double> times_;
   std::vector<double> values_;
 };

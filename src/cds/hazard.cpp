@@ -56,6 +56,47 @@ double survival_probability(const TermStructure& hazard, double t) {
   return std::exp(-integrated_hazard(hazard, t));
 }
 
+HazardPrefix make_hazard_prefix(const TermStructure& hazard) {
+  hazard.validate();
+  HazardPrefix prefix;
+  prefix.times = hazard.times();
+  prefix.rates = hazard.values();
+  prefix.lambda.reserve(prefix.times.size());
+  // Accumulate full-segment contributions in exactly the in-order scan's
+  // association order, so every lambda[j] is the bit pattern the scan
+  // produces for t == tau_j.
+  double acc = 0.0;
+  double prev = 0.0;
+  for (std::size_t j = 0; j < prefix.times.size(); ++j) {
+    acc += prefix.rates[j] * (prefix.times[j] - prev);
+    prefix.lambda.push_back(acc);
+    prev = prefix.times[j];
+  }
+  return prefix;
+}
+
+double integrated_hazard_prefix(const HazardPrefix& prefix, double t) {
+  CDSFLOW_EXPECT(t >= 0.0, "integrated hazard requires t >= 0");
+  CDSFLOW_ASSERT(!prefix.times.empty(), "empty hazard prefix");
+  // First knot with tau_j >= t: t lies in segment j (tau_{j-1}, tau_j].
+  const std::size_t j = static_cast<std::size_t>(
+      std::lower_bound(prefix.times.begin(), prefix.times.end(), t) -
+      prefix.times.begin());
+  if (j == prefix.times.size()) {
+    // Beyond the last knot: full prefix + last-rate extrapolation, the same
+    // two-term sum integrated_hazard's tail handling produces.
+    return prefix.lambda.back() +
+           prefix.rates.back() * (t - prefix.times.back());
+  }
+  const double seg_begin = j == 0 ? 0.0 : prefix.times[j - 1];
+  const double base = j == 0 ? 0.0 : prefix.lambda[j - 1];
+  return base + prefix.rates[j] * (t - seg_begin);
+}
+
+double survival_probability_prefix(const HazardPrefix& prefix, double t) {
+  return std::exp(-integrated_hazard_prefix(prefix, t));
+}
+
 double default_probability(const TermStructure& hazard, double t) {
   return 1.0 - survival_probability(hazard, t);
 }

@@ -59,6 +59,38 @@ double survival_probability(const TermStructure& hazard, double t);
 /// 1 - Q(t).
 double default_probability(const TermStructure& hazard, double t);
 
+// --- prefix-sum fast path --------------------------------------------------
+//
+// The host-side batch pricer queries Lambda(t) thousands of times against
+// one fixed hazard curve; re-running the O(knots) scan per query is exactly
+// the redundant recomputation the paper eliminates in hardware. Because the
+// in-order scan accumulates full-segment contributions left to right (every
+// segment past t contributes +0.0, which cannot change a finite IEEE sum),
+// Lambda(tau_0..tau_j) can be precomputed once as a prefix sum in the same
+// association order; a query then locates its segment by binary search and
+// adds the single partial-segment term. The result is bit-for-bit equal to
+// integrated_hazard() for every t >= 0.
+
+/// Precomputed prefix sums of the hazard integral at each knot.
+struct HazardPrefix {
+  /// Knot times tau_j, copied from the curve.
+  std::vector<double> times;
+  /// Piecewise rates h_j, copied from the curve.
+  std::vector<double> rates;
+  /// lambda[j] = Lambda(tau_j), accumulated in curve order.
+  std::vector<double> lambda;
+};
+
+/// Builds the prefix table (O(knots), done once per curve).
+HazardPrefix make_hazard_prefix(const TermStructure& hazard);
+
+/// O(log knots) Lambda(t); bit-identical to integrated_hazard(hazard, t)
+/// for the curve the prefix was built from.
+double integrated_hazard_prefix(const HazardPrefix& prefix, double t);
+
+/// Q(t) = exp(-Lambda(t)) via the prefix table.
+double survival_probability_prefix(const HazardPrefix& prefix, double t);
+
 // --- generic lane accumulation (Listing 1 over a plain array) --------------
 
 /// Straight left-to-right sum: the II=7 dependency chain on the FPGA, and a

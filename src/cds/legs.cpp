@@ -15,24 +15,38 @@ double discount_factor(const TermStructure& interest, double t) {
 
 LegTerms leg_terms(const TermStructure& interest, double survival_prev,
                    double survival_now, double t, double dt) {
-  const double d = discount_factor(interest, t);
+  return leg_terms_from_discount(discount_factor(interest, t), survival_prev,
+                                 survival_now, dt);
+}
+
+LegTerms leg_terms_from_discount(double discount, double survival_prev,
+                                 double survival_now, double dt) {
   const double dq = survival_prev - survival_now;
   LegTerms terms;
-  terms.premium = d * survival_now * dt;
-  terms.accrual = 0.5 * d * dq * dt;
-  terms.payoff = d * dq;
+  terms.premium = discount * survival_now * dt;
+  terms.accrual = 0.5 * discount * dq * dt;
+  terms.payoff = discount * dq;
   return terms;
 }
 
 PricingBreakdown price_breakdown(const TermStructure& interest,
                                  const TermStructure& hazard,
                                  const CdsOption& option) {
+  std::vector<TimePoint> scratch;
+  return price_breakdown(interest, hazard, option, scratch);
+}
+
+PricingBreakdown price_breakdown(const TermStructure& interest,
+                                 const TermStructure& hazard,
+                                 const CdsOption& option,
+                                 std::vector<TimePoint>& scratch) {
   option.validate();
-  const std::vector<TimePoint> schedule = make_schedule(option);
+  scratch.clear();
+  make_schedule(option, scratch);
   PricingBreakdown out;
   double payoff_sum = 0.0;
   double q_prev = 1.0;  // Q(0)
-  for (const TimePoint& tp : schedule) {
+  for (const TimePoint& tp : scratch) {
     const double q = survival_probability(hazard, tp.t);
     const LegTerms terms = leg_terms(interest, q_prev, q, tp.t, tp.dt);
     out.premium_leg += terms.premium;

@@ -49,11 +49,26 @@ struct LegTerms {
 LegTerms leg_terms(const TermStructure& interest, double survival_prev,
                    double survival_now, double t, double dt);
 
+/// Terms from an already-known discount factor -- the single home of the
+/// premium/accrual/payoff formulas. leg_terms() wraps it after looking D(t)
+/// up from the curve; the batch kernel calls it directly with its
+/// precomputed grid values.
+LegTerms leg_terms_from_discount(double discount, double survival_prev,
+                                 double survival_now, double dt);
+
 /// Whole-leg sums over an option's schedule (in schedule order, matching the
 /// engines' accumulation order for the premium/accrual/payoff streams).
 PricingBreakdown price_breakdown(const TermStructure& interest,
                                  const TermStructure& hazard,
                                  const CdsOption& option);
+
+/// Same computation with a caller-owned schedule buffer: `scratch` is
+/// cleared and refilled, so portfolio loops allocate once instead of once
+/// per option.
+PricingBreakdown price_breakdown(const TermStructure& interest,
+                                 const TermStructure& hazard,
+                                 const CdsOption& option,
+                                 std::vector<TimePoint>& scratch);
 
 /// Combines leg sums into the spread. Throws when the risky annuity
 /// (premium + accrual) is not positive -- an unpriceable contract.

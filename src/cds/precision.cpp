@@ -30,12 +30,14 @@ namespace {
 template <typename AccT>
 double spread_single_precision(const TermStructure& interest,
                                const TermStructure& hazard,
-                               const CdsOption& option) {
-  const auto schedule = make_schedule(option);
+                               const CdsOption& option,
+                               std::vector<TimePoint>& scratch) {
+  scratch.clear();
+  make_schedule(option, scratch);
 
   AccT premium = 0, accrual = 0, payoff = 0;
   float q_prev = 1.0f;
-  for (const TimePoint& tp : schedule) {
+  for (const TimePoint& tp : scratch) {
     const auto t = static_cast<float>(tp.t);
     const auto dt = static_cast<float>(tp.dt);
 
@@ -81,14 +83,25 @@ double spread_bps_with_precision(const TermStructure& interest,
                                  const TermStructure& hazard,
                                  const CdsOption& option,
                                  Precision precision) {
+  std::vector<TimePoint> scratch;
+  return spread_bps_with_precision(interest, hazard, option, precision,
+                                   scratch);
+}
+
+double spread_bps_with_precision(const TermStructure& interest,
+                                 const TermStructure& hazard,
+                                 const CdsOption& option, Precision precision,
+                                 std::vector<TimePoint>& scratch) {
   option.validate();
   switch (precision) {
     case Precision::kDouble:
-      return price_breakdown(interest, hazard, option).spread_bps;
+      return price_breakdown(interest, hazard, option, scratch).spread_bps;
     case Precision::kSingle:
-      return spread_single_precision<float>(interest, hazard, option);
+      return spread_single_precision<float>(interest, hazard, option,
+                                            scratch);
     case Precision::kMixed:
-      return spread_single_precision<double>(interest, hazard, option);
+      return spread_single_precision<double>(interest, hazard, option,
+                                             scratch);
   }
   throw Error("unknown precision mode");
 }
@@ -101,10 +114,13 @@ PrecisionErrorReport evaluate_precision(const TermStructure& interest,
   PrecisionErrorReport report;
   report.precision = precision;
   double abs_sum = 0.0;
+  std::vector<TimePoint> scratch;
   for (const auto& option : book) {
-    const double exact = price_breakdown(interest, hazard, option).spread_bps;
+    const double exact =
+        price_breakdown(interest, hazard, option, scratch).spread_bps;
     const double approx =
-        spread_bps_with_precision(interest, hazard, option, precision);
+        spread_bps_with_precision(interest, hazard, option, precision,
+                                  scratch);
     const double abs_err = std::fabs(approx - exact);
     abs_sum += abs_err;
     report.max_abs_error_bps = std::max(report.max_abs_error_bps, abs_err);

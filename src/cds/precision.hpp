@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cds/curve.hpp"
+#include "cds/schedule.hpp"
 #include "cds/types.hpp"
 
 namespace cdsflow::cds {
@@ -36,6 +37,12 @@ double spread_bps_with_precision(const TermStructure& interest,
                                  const TermStructure& hazard,
                                  const CdsOption& option,
                                  Precision precision);
+
+/// Same with a caller-owned schedule buffer, reusable across a book loop.
+double spread_bps_with_precision(const TermStructure& interest,
+                                 const TermStructure& hazard,
+                                 const CdsOption& option, Precision precision,
+                                 std::vector<TimePoint>& scratch);
 
 /// Error summary of a reduced-precision pricer over a book.
 struct PrecisionErrorReport {

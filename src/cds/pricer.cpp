@@ -14,6 +14,11 @@ double ReferencePricer::spread_bps(const CdsOption& option) const {
   return breakdown(option).spread_bps;
 }
 
+double ReferencePricer::spread_bps(const CdsOption& option,
+                                   std::vector<TimePoint>& scratch) const {
+  return price_breakdown(interest_, hazard_, option, scratch).spread_bps;
+}
+
 PricingBreakdown ReferencePricer::breakdown(const CdsOption& option) const {
   return price_breakdown(interest_, hazard_, option);
 }
@@ -22,8 +27,9 @@ std::vector<SpreadResult> ReferencePricer::price(
     const std::vector<CdsOption>& options) const {
   std::vector<SpreadResult> results;
   results.reserve(options.size());
+  std::vector<TimePoint> scratch;  // one schedule buffer for the whole book
   for (const CdsOption& option : options) {
-    results.push_back({option.id, spread_bps(option)});
+    results.push_back({option.id, spread_bps(option, scratch)});
   }
   return results;
 }

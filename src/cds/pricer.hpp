@@ -12,6 +12,7 @@
 
 #include "cds/curve.hpp"
 #include "cds/legs.hpp"
+#include "cds/schedule.hpp"
 #include "cds/types.hpp"
 
 namespace cdsflow::cds {
@@ -27,6 +28,11 @@ class ReferencePricer {
 
   /// Fair spread (basis points) of one option.
   double spread_bps(const CdsOption& option) const;
+
+  /// Fair spread with a caller-owned schedule buffer (reused across a
+  /// portfolio loop; see price_breakdown's scratch overload).
+  double spread_bps(const CdsOption& option,
+                    std::vector<TimePoint>& scratch) const;
 
   /// Full leg breakdown of one option.
   PricingBreakdown breakdown(const CdsOption& option) const;

@@ -1,5 +1,6 @@
 #include "cds/schedule.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -25,21 +26,31 @@ std::size_t schedule_size(const CdsOption& option) {
 }
 
 std::vector<TimePoint> make_schedule(const CdsOption& option) {
-  const std::size_t n = schedule_size(option);
   std::vector<TimePoint> points;
-  points.reserve(n);
+  make_schedule(option, points);
+  return points;
+}
+
+std::size_t make_schedule(const CdsOption& option,
+                          std::vector<TimePoint>& out) {
+  const std::size_t n = schedule_size(option);
+  // Grow geometrically: reserve(size + n) on every append would reallocate
+  // to the exact request each time and turn arena filling quadratic.
+  if (out.size() + n > out.capacity()) {
+    out.reserve(std::max(out.size() + n, 2 * out.capacity()));
+  }
   const double step = 1.0 / option.payment_frequency;
   double prev = 0.0;
   for (std::size_t i = 1; i <= n; ++i) {
     double t = static_cast<double>(i) * step;
     if (i == n || t > option.maturity_years) t = option.maturity_years;
     CDSFLOW_ASSERT(t > prev, "schedule produced a non-increasing time point");
-    points.push_back({t, t - prev});
+    out.push_back({t, t - prev});
     prev = t;
   }
-  CDSFLOW_ASSERT(points.back().t == option.maturity_years,
+  CDSFLOW_ASSERT(out.back().t == option.maturity_years,
                  "schedule must end at maturity");
-  return points;
+  return n;
 }
 
 }  // namespace cdsflow::cds

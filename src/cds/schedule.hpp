@@ -27,6 +27,12 @@ struct TimePoint {
 /// t_n == maturity.
 std::vector<TimePoint> make_schedule(const CdsOption& option);
 
+/// Appends the same schedule to `out` (existing contents are preserved) and
+/// returns the number of points appended. Lets hot loops reuse one buffer
+/// across many options instead of heap-allocating per option -- the scalar
+/// pricing paths and the batch pricer's flat schedule arena both use this.
+std::size_t make_schedule(const CdsOption& option, std::vector<TimePoint>& out);
+
 /// Number of time points make_schedule would produce, without materialising
 /// them (engines use this to size streams and account work).
 std::size_t schedule_size(const CdsOption& option);

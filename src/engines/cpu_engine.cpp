@@ -1,6 +1,9 @@
 #include "engines/cpu_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -11,19 +14,27 @@ namespace cdsflow::engine {
 CpuEngine::CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
                      CpuEngineConfig config)
     : pricer_(std::move(interest), std::move(hazard)),
-      threads_(config.threads) {
+      threads_(config.threads),
+      batch_(config.batch_kernel) {
   if (threads_ == 0) {
     threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (batch_) {
+    batch_pricer_ = std::make_unique<cds::BatchPricer>(pricer_.interest(),
+                                                       pricer_.hazard());
   }
 }
 
 std::string CpuEngine::name() const {
-  return threads_ == 1 ? "cpu" : ("cpu-mt" + std::to_string(threads_));
+  const std::string base = batch_ ? "cpu-batch" : "cpu";
+  return threads_ == 1 ? base : (base + "-mt" + std::to_string(threads_));
 }
 
 std::string CpuEngine::description() const {
-  return "Bespoke C++ CPU engine, " + std::to_string(threads_) +
-         " thread(s) (" + (uses_openmp() ? "OpenMP" : "std::thread") + ")";
+  return std::string("Bespoke C++ CPU engine, ") +
+         (batch_ ? "batched SoA fast-path kernel" : "scalar reference kernel") +
+         ", " + std::to_string(threads_) + " thread(s) (" +
+         (uses_openmp() ? "OpenMP" : "std::thread") + ")";
 }
 
 bool CpuEngine::uses_openmp() {
@@ -34,45 +45,72 @@ bool CpuEngine::uses_openmp() {
 #endif
 }
 
+void CpuEngine::price_chunk(const std::vector<cds::CdsOption>& options,
+                            std::size_t begin, std::size_t end,
+                            std::vector<cds::SpreadResult>& results,
+                            Scratch& scratch) const {
+  if (batch_) {
+    batch_pricer_->price(
+        std::span<const cds::CdsOption>(options).subspan(begin, end - begin),
+        std::span<cds::SpreadResult>(results).subspan(begin, end - begin),
+        scratch.batch);
+    return;
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    results[i] = {options[i].id,
+                  pricer_.spread_bps(options[i], scratch.schedule)};
+  }
+}
+
 PricingRun CpuEngine::price(const std::vector<cds::CdsOption>& options) {
   CDSFLOW_EXPECT(!options.empty(), "price() requires options");
   PricingRun run;
   run.results.resize(options.size());
 
-  const auto n = static_cast<std::ptrdiff_t>(options.size());
   const auto t0 = std::chrono::steady_clock::now();
   if (threads_ <= 1) {
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-      run.results[static_cast<std::size_t>(i)] = {
-          options[static_cast<std::size_t>(i)].id,
-          pricer_.spread_bps(options[static_cast<std::size_t>(i)])};
-    }
+    if (scratch_.empty()) scratch_.resize(1);
+    price_chunk(options, 0, options.size(), run.results, scratch_[0]);
   } else {
+    // One contiguous chunk per worker; the OpenMP and std::thread paths
+    // execute the identical partition through price_chunk, each chunk on
+    // its own warm scratch (kept across price() calls).
+    const std::size_t chunk = (options.size() + threads_ - 1) / threads_;
+    const auto n_chunks =
+        static_cast<std::ptrdiff_t>((options.size() + chunk - 1) / chunk);
+    if (scratch_.size() < static_cast<std::size_t>(n_chunks)) {
+      scratch_.resize(static_cast<std::size_t>(n_chunks));
+    }
+    // An exception (invalid option, unpriceable grid) must not escape the
+    // parallel region or a worker thread -- that would terminate the
+    // process instead of surfacing a catchable Error. Capture the first
+    // one and rethrow after the join, matching the serial path's contract.
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto run_chunk = [&](std::ptrdiff_t c) noexcept {
+      const std::size_t begin = static_cast<std::size_t>(c) * chunk;
+      try {
+        price_chunk(options, begin, std::min(options.size(), begin + chunk),
+                    run.results, scratch_[static_cast<std::size_t>(c)]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
 #if defined(CDSFLOW_HAVE_OPENMP)
 #pragma omp parallel for schedule(static) num_threads(static_cast<int>(threads_))
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-      run.results[static_cast<std::size_t>(i)] = {
-          options[static_cast<std::size_t>(i)].id,
-          pricer_.spread_bps(options[static_cast<std::size_t>(i)])};
+    for (std::ptrdiff_t c = 0; c < n_chunks; ++c) {
+      run_chunk(c);
     }
 #else
     std::vector<std::thread> workers;
-    workers.reserve(threads_);
-    const std::size_t chunk =
-        (options.size() + threads_ - 1) / threads_;
-    for (unsigned t = 0; t < threads_; ++t) {
-      const std::size_t begin = static_cast<std::size_t>(t) * chunk;
-      const std::size_t end =
-          std::min(options.size(), begin + chunk);
-      if (begin >= end) break;
-      workers.emplace_back([this, &options, &run, begin, end] {
-        for (std::size_t i = begin; i < end; ++i) {
-          run.results[i] = {options[i].id, pricer_.spread_bps(options[i])};
-        }
-      });
+    workers.reserve(static_cast<std::size_t>(n_chunks));
+    for (std::ptrdiff_t c = 0; c < n_chunks; ++c) {
+      workers.emplace_back([&run_chunk, c] { run_chunk(c); });
     }
     for (auto& w : workers) w.join();
 #endif
+    if (first_error) std::rethrow_exception(first_error);
   }
   const auto t1 = std::chrono::steady_clock::now();
 

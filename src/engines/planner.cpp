@@ -34,11 +34,18 @@ std::vector<BackendCandidate> enumerate_backends(
     if (hw > 1) threads.push_back(hw);
   }
   for (const unsigned t : threads) {
-    const std::string name = t == 1 ? "cpu" : "cpu-mt" + std::to_string(t);
-    auto engine = make_engine(name, interest, hazard);
-    const auto run = engine->price(probe);
-    candidates.push_back(
-        {name, config.cpu_power.watts(t), run.options_per_second});
+    std::vector<std::string> names;
+    names.push_back(t == 1 ? "cpu" : "cpu-mt" + std::to_string(t));
+    if (config.probe_cpu_batch) {
+      names.push_back(t == 1 ? "cpu-batch"
+                             : "cpu-batch-mt" + std::to_string(t));
+    }
+    for (const auto& name : names) {
+      auto engine = make_engine(name, interest, hazard);
+      const auto run = engine->price(probe);
+      candidates.push_back(
+          {name, config.cpu_power.watts(t), run.options_per_second});
+    }
   }
 
   // --- FPGA candidates --------------------------------------------------------

@@ -56,6 +56,10 @@ struct PlannerConfig {
   std::size_t probe_options = 128;
   /// CPU thread counts to consider (empty: 1 and hardware_concurrency).
   std::vector<unsigned> cpu_thread_counts;
+  /// Also probe the batched SoA fast-path CPU kernel ("cpu-batch[-mtN]") at
+  /// every CPU thread count. Same power model as the scalar kernel -- the
+  /// fast path wins on energy purely by finishing sooner.
+  bool probe_cpu_batch = true;
   /// FPGA engine counts to consider (empty: 1..max that fit the device).
   std::vector<unsigned> fpga_engine_counts;
   /// Device for the fit check and the FPGA count default.

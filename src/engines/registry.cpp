@@ -32,22 +32,31 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
                                     const cds::TermStructure& hazard,
                                     const FpgaEngineConfig& fpga_config,
                                     const CpuEngineConfig& cpu_config) {
-  if (name == "cpu") {
+  // CPU family: an optional "-batch" kernel token between "cpu" and the
+  // thread suffix ("cpu", "cpu-mt[N]", "cpu-batch", "cpu-batch-mt[N]").
+  {
+    constexpr const char* kBatchPrefix = "cpu-batch";
     CpuEngineConfig cfg = cpu_config;
-    cfg.threads = 1;
-    return std::make_unique<CpuEngine>(interest, hazard, cfg);
-  }
-  if (name == "cpu-mt") {
-    CpuEngineConfig cfg = cpu_config;
-    cfg.threads = 0;  // all hardware threads
-    return std::make_unique<CpuEngine>(interest, hazard, cfg);
+    std::string cpu_name = name;
+    if (cpu_name.rfind(kBatchPrefix, 0) == 0) {
+      cfg.batch_kernel = true;
+      cpu_name = "cpu" + cpu_name.substr(std::string(kBatchPrefix).size());
+    }
+    unsigned n = 0;
+    if (cpu_name == "cpu") {
+      cfg.threads = 1;
+      return std::make_unique<CpuEngine>(interest, hazard, cfg);
+    }
+    if (cpu_name == "cpu-mt") {
+      cfg.threads = 0;  // all hardware threads
+      return std::make_unique<CpuEngine>(interest, hazard, cfg);
+    }
+    if (parse_suffix_uint(cpu_name, "cpu-mt", n)) {
+      cfg.threads = n;
+      return std::make_unique<CpuEngine>(interest, hazard, cfg);
+    }
   }
   unsigned n = 0;
-  if (parse_suffix_uint(name, "cpu-mt", n)) {
-    CpuEngineConfig cfg = cpu_config;
-    cfg.threads = n;
-    return std::make_unique<CpuEngine>(interest, hazard, cfg);
-  }
   if (name == "xilinx-baseline") {
     return std::make_unique<XilinxBaselineEngine>(interest, hazard,
                                                   fpga_config);
@@ -83,13 +92,15 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
     }
   }
   throw Error("unknown engine name '" + name +
-              "'; known: cpu, cpu-mt[N], xilinx-baseline, dataflow, "
-              "dataflow-interoption, vectorised, multi-N, cluster-MxN");
+              "'; known: cpu, cpu-mt[N], cpu-batch, cpu-batch-mt[N], "
+              "xilinx-baseline, dataflow, dataflow-interoption, vectorised, "
+              "multi-N, cluster-MxN");
 }
 
 std::vector<std::string> engine_names() {
-  return {"cpu",      "cpu-mt",      "xilinx-baseline",
-          "dataflow", "dataflow-interoption", "vectorised", "multi-5"};
+  return {"cpu",      "cpu-mt",      "cpu-batch", "cpu-batch-mt",
+          "xilinx-baseline", "dataflow", "dataflow-interoption",
+          "vectorised", "multi-5"};
 }
 
 }  // namespace cdsflow::engine

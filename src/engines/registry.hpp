@@ -2,9 +2,12 @@
 /// Name-based engine construction for examples and benches.
 ///
 /// Recognised names:
-///   "cpu"                   single-thread CPU engine
+///   "cpu"                   single-thread CPU engine (scalar kernel)
 ///   "cpu-mt"                CPU engine on all hardware threads
 ///   "cpu-mt<N>"             CPU engine on N threads (e.g. "cpu-mt8")
+///   "cpu-batch"             single-thread batched SoA fast-path kernel
+///   "cpu-batch-mt"          batch kernel on all hardware threads
+///   "cpu-batch-mt<N>"       batch kernel on N threads
 ///   "xilinx-baseline"       Vitis library model
 ///   "dataflow"              optimised dataflow, restart per option
 ///   "dataflow-interoption"  free-running dataflow

@@ -11,6 +11,9 @@ void PortfolioSpec::validate() const {
   CDSFLOW_EXPECT(maturity_min_years > 0.0, "minimum maturity must be > 0");
   CDSFLOW_EXPECT(maturity_max_years >= maturity_min_years,
                  "maturity range is inverted");
+  for (double tenor : maturity_tenor_grid) {
+    CDSFLOW_EXPECT(tenor > 0.0, "tenor-grid maturities must be positive");
+  }
   CDSFLOW_EXPECT(!frequencies.empty(), "at least one payment frequency");
   CDSFLOW_EXPECT(frequencies.size() == frequency_weights.size(),
                  "frequency/weight length mismatch");
@@ -30,8 +33,14 @@ std::vector<cds::CdsOption> make_portfolio(const PortfolioSpec& spec) {
   for (std::size_t i = 0; i < spec.count; ++i) {
     cds::CdsOption opt;
     opt.id = static_cast<std::int32_t>(i);
-    opt.maturity_years =
-        rng.uniform(spec.maturity_min_years, spec.maturity_max_years);
+    if (spec.maturity_tenor_grid.empty()) {
+      opt.maturity_years =
+          rng.uniform(spec.maturity_min_years, spec.maturity_max_years);
+    } else {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(spec.maturity_tenor_grid.size()) - 1));
+      opt.maturity_years = spec.maturity_tenor_grid[idx];
+    }
     opt.payment_frequency =
         spec.frequencies[rng.weighted_index(spec.frequency_weights)];
     opt.recovery_rate = rng.uniform(spec.recovery_min, spec.recovery_max);

@@ -23,6 +23,12 @@ struct PortfolioSpec {
   std::size_t count = 1024;
   double maturity_min_years = 1.0;
   double maturity_max_years = 10.0;
+  /// When non-empty, maturities are drawn uniformly from this discrete set
+  /// instead of the continuous [min, max] range -- the standard-tenor quoting
+  /// convention of real CDS books (1/3/5/7/10y), under which many options
+  /// share a payment schedule (the batch pricer's dedup case). Entries must
+  /// be positive.
+  std::vector<double> maturity_tenor_grid;
   /// Candidate payment frequencies with selection weights; the default is
   /// all-quarterly (the standard CDS coupon schedule).
   std::vector<double> frequencies = {4.0};

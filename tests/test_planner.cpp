@@ -98,14 +98,33 @@ TEST(Planner, EnumerateMeasuresRealBackends) {
   config.fpga_engine_counts = {1, 2};
   const auto candidates =
       enumerate_backends(scenario.interest, scenario.hazard, config);
-  ASSERT_EQ(candidates.size(), 3u);
+  // cpu, cpu-batch, multi-1, multi-2.
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_EQ(candidates[0].engine_name, "cpu");
+  EXPECT_EQ(candidates[1].engine_name, "cpu-batch");
   for (const auto& c : candidates) {
     EXPECT_GT(c.options_per_second, 0.0) << c.engine_name;
     EXPECT_GT(c.watts, 0.0);
   }
+  // The batch kernel shares the scalar kernel's power model.
+  EXPECT_DOUBLE_EQ(candidates[1].watts, candidates[0].watts);
   // multi-2 should out-run multi-1 on the same probe.
-  EXPECT_GT(candidates[2].options_per_second,
-            candidates[1].options_per_second);
+  EXPECT_GT(candidates[3].options_per_second,
+            candidates[2].options_per_second);
+}
+
+TEST(Planner, EnumerateCanSkipCpuBatch) {
+  const auto scenario = workload::smoke_scenario(4);
+  PlannerConfig config;
+  config.probe_options = 16;
+  config.cpu_thread_counts = {1};
+  config.fpga_engine_counts = {1};
+  config.probe_cpu_batch = false;
+  const auto candidates =
+      enumerate_backends(scenario.interest, scenario.hazard, config);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].engine_name, "cpu");
+  EXPECT_EQ(candidates[1].engine_name, "multi-1");
 }
 
 TEST(Planner, EnumerateRejectsTinyProbe) {

@@ -104,8 +104,9 @@ TEST(PortfolioRuntime, MatchesSingleEngineAcrossShardBoundaries) {
 
 TEST(PortfolioRuntime, EmptyPortfolio) {
   const auto scenario = workload::smoke_scenario(1, 5);
-  runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard,
-                               {.workers = 4});
+  runtime::RuntimeConfig cfg;
+  cfg.workers = 4;
+  runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard, cfg);
   const auto run = rt.price({});
   EXPECT_TRUE(run.run.results.empty());
   EXPECT_TRUE(run.shards.empty());
@@ -119,8 +120,10 @@ TEST(PortfolioRuntime, SingleOptionPortfolio) {
                                     scenario.hazard);
   const auto baseline = single->price(scenario.options);
 
-  runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard,
-                               {.engine = "vectorised", .workers = 4});
+  runtime::RuntimeConfig cfg;
+  cfg.engine = "vectorised";
+  cfg.workers = 4;
+  runtime::PortfolioRuntime rt(scenario.interest, scenario.hazard, cfg);
   const auto run = rt.price(scenario.options);
   ASSERT_EQ(run.shards.size(), 1u);
   expect_identical(run.run.results, baseline.results);
@@ -178,9 +181,11 @@ TEST(PortfolioRuntime, EngineReplicasCapConcurrency) {
 
 TEST(PortfolioRuntime, RejectsUnknownEngine) {
   const auto scenario = workload::smoke_scenario(4, 2);
-  EXPECT_THROW(runtime::PortfolioRuntime(scenario.interest, scenario.hazard,
-                                         {.engine = "warp-drive"}),
-               Error);
+  runtime::RuntimeConfig cfg;
+  cfg.engine = "warp-drive";
+  EXPECT_THROW(
+      runtime::PortfolioRuntime(scenario.interest, scenario.hazard, cfg),
+      Error);
 }
 
 }  // namespace

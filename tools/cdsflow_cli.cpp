@@ -178,7 +178,7 @@ int cmd_engines() {
     std::cout << "  " << pad_right(name, 22) << engine->description()
               << '\n';
   }
-  std::cout << "parameterised forms: cpu-mt<N>, multi-<N>\n";
+  std::cout << "parameterised forms: cpu-mt<N>, cpu-batch-mt<N>, multi-<N>\n";
   return 0;
 }
 
