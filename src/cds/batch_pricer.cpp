@@ -1,5 +1,6 @@
 #include "cds/batch_pricer.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -30,12 +31,25 @@ BatchPricer::BatchPricer(TermStructure interest, TermStructure hazard)
   interest_.validate();
 }
 
-BatchStats BatchPricer::price(std::span<const CdsOption> options,
-                              std::span<SpreadResult> out,
-                              Workspace& ws) const {
-  CDSFLOW_EXPECT(out.size() == options.size(),
-                 "batch price() needs out.size() == options.size()");
-  ws.clear();
+void BatchPricer::RiskWorkspace::clear() {
+  base.clear();
+  annuity_hazard_up.clear();
+  payoff_hazard_up.clear();
+  annuity_hazard_dn.clear();
+  payoff_hazard_dn.clear();
+  annuity_interest_up.clear();
+  payoff_interest_up.clear();
+  annuity_interest_dn.clear();
+  payoff_interest_dn.clear();
+  ladder_annuity_up.clear();
+  ladder_payoff_up.clear();
+  ladder_annuity_dn.clear();
+  ladder_payoff_dn.clear();
+  bucket_scratch.clear();
+}
+
+BatchStats BatchPricer::build_grids(std::span<const CdsOption> options,
+                                    Workspace& ws) const {
   BatchStats stats;
   stats.options = options.size();
   if (options.empty()) return stats;
@@ -101,6 +115,18 @@ BatchStats BatchPricer::price(std::span<const CdsOption> options,
   }
   stats.unique_schedules = n_grids;
   stats.grid_points = ws.points.size();
+  return stats;
+}
+
+BatchStats BatchPricer::price(std::span<const CdsOption> options,
+                              std::span<SpreadResult> out,
+                              Workspace& ws) const {
+  CDSFLOW_EXPECT(out.size() == options.size(),
+                 "batch price() needs out.size() == options.size()");
+  ws.clear();
+  BatchStats stats = build_grids(options, ws);
+  if (options.empty()) return stats;
+  const std::size_t n_grids = stats.unique_schedules;
 
   // Pass 3 -- per option: a branch-free combine against the reduced grid
   // sums. Association order matches combine_spread_bps.
@@ -128,6 +154,259 @@ std::vector<SpreadResult> BatchPricer::price(
   std::vector<SpreadResult> out(options.size());
   price(options, out, ws);
   return out;
+}
+
+BatchRiskStats BatchPricer::price_with_sensitivities(
+    std::span<const CdsOption> options, std::span<Sensitivities> out,
+    std::span<double> ladder_out, RiskWorkspace& ws,
+    const BatchRiskConfig& config) const {
+  CDSFLOW_EXPECT(out.size() == options.size(),
+                 "batch risk needs out.size() == options.size()");
+  const double bump = config.bump;
+  CDSFLOW_EXPECT(bump > 0.0 && std::isfinite(bump),
+                 "sensitivity bump must be positive and finite");
+  std::size_t n_buckets = 0;
+  if (!config.ladder_edges.empty()) {
+    validate_ladder_edges(config.ladder_edges);
+    n_buckets = config.ladder_edges.size() - 1;
+  }
+  CDSFLOW_EXPECT(ladder_out.size() == options.size() * n_buckets,
+                 "batch risk needs ladder_out.size() == options * buckets");
+
+  ws.clear();
+  BatchRiskStats stats;
+  stats.base = build_grids(options, ws.base);
+  if (options.empty()) return stats;
+
+  // The bumped curves are built once per *batch*; the scalar loop rebuilds
+  // them once per option. A hazard bump never moves the discount column and
+  // an interest bump never moves the survival column, so each scenario only
+  // re-tabulates the column its bump touches and borrows the other from the
+  // base grids.
+  const HazardPrefix hazard_up =
+      make_hazard_prefix(parallel_bump(hazard_, bump));
+  const HazardPrefix hazard_dn =
+      make_hazard_prefix(parallel_bump(hazard_, -bump));
+  const TermStructure interest_up = parallel_bump(interest_, bump);
+  const TermStructure interest_dn = parallel_bump(interest_, -bump);
+  std::vector<HazardPrefix> bucket_up, bucket_dn;
+  bucket_up.reserve(n_buckets);
+  bucket_dn.reserve(n_buckets);
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    const double lo = config.ladder_edges[b];
+    const double hi = config.ladder_edges[b + 1];
+    bucket_up.push_back(
+        make_hazard_prefix(bucket_bump(hazard_, lo, hi, bump)));
+    bucket_dn.push_back(
+        make_hazard_prefix(bucket_bump(hazard_, lo, hi, -bump)));
+  }
+
+  // Pass 2b -- per unique grid: tabulate every bumped scenario's leg sums
+  // in one walk over the grid's points, each scenario accumulating in the
+  // reference order with its own running survival.
+  const std::size_t n_grids = stats.base.unique_schedules;
+  ws.annuity_hazard_up.reserve(n_grids);
+  ws.payoff_hazard_up.reserve(n_grids);
+  ws.annuity_hazard_dn.reserve(n_grids);
+  ws.payoff_hazard_dn.reserve(n_grids);
+  ws.annuity_interest_up.reserve(n_grids);
+  ws.payoff_interest_up.reserve(n_grids);
+  ws.annuity_interest_dn.reserve(n_grids);
+  ws.payoff_interest_dn.reserve(n_grids);
+  ws.ladder_annuity_up.reserve(n_grids * n_buckets);
+  ws.ladder_payoff_up.reserve(n_grids * n_buckets);
+  ws.ladder_annuity_dn.reserve(n_grids * n_buckets);
+  ws.ladder_payoff_dn.reserve(n_grids * n_buckets);
+  // Layout of bucket_scratch, per bucket b and direction (up = 0, dn = 1):
+  // [8 * b + 4 * dir + {0: q_prev, 1: premium, 2: accrual, 3: payoff}].
+  ws.bucket_scratch.resize(8 * n_buckets);
+
+  for (std::size_t g = 0; g < n_grids; ++g) {
+    const std::size_t begin = ws.base.grid_offset[g];
+    const std::size_t end =
+        g + 1 < n_grids ? ws.base.grid_offset[g + 1] : ws.base.points.size();
+
+    double premium_hup = 0.0, accrual_hup = 0.0, payoff_hup = 0.0;
+    double premium_hdn = 0.0, accrual_hdn = 0.0, payoff_hdn = 0.0;
+    double premium_iup = 0.0, accrual_iup = 0.0, payoff_iup = 0.0;
+    double premium_idn = 0.0, accrual_idn = 0.0, payoff_idn = 0.0;
+    double q_prev_hup = 1.0, q_prev_hdn = 1.0, q_prev_base = 1.0;
+    for (double& v : ws.bucket_scratch) v = 0.0;
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      ws.bucket_scratch[8 * b] = 1.0;      // q_prev, up
+      ws.bucket_scratch[8 * b + 4] = 1.0;  // q_prev, dn
+    }
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const TimePoint tp = ws.base.points[i];
+      const double d_base = ws.base.discount[i];
+      const double q_base = ws.base.survival[i];
+      // Hazard parallel bumps: base discount, bumped survival.
+      {
+        const double q = survival_probability_prefix(hazard_up, tp.t);
+        const LegTerms terms =
+            leg_terms_from_discount(d_base, q_prev_hup, q, tp.dt);
+        premium_hup += terms.premium;
+        accrual_hup += terms.accrual;
+        payoff_hup += terms.payoff;
+        q_prev_hup = q;
+      }
+      {
+        const double q = survival_probability_prefix(hazard_dn, tp.t);
+        const LegTerms terms =
+            leg_terms_from_discount(d_base, q_prev_hdn, q, tp.dt);
+        premium_hdn += terms.premium;
+        accrual_hdn += terms.accrual;
+        payoff_hdn += terms.payoff;
+        q_prev_hdn = q;
+      }
+      // Interest parallel bumps: bumped discount, base survival.
+      {
+        const double r = interest_up.interpolate_fast(tp.t);
+        const LegTerms terms = leg_terms_from_discount(
+            std::exp(-r * tp.t), q_prev_base, q_base, tp.dt);
+        premium_iup += terms.premium;
+        accrual_iup += terms.accrual;
+        payoff_iup += terms.payoff;
+      }
+      {
+        const double r = interest_dn.interpolate_fast(tp.t);
+        const LegTerms terms = leg_terms_from_discount(
+            std::exp(-r * tp.t), q_prev_base, q_base, tp.dt);
+        premium_idn += terms.premium;
+        accrual_idn += terms.accrual;
+        payoff_idn += terms.payoff;
+      }
+      // Ladder bucket bumps: base discount, bucket-bumped survival.
+      for (std::size_t b = 0; b < n_buckets; ++b) {
+        double* up = ws.bucket_scratch.data() + 8 * b;
+        double* dn = up + 4;
+        const double q_up = survival_probability_prefix(bucket_up[b], tp.t);
+        const LegTerms terms_up =
+            leg_terms_from_discount(d_base, up[0], q_up, tp.dt);
+        up[1] += terms_up.premium;
+        up[2] += terms_up.accrual;
+        up[3] += terms_up.payoff;
+        up[0] = q_up;
+        const double q_dn = survival_probability_prefix(bucket_dn[b], tp.t);
+        const LegTerms terms_dn =
+            leg_terms_from_discount(d_base, dn[0], q_dn, tp.dt);
+        dn[1] += terms_dn.premium;
+        dn[2] += terms_dn.accrual;
+        dn[3] += terms_dn.payoff;
+        dn[0] = q_dn;
+      }
+      q_prev_base = q_base;
+    }
+
+    // Hoisted per grid, exactly like the base pass: the annuity is
+    // recovery-free under every scenario (same diagnostic as
+    // combine_spread_bps, which the scalar bumped repricings hit).
+    const auto push_scenario = [](double premium, double accrual,
+                                  double payoff, std::vector<double>& annuities,
+                                  std::vector<double>& payoffs) {
+      const double annuity = premium + accrual;
+      CDSFLOW_EXPECT(annuity > 0.0,
+                     "risky annuity must be positive to quote a spread");
+      annuities.push_back(annuity);
+      payoffs.push_back(payoff);
+    };
+    push_scenario(premium_hup, accrual_hup, payoff_hup, ws.annuity_hazard_up,
+                  ws.payoff_hazard_up);
+    push_scenario(premium_hdn, accrual_hdn, payoff_hdn, ws.annuity_hazard_dn,
+                  ws.payoff_hazard_dn);
+    push_scenario(premium_iup, accrual_iup, payoff_iup,
+                  ws.annuity_interest_up, ws.payoff_interest_up);
+    push_scenario(premium_idn, accrual_idn, payoff_idn,
+                  ws.annuity_interest_dn, ws.payoff_interest_dn);
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      const double* up = ws.bucket_scratch.data() + 8 * b;
+      const double* dn = up + 4;
+      push_scenario(up[1], up[2], up[3], ws.ladder_annuity_up,
+                    ws.ladder_payoff_up);
+      push_scenario(dn[1], dn[2], dn[3], ws.ladder_annuity_dn,
+                    ws.ladder_payoff_dn);
+    }
+  }
+  stats.bumped_grid_points = (4 + 2 * n_buckets) * stats.base.grid_points;
+
+  // Pass 3 -- per option: every sensitivity is an O(1) combine. The
+  // expressions mirror compute_sensitivities / cs01_ladder term for term so
+  // the results are bit-consistent with the scalar reference.
+  const double* annuity = ws.base.grid_annuity.data();
+  const double* payoff = ws.base.grid_payoff.data();
+  std::size_t scalar_points = 0;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    const std::uint32_t g = ws.base.grid_of[i];
+    const double recovery = options[i].recovery_rate;
+    const double one_minus_r = 1.0 - recovery;
+    Sensitivities s;
+    s.spread_bps =
+        kBasisPointsPerUnit * (one_minus_r * payoff[g]) / annuity[g];
+    {
+      const double up = kBasisPointsPerUnit *
+                        (one_minus_r * ws.payoff_hazard_up[g]) /
+                        ws.annuity_hazard_up[g];
+      const double dn = kBasisPointsPerUnit *
+                        (one_minus_r * ws.payoff_hazard_dn[g]) /
+                        ws.annuity_hazard_dn[g];
+      s.cs01 = (up - dn) / (2.0 * bump) * 1e-4;
+    }
+    {
+      const double up = kBasisPointsPerUnit *
+                        (one_minus_r * ws.payoff_interest_up[g]) /
+                        ws.annuity_interest_up[g];
+      const double dn = kBasisPointsPerUnit *
+                        (one_minus_r * ws.payoff_interest_dn[g]) /
+                        ws.annuity_interest_dn[g];
+      s.ir01 = (up - dn) / (2.0 * bump) * 1e-4;
+    }
+    {
+      // The spread is linear in the recovery rate, so the scalar path's
+      // central difference is an exact reweighting of the base sums.
+      const double rb = std::min(bump, 0.5 * (1.0 - recovery));
+      const double recovery_up = recovery + rb;
+      const double recovery_dn = std::max(0.0, recovery - rb);
+      const double up =
+          kBasisPointsPerUnit * ((1.0 - recovery_up) * payoff[g]) / annuity[g];
+      const double dn =
+          kBasisPointsPerUnit * ((1.0 - recovery_dn) * payoff[g]) / annuity[g];
+      s.rec01 = (up - dn) / (recovery_up - recovery_dn) * 0.01;
+    }
+    s.jtd = one_minus_r;
+    out[i] = s;
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      const std::size_t gb = g * n_buckets + b;
+      const double up = kBasisPointsPerUnit *
+                        (one_minus_r * ws.ladder_payoff_up[gb]) /
+                        ws.ladder_annuity_up[gb];
+      const double dn = kBasisPointsPerUnit *
+                        (one_minus_r * ws.ladder_payoff_dn[gb]) /
+                        ws.ladder_annuity_dn[gb];
+      ladder_out[i * n_buckets + b] = (up - dn) / (2.0 * bump) * 1e-4;
+    }
+    const std::size_t grid_end = g + 1 < n_grids
+                                     ? ws.base.grid_offset[g + 1]
+                                     : ws.base.points.size();
+    scalar_points += grid_end - ws.base.grid_offset[g];
+  }
+  stats.base.scalar_points = scalar_points;
+  stats.scalar_repricings = options.size() * (7 + 2 * n_buckets);
+  return stats;
+}
+
+BatchPricer::RiskRun BatchPricer::price_with_sensitivities(
+    const std::vector<CdsOption>& options,
+    const BatchRiskConfig& config) const {
+  RiskRun run;
+  run.ladder_buckets =
+      config.ladder_edges.empty() ? 0 : config.ladder_edges.size() - 1;
+  run.sensitivities.resize(options.size());
+  run.cs01_ladder.resize(options.size() * run.ladder_buckets);
+  RiskWorkspace ws;
+  run.stats = price_with_sensitivities(options, run.sensitivities,
+                                       run.cs01_ladder, ws, config);
+  return run;
 }
 
 }  // namespace cdsflow::cds

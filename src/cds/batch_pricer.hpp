@@ -29,6 +29,30 @@
 /// 1e-9 relative under any IEEE-conforming contraction). The HLS-mirroring
 /// fixed-bound scans stay untouched for the simulated engines -- they model
 /// what the hardware pays; this kernel is what the host should pay.
+///
+/// *Risk pass* (price_with_sensitivities): the post-pricing Greeks workflow
+/// (cds/risk.hpp) reprices every option under six bumped scenarios plus two
+/// per ladder bucket -- per option. The streaming-Greeks observation
+/// (arXiv:2212.13977) is that all of those repricings differentiate the
+/// same tabulated discount/survival intermediates, so the bumps belong on
+/// the *grids*, not the options:
+///
+///   - CS01 / IR01 / ladder: each parallel- or bucket-bumped curve is built
+///     once per batch, its D or Q column re-tabulated once per unique
+///     schedule grid, and the central difference collapses -- like the
+///     spread itself -- to an O(1) per-option combine. A hazard bump leaves
+///     the discount column untouched (and vice versa), so each scenario
+///     re-tabulates only the column its bump moves.
+///   - Rec01 / JTD: the spread is exactly linear in the recovery rate, so
+///     no bumped grid is needed at all -- the same central-difference
+///     expression the scalar reference evaluates reduces to a reweighting
+///     of the base grid's payoff/annuity sums.
+///
+/// Every scenario accumulates in the reference order over curve values that
+/// are themselves bit-identical to the scalar path's, so all sensitivities
+/// match compute_sensitivities / cs01_ladder bit-for-bit under default
+/// compilation; the tests and benches hold the documented tolerance of
+/// 1e-12 relative (the acceptance bound is 1e-9).
 
 #pragma once
 
@@ -39,6 +63,7 @@
 
 #include "cds/curve.hpp"
 #include "cds/hazard.hpp"
+#include "cds/risk.hpp"
 #include "cds/schedule.hpp"
 #include "cds/types.hpp"
 
@@ -83,6 +108,29 @@ struct BatchStats {
   std::size_t scalar_points = 0;
 };
 
+/// Risk-pass configuration (price_with_sensitivities).
+struct BatchRiskConfig {
+  /// Central-difference bump; same default and meaning as
+  /// compute_sensitivities.
+  double bump = 1e-4;
+  /// CS01 ladder bucket edges, same contract as cs01_ladder (increasing, at
+  /// least two when present). Empty disables the ladder.
+  std::vector<double> ladder_edges;
+};
+
+/// What one risk batch cost on top of the base pricing pass.
+struct BatchRiskStats {
+  /// Dedup/grid accounting of the base pricing tabulation.
+  BatchStats base;
+  /// Points walked across all bumped-grid tabulations:
+  /// (4 + 2 * ladder buckets) scenario columns per unique grid.
+  std::size_t bumped_grid_points = 0;
+  /// Full repricings the per-option scalar loop performs for the same
+  /// output (7 + 2 * ladder buckets per option) -- the work the grid-level
+  /// bumps remove.
+  std::size_t scalar_repricings = 0;
+};
+
 class BatchPricer {
  public:
   /// Reusable scratch for price(): flat SoA arrays plus the dedup map. All
@@ -114,6 +162,39 @@ class BatchPricer {
     void clear();
   };
 
+  /// Scratch for price_with_sensitivities(): the base pricing workspace
+  /// plus, per unique grid, the leg sums under every bumped scenario. Same
+  /// reuse contract as Workspace: one per concurrent caller, warmed across
+  /// calls.
+  struct RiskWorkspace {
+    Workspace base;
+    // Per unique grid: annuity / unscaled-payoff sums under the four
+    // parallel-bumped curves (hazard +/- bump with the base discount
+    // column, interest +/- bump with the base survival column).
+    std::vector<double> annuity_hazard_up, payoff_hazard_up;
+    std::vector<double> annuity_hazard_dn, payoff_hazard_dn;
+    std::vector<double> annuity_interest_up, payoff_interest_up;
+    std::vector<double> annuity_interest_dn, payoff_interest_dn;
+    // Per (grid, bucket), row-major: sums under the bucket-bumped hazard.
+    std::vector<double> ladder_annuity_up, ladder_payoff_up;
+    std::vector<double> ladder_annuity_dn, ladder_payoff_dn;
+    // Per-grid accumulator scratch (2 q_prev + 6 sums per ladder bucket).
+    std::vector<double> bucket_scratch;
+
+    void clear();
+  };
+
+  /// Everything the convenience risk overload produces.
+  struct RiskRun {
+    /// Per option, batch order (ids are implicit: entry i belongs to
+    /// options[i]).
+    std::vector<Sensitivities> sensitivities;
+    /// Row-major [option][bucket]; empty when no ladder was requested.
+    std::vector<double> cs01_ladder;
+    std::size_t ladder_buckets = 0;
+    BatchRiskStats stats;
+  };
+
   /// Both curves are copied and the hazard prefix table is built once; the
   /// pricer is immutable afterwards (safe to share across threads, each
   /// thread bringing its own Workspace).
@@ -133,7 +214,34 @@ class BatchPricer {
   /// Convenience overload that owns its workspace and result vector.
   std::vector<SpreadResult> price(const std::vector<CdsOption>& options) const;
 
+  /// Batched risk kernel: per-option CS01 / IR01 / Rec01 / JTD (and, when
+  /// config.ladder_edges is set, the bucketed CS01 ladder) in one pass over
+  /// the precomputed grids. `out` must match `options` in length;
+  /// `ladder_out` must hold options.size() * buckets values (row-major per
+  /// option) and be empty when no ladder is requested. Bit-consistent with
+  /// compute_sensitivities / cs01_ladder (see the file header; documented
+  /// tolerance 1e-12 relative). Throws cdsflow::Error exactly where the
+  /// scalar reference does (invalid options, non-positive risky annuity
+  /// under any scenario, bad bump or ladder edges).
+  BatchRiskStats price_with_sensitivities(std::span<const CdsOption> options,
+                                          std::span<Sensitivities> out,
+                                          std::span<double> ladder_out,
+                                          RiskWorkspace& workspace,
+                                          const BatchRiskConfig& config = {})
+      const;
+
+  /// Convenience overload that owns its workspace and result buffers.
+  RiskRun price_with_sensitivities(const std::vector<CdsOption>& options,
+                                   const BatchRiskConfig& config = {}) const;
+
  private:
+  /// Passes 1-2 of the kernel (dedup + base-grid tabulation), shared by the
+  /// pricing and risk paths. Fills everything in `ws` except grid_of-driven
+  /// combines; returns stats with options / unique_schedules / grid_points
+  /// set (scalar_points is left to the caller's combine loop).
+  BatchStats build_grids(std::span<const CdsOption> options,
+                         Workspace& ws) const;
+
   TermStructure interest_;
   TermStructure hazard_;
   HazardPrefix hazard_prefix_;

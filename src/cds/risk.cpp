@@ -1,11 +1,15 @@
 #include "cds/risk.hpp"
 
+#include <cmath>
+
 #include "cds/legs.hpp"
 #include "common/error.hpp"
 
 namespace cdsflow::cds {
 
 TermStructure parallel_bump(const TermStructure& curve, double bump) {
+  curve.validate();
+  CDSFLOW_EXPECT(std::isfinite(bump), "curve bump must be finite");
   std::vector<double> values = curve.values();
   for (auto& v : values) v += bump;
   return TermStructure(curve.times(), std::move(values));
@@ -13,6 +17,10 @@ TermStructure parallel_bump(const TermStructure& curve, double bump) {
 
 TermStructure bucket_bump(const TermStructure& curve, double t_lo,
                           double t_hi, double bump) {
+  curve.validate();
+  CDSFLOW_EXPECT(std::isfinite(bump), "curve bump must be finite");
+  CDSFLOW_EXPECT(std::isfinite(t_lo) && !std::isnan(t_hi),
+                 "bucket bump edges must not be NaN (t_hi may be +inf)");
   CDSFLOW_EXPECT(t_lo < t_hi, "bucket bump range is inverted");
   std::vector<double> values = curve.values();
   for (std::size_t i = 0; i < curve.size(); ++i) {
@@ -33,11 +41,15 @@ double spread_of(const TermStructure& interest, const TermStructure& hazard,
 Sensitivities compute_sensitivities(const TermStructure& interest,
                                     const TermStructure& hazard,
                                     const CdsOption& option, double bump) {
-  CDSFLOW_EXPECT(bump > 0.0, "sensitivity bump must be positive");
+  CDSFLOW_EXPECT(bump > 0.0 && std::isfinite(bump),
+                 "sensitivity bump must be positive and finite");
   option.validate();
 
   Sensitivities out;
   out.spread_bps = spread_of(interest, hazard, option);
+  // JTD: the engine quotes fair spreads, so the contract marks at zero and
+  // jump-to-default is exactly the protection payout.
+  out.jtd = 1.0 - option.recovery_rate;
 
   // CS01: central difference in the hazard curve, scaled to a 1 bp bump.
   {
@@ -68,17 +80,22 @@ Sensitivities compute_sensitivities(const TermStructure& interest,
   return out;
 }
 
-std::vector<double> cs01_ladder(const TermStructure& interest,
-                                const TermStructure& hazard,
-                                const CdsOption& option,
-                                const std::vector<double>& bucket_edges,
-                                double bump) {
+void validate_ladder_edges(const std::vector<double>& bucket_edges) {
   CDSFLOW_EXPECT(bucket_edges.size() >= 2, "ladder needs >= 2 bucket edges");
   for (std::size_t i = 1; i < bucket_edges.size(); ++i) {
     CDSFLOW_EXPECT(bucket_edges[i] > bucket_edges[i - 1],
                    "bucket edges must be increasing");
   }
-  CDSFLOW_EXPECT(bump > 0.0, "sensitivity bump must be positive");
+}
+
+std::vector<double> cs01_ladder(const TermStructure& interest,
+                                const TermStructure& hazard,
+                                const CdsOption& option,
+                                const std::vector<double>& bucket_edges,
+                                double bump) {
+  validate_ladder_edges(bucket_edges);
+  CDSFLOW_EXPECT(bump > 0.0 && std::isfinite(bump),
+                 "sensitivity bump must be positive and finite");
 
   std::vector<double> ladder;
   ladder.reserve(bucket_edges.size() - 1);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -15,7 +16,8 @@ CpuEngine::CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
                      CpuEngineConfig config)
     : pricer_(std::move(interest), std::move(hazard)),
       threads_(config.threads),
-      batch_(config.batch_kernel) {
+      batch_(config.batch_kernel),
+      risk_(config.risk_mode) {
   if (threads_ == 0) {
     threads_ = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -23,17 +25,31 @@ CpuEngine::CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
     batch_pricer_ = std::make_unique<cds::BatchPricer>(pricer_.interest(),
                                                        pricer_.hazard());
   }
+  risk_config_.bump = config.risk_bump;
+  risk_config_.ladder_edges = std::move(config.ladder_edges);
+  if (risk_) {
+    // Validate the risk configuration up front so both kernels reject bad
+    // configs identically (the batch kernel re-checks per call; the scalar
+    // loop would only trip per option).
+    CDSFLOW_EXPECT(risk_config_.bump > 0.0 && std::isfinite(risk_config_.bump),
+                   "sensitivity bump must be positive and finite");
+    if (!risk_config_.ladder_edges.empty()) {
+      cds::validate_ladder_edges(risk_config_.ladder_edges);
+    }
+  }
 }
 
 std::string CpuEngine::name() const {
-  const std::string base = batch_ ? "cpu-batch" : "cpu";
+  std::string base = batch_ ? "cpu-batch" : "cpu";
+  if (risk_) base += "-risk";
   return threads_ == 1 ? base : (base + "-mt" + std::to_string(threads_));
 }
 
 std::string CpuEngine::description() const {
   return std::string("Bespoke C++ CPU engine, ") +
          (batch_ ? "batched SoA fast-path kernel" : "scalar reference kernel") +
-         ", " + std::to_string(threads_) + " thread(s) (" +
+         (risk_ ? " + Greeks (CS01/IR01/Rec01/JTD)" : "") + ", " +
+         std::to_string(threads_) + " thread(s) (" +
          (uses_openmp() ? "OpenMP" : "std::thread") + ")";
 }
 
@@ -47,18 +63,48 @@ bool CpuEngine::uses_openmp() {
 
 void CpuEngine::price_chunk(const std::vector<cds::CdsOption>& options,
                             std::size_t begin, std::size_t end,
-                            std::vector<cds::SpreadResult>& results,
-                            Scratch& scratch) const {
+                            PricingRun& run, Scratch& scratch) const {
+  const std::size_t n = end - begin;
+  if (risk_) {
+    const std::size_t buckets = run.ladder_buckets;
+    if (batch_) {
+      batch_pricer_->price_with_sensitivities(
+          std::span<const cds::CdsOption>(options).subspan(begin, n),
+          std::span<cds::Sensitivities>(run.sensitivities).subspan(begin, n),
+          std::span<double>(run.cs01_ladder)
+              .subspan(begin * buckets, n * buckets),
+          scratch.risk, risk_config_);
+    } else {
+      // The naive post-pricing workflow: bumped repricings per option.
+      for (std::size_t i = begin; i < end; ++i) {
+        run.sensitivities[i] =
+            cds::compute_sensitivities(pricer_.interest(), pricer_.hazard(),
+                                       options[i], risk_config_.bump);
+        if (buckets > 0) {
+          const auto row = cds::cs01_ladder(
+              pricer_.interest(), pricer_.hazard(), options[i],
+              risk_config_.ladder_edges, risk_config_.bump);
+          std::copy(row.begin(), row.end(),
+                    run.cs01_ladder.begin() +
+                        static_cast<std::ptrdiff_t>(i * buckets));
+        }
+      }
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      run.results[i] = {options[i].id, run.sensitivities[i].spread_bps};
+    }
+    return;
+  }
   if (batch_) {
     batch_pricer_->price(
-        std::span<const cds::CdsOption>(options).subspan(begin, end - begin),
-        std::span<cds::SpreadResult>(results).subspan(begin, end - begin),
+        std::span<const cds::CdsOption>(options).subspan(begin, n),
+        std::span<cds::SpreadResult>(run.results).subspan(begin, n),
         scratch.batch);
     return;
   }
   for (std::size_t i = begin; i < end; ++i) {
-    results[i] = {options[i].id,
-                  pricer_.spread_bps(options[i], scratch.schedule)};
+    run.results[i] = {options[i].id,
+                      pricer_.spread_bps(options[i], scratch.schedule)};
   }
 }
 
@@ -66,11 +112,18 @@ PricingRun CpuEngine::price(const std::vector<cds::CdsOption>& options) {
   CDSFLOW_EXPECT(!options.empty(), "price() requires options");
   PricingRun run;
   run.results.resize(options.size());
+  if (risk_) {
+    run.sensitivities.resize(options.size());
+    run.ladder_buckets = risk_config_.ladder_edges.empty()
+                             ? 0
+                             : risk_config_.ladder_edges.size() - 1;
+    run.cs01_ladder.resize(options.size() * run.ladder_buckets);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   if (threads_ <= 1) {
     if (scratch_.empty()) scratch_.resize(1);
-    price_chunk(options, 0, options.size(), run.results, scratch_[0]);
+    price_chunk(options, 0, options.size(), run, scratch_[0]);
   } else {
     // One contiguous chunk per worker; the OpenMP and std::thread paths
     // execute the identical partition through price_chunk, each chunk on
@@ -91,7 +144,7 @@ PricingRun CpuEngine::price(const std::vector<cds::CdsOption>& options) {
       const std::size_t begin = static_cast<std::size_t>(c) * chunk;
       try {
         price_chunk(options, begin, std::min(options.size(), begin + chunk),
-                    run.results, scratch_[static_cast<std::size_t>(c)]);
+                    run, scratch_[static_cast<std::size_t>(c)]);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

@@ -15,6 +15,13 @@
 ///     batch_pricer.hpp), so "cpu-batch" runs merge bit-identically in the
 ///     sharded runtime.
 ///
+/// Either kernel can additionally run in *risk mode* (config.risk_mode,
+/// registry names "cpu-risk" / "cpu-batch-risk"): the run then carries
+/// per-option CS01/IR01/Rec01/JTD (and optionally a bucketed CS01 ladder)
+/// next to the spreads -- the scalar kernel by per-option bumped repricing,
+/// the batch kernel by bumping each unique schedule grid once
+/// (BatchPricer::price_with_sensitivities).
+///
 /// Threading uses OpenMP when the toolchain provides it (as in the paper)
 /// and falls back to std::thread otherwise; both paths drive the same
 /// contiguous-chunk helper so they cannot drift. There are no dependencies
@@ -40,6 +47,18 @@ struct CpuEngineConfig {
   /// reference math. The scalar path survives (flag off) as the paper's
   /// naive comparator and for parity checks.
   bool batch_kernel = false;
+  /// Compute per-option sensitivities (CS01/IR01/Rec01/JTD, plus the CS01
+  /// ladder when ladder_edges is set) instead of spreads alone. With the
+  /// scalar kernel this loops compute_sensitivities/cs01_ladder per option
+  /// (the naive post-pricing workflow); with the batch kernel it runs
+  /// BatchPricer::price_with_sensitivities over the precomputed grids.
+  /// run.results still carries (id, spread), so risk runs merge through the
+  /// sharded runtime unchanged.
+  bool risk_mode = false;
+  /// Central-difference bump for risk mode (compute_sensitivities default).
+  double risk_bump = 1e-4;
+  /// CS01 ladder bucket edges for risk mode; empty disables the ladder.
+  std::vector<double> ladder_edges = {};
 };
 
 class CpuEngine final : public Engine {
@@ -54,24 +73,26 @@ class CpuEngine final : public Engine {
 
   unsigned threads() const { return threads_; }
   bool batch_kernel() const { return batch_; }
+  bool risk_mode() const { return risk_; }
 
   /// True when built with OpenMP (the paper's configuration).
   static bool uses_openmp();
 
  private:
-  /// Reusable per-chunk scratch: the batch workspace or the scalar schedule
-  /// buffer, whichever kernel is active.
+  /// Reusable per-chunk scratch: the batch (risk) workspace or the scalar
+  /// schedule buffer, whichever kernel/mode is active.
   struct Scratch {
     cds::BatchPricer::Workspace batch;
+    cds::BatchPricer::RiskWorkspace risk;
     std::vector<cds::TimePoint> schedule;
   };
 
-  /// Prices options[begin, end) into results[begin, end) with the configured
-  /// kernel. The single shared loop body behind the serial, OpenMP and
-  /// std::thread paths.
+  /// Prices options[begin, end) into run.results[begin, end) (and, in risk
+  /// mode, run.sensitivities / run.cs01_ladder) with the configured kernel.
+  /// The single shared loop body behind the serial, OpenMP and std::thread
+  /// paths.
   void price_chunk(const std::vector<cds::CdsOption>& options,
-                   std::size_t begin, std::size_t end,
-                   std::vector<cds::SpreadResult>& results,
+                   std::size_t begin, std::size_t end, PricingRun& run,
                    Scratch& scratch) const;
 
   cds::ReferencePricer pricer_;
@@ -81,8 +102,10 @@ class CpuEngine final : public Engine {
   /// engine object is never priced on concurrently; replicas are separate
   /// objects).
   std::vector<Scratch> scratch_;
+  cds::BatchRiskConfig risk_config_;
   unsigned threads_;
   bool batch_ = false;
+  bool risk_ = false;
 };
 
 }  // namespace cdsflow::engine

@@ -29,6 +29,7 @@
 
 #include <functional>
 
+#include "cds/risk.hpp"
 #include "cds/types.hpp"
 #include "engines/tokens.hpp"
 #include "fpga/hls_cost_model.hpp"
@@ -43,6 +44,17 @@ struct PricingRun {
   /// Spreads in submission order (engines that partition or reorder work
   /// must restore the original order).
   std::vector<cds::SpreadResult> results;
+
+  /// Per-option sensitivities in submission order; filled only by risk-mode
+  /// engines (empty otherwise). When present, sensitivities[i].spread_bps
+  /// equals results[i].spread_bps, so risk runs shard and merge exactly like
+  /// pricing runs.
+  std::vector<cds::Sensitivities> sensitivities;
+  /// Bucketed CS01 ladder, row-major [option][bucket] in submission order;
+  /// empty unless a risk-mode engine was configured with ladder edges.
+  std::vector<double> cs01_ladder;
+  /// Buckets per option in cs01_ladder (0 when no ladder was computed).
+  std::size_t ladder_buckets = 0;
 
   /// Simulated kernel cycles (0 for native CPU runs). Includes region
   /// restart overheads for the per-option engines.

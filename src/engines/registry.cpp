@@ -32,16 +32,18 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
                                     const cds::TermStructure& hazard,
                                     const FpgaEngineConfig& fpga_config,
                                     const CpuEngineConfig& cpu_config) {
-  // CPU family: an optional "-batch" kernel token between "cpu" and the
-  // thread suffix ("cpu", "cpu-mt[N]", "cpu-batch", "cpu-batch-mt[N]").
+  // CPU family, assembled as "cpu[-batch][-risk][-mt[N]]": strip the
+  // optional kernel and mode tokens, then parse the thread suffix.
   {
-    constexpr const char* kBatchPrefix = "cpu-batch";
     CpuEngineConfig cfg = cpu_config;
     std::string cpu_name = name;
-    if (cpu_name.rfind(kBatchPrefix, 0) == 0) {
-      cfg.batch_kernel = true;
-      cpu_name = "cpu" + cpu_name.substr(std::string(kBatchPrefix).size());
-    }
+    const auto strip_token = [&cpu_name](const std::string& prefix) {
+      if (cpu_name.rfind(prefix, 0) != 0) return false;
+      cpu_name = "cpu" + cpu_name.substr(prefix.size());
+      return true;
+    };
+    if (strip_token("cpu-batch")) cfg.batch_kernel = true;
+    if (strip_token("cpu-risk")) cfg.risk_mode = true;
     unsigned n = 0;
     if (cpu_name == "cpu") {
       cfg.threads = 1;
@@ -92,13 +94,14 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
     }
   }
   throw Error("unknown engine name '" + name +
-              "'; known: cpu, cpu-mt[N], cpu-batch, cpu-batch-mt[N], "
-              "xilinx-baseline, dataflow, dataflow-interoption, vectorised, "
-              "multi-N, cluster-MxN");
+              "'; known: cpu[-batch][-risk][-mt[N]], xilinx-baseline, "
+              "dataflow, dataflow-interoption, vectorised, multi-N, "
+              "cluster-MxN");
 }
 
 std::vector<std::string> engine_names() {
   return {"cpu",      "cpu-mt",      "cpu-batch", "cpu-batch-mt",
+          "cpu-risk", "cpu-batch-risk",
           "xilinx-baseline", "dataflow", "dataflow-interoption",
           "vectorised", "multi-5"};
 }

@@ -1,5 +1,6 @@
 /// \file registry.hpp
-/// Name-based engine construction for examples and benches.
+/// Name-based engine construction for examples, benches, the CLI and the
+/// sharded runtime.
 ///
 /// Recognised names:
 ///   "cpu"                   single-thread CPU engine (scalar kernel)
@@ -8,12 +9,31 @@
 ///   "cpu-batch"             single-thread batched SoA fast-path kernel
 ///   "cpu-batch-mt"          batch kernel on all hardware threads
 ///   "cpu-batch-mt<N>"       batch kernel on N threads
+///   "cpu-risk"              scalar kernel + per-option Greeks (naive
+///                           bumped-repricing loop)
+///   "cpu-risk-mt[<N>]"      scalar risk kernel on all / N threads
+///   "cpu-batch-risk"        batched Greeks over the precomputed grids
+///                           (BatchPricer::price_with_sensitivities)
+///   "cpu-batch-risk-mt[<N>]"  batched risk kernel on all / N threads
 ///   "xilinx-baseline"       Vitis library model
 ///   "dataflow"              optimised dataflow, restart per option
 ///   "dataflow-interoption"  free-running dataflow
 ///   "vectorised"            vectorised free-running dataflow
 ///   "multi-<N>"             N vectorised engines (e.g. "multi-5")
 ///   "cluster-<M>x<N>"       M cards of N vectorised engines each
+///
+/// The CPU family name is assembled as "cpu[-batch][-risk][-mt[N]]": the
+/// optional "-batch" token selects the fast-path kernel, "-risk" switches
+/// the run to sensitivities, "-mt[N]" sets the thread count. Risk-mode
+/// details (bump size, ladder edges) ride in the CpuEngineConfig argument.
+///
+/// Determinism guarantee: engine construction is pure (no global state), and
+/// every engine the registry returns prices deterministically for a fixed
+/// name + config + inputs -- thread-count variants of the CPU engines
+/// partition work but never change per-option arithmetic, so "cpu-batch-mt8"
+/// reproduces "cpu-batch" bit-for-bit, and likewise for the risk variants.
+/// That is the property the sharded runtime's submission-order merge relies
+/// on (see runtime/portfolio_runtime.hpp).
 
 #pragma once
 

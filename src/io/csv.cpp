@@ -148,6 +148,32 @@ void write_results_csv(const std::string& path,
   }
 }
 
+void write_sensitivities_csv(const std::string& path,
+                             const std::vector<cds::SpreadResult>& results,
+                             const std::vector<cds::Sensitivities>& greeks,
+                             const std::vector<double>& ladder,
+                             std::size_t ladder_buckets) {
+  CDSFLOW_EXPECT(results.size() == greeks.size(),
+                 "risk CSV needs one sensitivity record per result");
+  CDSFLOW_EXPECT(ladder.size() == results.size() * ladder_buckets,
+                 "risk CSV needs options * buckets ladder values");
+  auto out = open_for_write(path);
+  out << "id,spread_bps,cs01,ir01,rec01,jtd";
+  for (std::size_t b = 0; b < ladder_buckets; ++b) {
+    out << ",cs01_bucket_" << b;
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& s = greeks[i];
+    out << results[i].id << ',' << s.spread_bps << ',' << s.cs01 << ','
+        << s.ir01 << ',' << s.rec01 << ',' << s.jtd;
+    for (std::size_t b = 0; b < ladder_buckets; ++b) {
+      out << ',' << ladder[i * ladder_buckets + b];
+    }
+    out << '\n';
+  }
+}
+
 std::vector<cds::SpreadResult> read_results_csv(const std::string& path) {
   const auto rows = read_rows(path, "id,spread_bps");
   std::vector<cds::SpreadResult> results;

@@ -6,6 +6,7 @@
 ///   curve:      time_years,rate            (header required)
 ///   portfolio:  id,maturity_years,payment_frequency,recovery_rate
 ///   results:    id,spread_bps
+///   risk:       id,spread_bps,cs01,ir01,rec01,jtd[,cs01_bucket_<i>...]
 ///   quotes:     tenor_years,spread_bps
 ///
 /// Readers validate structure eagerly (header, field counts, numeric
@@ -19,6 +20,7 @@
 
 #include "cds/bootstrap.hpp"
 #include "cds/curve.hpp"
+#include "cds/risk.hpp"
 #include "cds/types.hpp"
 
 namespace cdsflow::io {
@@ -36,6 +38,17 @@ std::vector<cds::CdsOption> read_portfolio_csv(const std::string& path);
 void write_results_csv(const std::string& path,
                        const std::vector<cds::SpreadResult>& results);
 std::vector<cds::SpreadResult> read_results_csv(const std::string& path);
+
+// --- risk results -------------------------------------------------------------
+/// Writes one row per option: id + spread + the four Greeks, followed by the
+/// CS01 ladder buckets when `ladder_buckets > 0` (`ladder` is row-major
+/// [option][bucket] as produced by the risk engines). `results`, `greeks`
+/// and `ladder` must agree in length.
+void write_sensitivities_csv(const std::string& path,
+                             const std::vector<cds::SpreadResult>& results,
+                             const std::vector<cds::Sensitivities>& greeks,
+                             const std::vector<double>& ladder = {},
+                             std::size_t ladder_buckets = 0);
 
 // --- spread quotes (bootstrapping input) ----------------------------------------
 void write_quotes_csv(const std::string& path,

@@ -127,7 +127,10 @@ RuntimeRun PortfolioRuntime::price(const std::vector<cds::CdsOption>& options) {
   }
   const auto t1 = std::chrono::steady_clock::now();
 
-  // Deterministic merge in shard (= submission) order.
+  // Deterministic merge in shard (= submission) order. Risk-mode engines
+  // carry sensitivities and ladder rows next to the spreads; concatenating
+  // all three in the same order keeps the merged run bit-identical to a
+  // single-engine run.
   out.run.results.reserve(options.size());
   out.shards.reserve(plan.size());
   for (const auto& shard : plan) {
@@ -136,6 +139,20 @@ RuntimeRun PortfolioRuntime::price(const std::vector<cds::CdsOption>& options) {
                    "shard result count mismatch");
     out.run.results.insert(out.run.results.end(), run.results.begin(),
                            run.results.end());
+    if (!run.sensitivities.empty()) {
+      CDSFLOW_ASSERT(run.sensitivities.size() == shard.size(),
+                     "shard sensitivity count mismatch");
+      out.run.sensitivities.insert(out.run.sensitivities.end(),
+                                   run.sensitivities.begin(),
+                                   run.sensitivities.end());
+      CDSFLOW_ASSERT(run.cs01_ladder.size() ==
+                         shard.size() * run.ladder_buckets,
+                     "shard ladder size mismatch");
+      out.run.ladder_buckets = run.ladder_buckets;
+      out.run.cs01_ladder.insert(out.run.cs01_ladder.end(),
+                                 run.cs01_ladder.begin(),
+                                 run.cs01_ladder.end());
+    }
     out.run.kernel_cycles += run.kernel_cycles;
     out.run.kernel_seconds += run.kernel_seconds;
     out.run.transfer_seconds += run.transfer_seconds;

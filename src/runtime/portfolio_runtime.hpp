@@ -8,17 +8,31 @@
 /// on the host: N engine replicas (any registry engine -- cpu, dataflow,
 /// vectorised, multi-*, cluster-*), a thread pool driving them, and a
 /// deterministic merge of the per-shard PricingRuns back into submission
-/// order. Because options are independent, the merged *values* are
-/// bit-identical to a single-engine run over the whole book, whatever the
-/// worker count or shard size.
+/// order.
 ///
-/// Two throughput figures are reported:
+/// Determinism guarantee: shards are contiguous slices of the book, each
+/// shard is priced whole by one engine replica, and the merge concatenates
+/// shard results in shard (= submission) order regardless of which lane
+/// finished first. Because options are independent and every replica of a
+/// given engine computes identical per-option values, the merged *values*
+/// -- spreads, and in risk mode the Sensitivities and CS01-ladder rows --
+/// are bit-identical to a single-engine run over the whole book, whatever
+/// the worker count, replica count or shard size. Only the *timing* fields
+/// vary between configurations. (Risk-mode shards carry their
+/// sensitivities/ladder next to the spreads; the merge concatenates all
+/// three in the same order, so the guarantee extends to the Greeks.)
+///
+/// Two throughput figures are reported -- modelled vs wall:
 ///   - modelled: options / makespan of a deterministic list schedule of the
 ///     engine-reported shard times over the worker lanes. For simulated FPGA
-///     engines this is the paper-style metric (Table II with N = workers)
-///     and is reproducible on any host.
+///     engines the shard time is simulated device time, so this is the
+///     paper-style metric (Table II with N = workers) and is reproducible on
+///     any host, including a single-core CI box.
 ///   - wall: options / measured host wall time of the whole parallel
-///     section. Only meaningful when the host has enough cores.
+///     section. This is real elapsed time and therefore only meaningful
+///     when the host actually has the cores to run the lanes concurrently;
+///     on an oversubscribed host it degrades while the modelled figure
+///     stays put. Benches report both so the two are never conflated.
 
 #pragma once
 
@@ -65,7 +79,8 @@ struct ShardOutcome {
 };
 
 struct RuntimeRun {
-  /// Merged run. `results` is in submission order. `kernel_cycles`,
+  /// Merged run. `results` (and, for risk-mode engines, `sensitivities` and
+  /// `cs01_ladder`) are in submission order. `kernel_cycles`,
   /// `kernel_seconds`, `transfer_seconds` and `invocations` are sums over
   /// shards (total work); `total_seconds` is the modelled concurrent
   /// makespan and `options_per_second` the modelled throughput.

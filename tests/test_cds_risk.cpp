@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "cds/legs.hpp"
@@ -54,6 +55,17 @@ TEST_F(RiskFixture, Rec01IsNegative) {
   const auto s = compute_sensitivities(interest, hazard, option);
   // More recovery => cheaper protection => lower spread.
   EXPECT_LT(s.rec01, 0.0);
+}
+
+TEST_F(RiskFixture, JtdIsTheProtectionPayout) {
+  // The engine quotes fair spreads (MTM zero), so jump-to-default is
+  // exactly (1 - R) per unit notional.
+  const auto s = compute_sensitivities(interest, hazard, option);
+  EXPECT_DOUBLE_EQ(s.jtd, 1.0 - option.recovery_rate);
+  CdsOption zero_recovery = option;
+  zero_recovery.recovery_rate = 0.0;
+  EXPECT_DOUBLE_EQ(
+      compute_sensitivities(interest, hazard, zero_recovery).jtd, 1.0);
 }
 
 TEST_F(RiskFixture, Ir01IsSecondOrderSmall) {
@@ -109,6 +121,53 @@ TEST_F(RiskFixture, ValidationErrors) {
   EXPECT_THROW(compute_sensitivities(interest, hazard, option, 0.0), Error);
   EXPECT_THROW(cs01_ladder(interest, hazard, option, {1.0}), Error);
   EXPECT_THROW(cs01_ladder(interest, hazard, option, {2.0, 1.0}), Error);
+}
+
+TEST_F(RiskFixture, BumpHelpersRejectNonFiniteInputs) {
+  // A NaN/inf bump would silently poison every downstream spread; the
+  // helpers validate instead of producing garbage curves.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(parallel_bump(hazard, nan), Error);
+  EXPECT_THROW(parallel_bump(hazard, inf), Error);
+  EXPECT_THROW(bucket_bump(hazard, 0.0, 5.0, nan), Error);
+  EXPECT_THROW(bucket_bump(hazard, nan, 5.0, 0.01), Error);
+  EXPECT_THROW(bucket_bump(hazard, 0.0, nan, 0.01), Error);
+  EXPECT_THROW(compute_sensitivities(interest, hazard, option, inf), Error);
+  EXPECT_THROW(cs01_ladder(interest, hazard, option, {0.0, 5.0}, nan),
+               Error);
+  // +inf as the *upper* edge is the documented "to the end of the curve"
+  // convention and stays legal.
+  const auto open_ended = bucket_bump(hazard, 5.0, inf, 0.01);
+  EXPECT_DOUBLE_EQ(open_ended.value(hazard.size() - 1),
+                   hazard.value(hazard.size() - 1) + 0.01);
+}
+
+TEST_F(RiskFixture, LadderBucketsBeyondLastKnotAreExactlyZero) {
+  // Buckets that start past the hazard curve's final knot bump nothing --
+  // bucket_bump returns the identical curve, so up == dn and the entry is
+  // exactly 0, not merely small.
+  const double beyond = hazard.max_time() + 1.0;
+  const auto ladder = cs01_ladder(interest, hazard, option,
+                                  {beyond, beyond + 5.0, beyond + 10.0});
+  ASSERT_EQ(ladder.size(), 2u);
+  EXPECT_EQ(ladder[0], 0.0);
+  EXPECT_EQ(ladder[1], 0.0);
+}
+
+TEST_F(RiskFixture, SingleBucketLadderMatchesParallelCs01) {
+  // One bucket spanning every knot *is* the parallel bump.
+  const auto ladder = cs01_ladder(interest, hazard, option,
+                                  {0.0, hazard.max_time() + 1.0});
+  ASSERT_EQ(ladder.size(), 1u);
+  const auto s = compute_sensitivities(interest, hazard, option);
+  EXPECT_NEAR(ladder[0], s.cs01, 1e-12 * std::fabs(s.cs01));
+}
+
+TEST_F(RiskFixture, EqualEdgesRejected) {
+  EXPECT_THROW(cs01_ladder(interest, hazard, option, {1.0, 1.0}), Error);
+  EXPECT_THROW(cs01_ladder(interest, hazard, option, {0.0, 1.0, 1.0, 2.0}),
+               Error);
 }
 
 TEST_F(RiskFixture, CentralDifferenceIsStableInBumpSize) {
