@@ -1,0 +1,171 @@
+/// \file bench_stream_ingest.cpp
+/// Streaming quote-ingest trajectory bench, reported as JSON.
+///
+/// Two phases over the same standard-tenor option mix:
+///
+///   1. *Steady state (unpaced feed).* Every event is pushed back-to-back,
+///      so the lanes run flat out; the stream's modelled throughput
+///      (options / list-schedule makespan of the per-micro-batch pricing
+///      times -- the same modelled figure the batch runtime reports) is
+///      compared against the batch runtime pricing the identical book with
+///      the same engine kernel and lane count. The acceptance bar is
+///      steady_state_ratio >= 0.9: streaming micro-batches must not cost
+///      more than 10% of the batch path's modelled throughput. (In practice
+///      the stream wins: its lanes keep their schedule grids across
+///      micro-batches while the batch runtime re-tabulates per shard.) The
+///      phase also asserts the merged stream spreads are bit-identical to a
+///      single cpu-batch engine run over the same option sequence.
+///
+///   2. *Latency (paced feed).* The same feed replayed as a Poisson stream
+///      at ~30% of the measured wall saturation rate, with hazard-quote
+///      updates mixed in: p50/p99/max ingest-to-result latency, deadline
+///      misses and the incremental-risk re-tabulation accounting.
+///
+/// Usage: bench_stream_ingest [n_events] [max_batch] [out.json] [lanes]
+///   defaults: 16384 1024 BENCH_stream_ingest.json 2
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "engines/registry.hpp"
+#include "runtime/portfolio_runtime.hpp"
+#include "runtime/stream_runtime.hpp"
+#include "workload/curves.hpp"
+#include "workload/feed.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsflow;
+  const std::size_t n_events =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16384;
+  const std::size_t max_batch =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024;
+  const std::string out_path =
+      argc > 3 ? argv[3] : "BENCH_stream_ingest.json";
+  const unsigned lanes =
+      argc > 4 ? static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10)) : 2;
+
+  const auto interest = workload::paper_interest_curve();
+  const auto hazard = workload::paper_hazard_curve();
+
+  workload::QuoteFeedSpec feed_spec;
+  feed_spec.events = n_events;
+  feed_spec.book.maturity_tenor_grid = {1.0, 3.0, 5.0, 7.0, 10.0};
+  feed_spec.seed = 7;
+
+  runtime::StreamConfig stream_cfg;
+  stream_cfg.lanes = lanes;
+  stream_cfg.max_batch = max_batch;
+  stream_cfg.max_wait_us = 200;
+  stream_cfg.deadline_us = 50'000;
+
+  std::cout << "== Stream ingest: " << n_events << " events, micro-batch <= "
+            << max_batch << ", " << lanes << " lane(s) ==\n\n";
+
+  // Phase 1 -- unpaced steady state vs the batch runtime.
+  const auto feed = workload::make_quote_feed(feed_spec, hazard);
+  std::vector<cds::CdsOption> book;
+  book.reserve(feed.size());
+  for (const auto& event : feed) book.push_back(event.option);
+
+  runtime::StreamRuntime stream(interest, hazard, stream_cfg);
+  const auto steady = stream.play(feed);
+
+  runtime::RuntimeConfig batch_cfg;
+  batch_cfg.engine = "cpu-batch";
+  batch_cfg.workers = lanes;
+  runtime::PortfolioRuntime batch_rt(interest, hazard, batch_cfg);
+  const auto batch = batch_rt.price(book);
+
+  const double ratio =
+      batch.run.options_per_second > 0.0
+          ? steady.modelled_events_per_second / batch.run.options_per_second
+          : 0.0;
+
+  // Bit-identity cross-check against one cpu-batch engine over the same
+  // option sequence (same guarantee the batch runtime's merge makes).
+  auto single = engine::make_engine("cpu-batch", interest, hazard);
+  const auto baseline = single->price(book);
+  bool identical = steady.run.results.size() == baseline.results.size();
+  for (std::size_t i = 0; identical && i < baseline.results.size(); ++i) {
+    identical = steady.run.results[i].id == baseline.results[i].id &&
+                steady.run.results[i].spread_bps ==
+                    baseline.results[i].spread_bps;
+  }
+
+  std::cout << "steady state: stream "
+            << with_thousands(steady.modelled_events_per_second, 0)
+            << " vs batch runtime "
+            << with_thousands(batch.run.options_per_second, 0)
+            << " options/s modelled (ratio " << fixed(ratio, 2)
+            << "x, bar >= 0.9), " << steady.batches.size()
+            << " micro-batches, merge bit-identical: "
+            << (identical ? "yes" : "NO") << '\n';
+
+  // Phase 2 -- paced feed with hazard-quote updates: the latency picture.
+  feed_spec.rate_hz = std::max(1.0, steady.wall_events_per_second * 0.3);
+  feed_spec.hazard_update_every = 256;
+  runtime::StreamRuntime paced_rt(interest, hazard, stream_cfg);
+  const auto paced = paced_rt.play(workload::make_quote_feed(feed_spec, hazard));
+
+  auto us = [](double seconds) { return seconds * 1e6; };
+  std::cout << "paced at " << with_thousands(feed_spec.rate_hz, 0)
+            << " events/s: p50 " << fixed(us(paced.p50_latency_seconds), 1)
+            << " us, p99 " << fixed(us(paced.p99_latency_seconds), 1)
+            << " us, max " << fixed(us(paced.max_latency_seconds), 1)
+            << " us ingest-to-result; " << paced.deadline_misses
+            << " deadline miss(es); " << paced.hazard_updates
+            << " update(s) re-tabulated " << paced.grids_retabulated
+            << " grid(s) (full rebuilds: " << paced.full_rebuild_grids
+            << ")\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"stream_ingest\",\n"
+       << "  \"n_events\": " << n_events << ",\n"
+       << "  \"max_batch\": " << max_batch << ",\n"
+       << "  \"lanes\": " << lanes << ",\n"
+       << "  \"batches\": " << steady.batches.size() << ",\n"
+       << "  \"batches_per_second\": " << steady.batches_per_second << ",\n"
+       << "  \"stream_modelled_options_per_second\": "
+       << steady.modelled_events_per_second << ",\n"
+       << "  \"stream_wall_options_per_second\": "
+       << steady.wall_events_per_second << ",\n"
+       << "  \"batch_modelled_options_per_second\": "
+       << batch.run.options_per_second << ",\n"
+       << "  \"steady_state_ratio\": " << ratio << ",\n"
+       << "  \"bit_identical_to_batch_engine\": "
+       << (identical ? "true" : "false") << ",\n"
+       << "  \"paced_rate_hz\": " << feed_spec.rate_hz << ",\n"
+       << "  \"p50_ingest_to_result_us\": " << us(paced.p50_latency_seconds)
+       << ",\n"
+       << "  \"p99_ingest_to_result_us\": " << us(paced.p99_latency_seconds)
+       << ",\n"
+       << "  \"max_ingest_to_result_us\": " << us(paced.max_latency_seconds)
+       << ",\n"
+       << "  \"deadline_us\": " << stream_cfg.deadline_us << ",\n"
+       << "  \"deadline_misses\": " << paced.deadline_misses << ",\n"
+       << "  \"queue_high_water\": " << paced.queue_high_water << ",\n"
+       << "  \"hazard_updates\": " << paced.hazard_updates << ",\n"
+       << "  \"grids_retabulated\": " << paced.grids_retabulated << ",\n"
+       << "  \"full_rebuild_grids\": " << paced.full_rebuild_grids << "\n"
+       << "}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "JSON written to " << out_path << '\n';
+
+  const bool pass = identical && ratio >= 0.9;
+  if (!pass) {
+    std::cout << "FAIL: "
+              << (!identical ? "stream merge not bit-identical"
+                             : "steady-state ratio below the 0.9 bar")
+              << '\n';
+  }
+  return pass ? 0 : 1;
+}

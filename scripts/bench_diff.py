@@ -29,6 +29,12 @@ METRICS = {
         ("single_thread_speedup", True),
         ("max_rel_error", False),
     ],
+    "BENCH_stream_ingest.json": [
+        ("batches_per_second", True),
+        ("steady_state_ratio", True),
+        ("p50_ingest_to_result_us", False),
+        ("p99_ingest_to_result_us", False),
+    ],
 }
 
 WARN_THRESHOLD = 0.10  # flag drops beyond 10%

@@ -9,6 +9,49 @@
 
 namespace cdsflow::cds {
 
+namespace detail {
+
+GridSums tabulate_grid(const TermStructure& interest,
+                       const HazardPrefix& hazard_prefix,
+                       std::span<const TimePoint> points,
+                       std::span<double> discount, std::span<double> survival,
+                       std::span<double> default_mass,
+                       bool refresh_discount) {
+  CDSFLOW_ASSERT(discount.size() == points.size() &&
+                     survival.size() == points.size() &&
+                     default_mass.size() == points.size(),
+                 "grid column spans must match the schedule length");
+  double premium = 0.0;
+  double accrual = 0.0;
+  double payoff = 0.0;
+  double q_prev = 1.0;  // Q(0)
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const TimePoint tp = points[i];
+    const double q = survival_probability_prefix(hazard_prefix, tp.t);
+    if (refresh_discount) {
+      const double r = interest.interpolate_fast(tp.t);
+      discount[i] = std::exp(-r * tp.t);
+    }
+    const double d = discount[i];
+    const LegTerms terms = leg_terms_from_discount(d, q_prev, q, tp.dt);
+    survival[i] = q;
+    default_mass[i] = q_prev - q;
+    premium += terms.premium;
+    accrual += terms.accrual;
+    payoff += terms.payoff;
+    q_prev = q;
+  }
+  const double annuity = premium + accrual;
+  // Hoisted from the per-option combine: the annuity is recovery-free, so
+  // one check per grid covers every option on it (same diagnostic as
+  // combine_spread_bps).
+  CDSFLOW_EXPECT(annuity > 0.0,
+                 "risky annuity must be positive to quote a spread");
+  return {annuity, payoff};
+}
+
+}  // namespace detail
+
 void BatchPricer::Workspace::clear() {
   grid_of.clear();
   grid_maturity.clear();
@@ -72,8 +115,9 @@ BatchStats BatchPricer::build_grids(std::span<const CdsOption> options,
   }
 
   // Pass 2 -- per unique grid: materialise the schedule once into the flat
-  // arena, tabulate D/Q/dq, and reduce the three leg sums in exactly the
-  // scalar reference's accumulation order (so spreads match bit-for-bit).
+  // arena, then tabulate D/Q/dq and reduce the three leg sums via the shared
+  // grid walk (detail::tabulate_grid), which accumulates in exactly the
+  // scalar reference's order (so spreads match bit-for-bit).
   const std::size_t n_grids = ws.grid_maturity.size();
   ws.grid_offset.reserve(n_grids);
   ws.grid_annuity.reserve(n_grids);
@@ -85,33 +129,18 @@ BatchStats BatchPricer::build_grids(std::span<const CdsOption> options,
     const std::size_t offset = ws.points.size();
     ws.grid_offset.push_back(offset);
     const std::size_t n_points = make_schedule(probe, ws.points);
-
-    double premium = 0.0;
-    double accrual = 0.0;
-    double payoff = 0.0;
-    double q_prev = 1.0;  // Q(0)
-    for (std::size_t i = offset; i < offset + n_points; ++i) {
-      const TimePoint tp = ws.points[i];
-      const double q = survival_probability_prefix(hazard_prefix_, tp.t);
-      const double r = interest_.interpolate_fast(tp.t);
-      const double d = std::exp(-r * tp.t);
-      const LegTerms terms = leg_terms_from_discount(d, q_prev, q, tp.dt);
-      ws.discount.push_back(d);
-      ws.survival.push_back(q);
-      ws.default_mass.push_back(q_prev - q);
-      premium += terms.premium;
-      accrual += terms.accrual;
-      payoff += terms.payoff;
-      q_prev = q;
-    }
-    const double annuity = premium + accrual;
-    // Hoisted from the per-option combine: the annuity is recovery-free, so
-    // one check per grid covers every option on it (same diagnostic as
-    // combine_spread_bps).
-    CDSFLOW_EXPECT(annuity > 0.0,
-                   "risky annuity must be positive to quote a spread");
-    ws.grid_annuity.push_back(annuity);
-    ws.grid_payoff.push_back(payoff);
+    ws.discount.resize(offset + n_points);
+    ws.survival.resize(offset + n_points);
+    ws.default_mass.resize(offset + n_points);
+    const detail::GridSums sums = detail::tabulate_grid(
+        interest_, hazard_prefix_,
+        std::span<const TimePoint>(ws.points).subspan(offset, n_points),
+        std::span<double>(ws.discount).subspan(offset, n_points),
+        std::span<double>(ws.survival).subspan(offset, n_points),
+        std::span<double>(ws.default_mass).subspan(offset, n_points),
+        /*refresh_discount=*/true);
+    ws.grid_annuity.push_back(sums.annuity);
+    ws.grid_payoff.push_back(sums.payoff);
   }
   stats.unique_schedules = n_grids;
   stats.grid_points = ws.points.size();

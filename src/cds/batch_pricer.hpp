@@ -94,6 +94,28 @@ struct ScheduleKeyHash {
   }
 };
 
+/// Leg sums of one tabulated grid.
+struct GridSums {
+  double annuity = 0.0;  ///< premium + accrual leg sum
+  double payoff = 0.0;   ///< unscaled payoff sum
+};
+
+/// Tabulates one schedule grid: fills the discount / survival / default-mass
+/// columns over `points` and reduces the leg sums in the scalar reference's
+/// accumulation order. The single home of the grid walk, shared by
+/// BatchPricer::build_grids and the streaming pricer (cds/stream_pricer.hpp)
+/// so a batch-built and an incrementally-maintained grid are bit-identical.
+/// With `refresh_discount` false the stored discount column is reused
+/// instead of recomputed -- the hazard-quote update path, where the interest
+/// curve has not moved (the reused values are the ones a recompute would
+/// produce, so bit-consistency is preserved either way). Throws the scalar
+/// reference's diagnostic when the risky annuity is not positive.
+GridSums tabulate_grid(const TermStructure& interest,
+                       const HazardPrefix& hazard_prefix,
+                       std::span<const TimePoint> points,
+                       std::span<double> discount, std::span<double> survival,
+                       std::span<double> default_mass, bool refresh_discount);
+
 }  // namespace detail
 
 /// What one batch cost and how much work dedup removed.

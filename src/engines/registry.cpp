@@ -27,34 +27,40 @@ bool parse_suffix_uint(const std::string& s, const std::string& prefix,
 
 }  // namespace
 
+bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config) {
+  // CPU family, assembled as "cpu[-batch][-risk][-mt[N]]": strip the
+  // optional kernel and mode tokens, then parse the thread suffix.
+  CpuEngineConfig cfg = config;
+  std::string cpu_name = name;
+  const auto strip_token = [&cpu_name](const std::string& prefix) {
+    if (cpu_name.rfind(prefix, 0) != 0) return false;
+    cpu_name = "cpu" + cpu_name.substr(prefix.size());
+    return true;
+  };
+  if (strip_token("cpu-batch")) cfg.batch_kernel = true;
+  if (strip_token("cpu-risk")) cfg.risk_mode = true;
+  unsigned n = 0;
+  if (cpu_name == "cpu") {
+    cfg.threads = 1;
+  } else if (cpu_name == "cpu-mt") {
+    cfg.threads = 0;  // all hardware threads
+  } else if (parse_suffix_uint(cpu_name, "cpu-mt", n)) {
+    cfg.threads = n;
+  } else {
+    return false;
+  }
+  config = cfg;
+  return true;
+}
+
 std::unique_ptr<Engine> make_engine(const std::string& name,
                                     const cds::TermStructure& interest,
                                     const cds::TermStructure& hazard,
                                     const FpgaEngineConfig& fpga_config,
                                     const CpuEngineConfig& cpu_config) {
-  // CPU family, assembled as "cpu[-batch][-risk][-mt[N]]": strip the
-  // optional kernel and mode tokens, then parse the thread suffix.
   {
     CpuEngineConfig cfg = cpu_config;
-    std::string cpu_name = name;
-    const auto strip_token = [&cpu_name](const std::string& prefix) {
-      if (cpu_name.rfind(prefix, 0) != 0) return false;
-      cpu_name = "cpu" + cpu_name.substr(prefix.size());
-      return true;
-    };
-    if (strip_token("cpu-batch")) cfg.batch_kernel = true;
-    if (strip_token("cpu-risk")) cfg.risk_mode = true;
-    unsigned n = 0;
-    if (cpu_name == "cpu") {
-      cfg.threads = 1;
-      return std::make_unique<CpuEngine>(interest, hazard, cfg);
-    }
-    if (cpu_name == "cpu-mt") {
-      cfg.threads = 0;  // all hardware threads
-      return std::make_unique<CpuEngine>(interest, hazard, cfg);
-    }
-    if (parse_suffix_uint(cpu_name, "cpu-mt", n)) {
-      cfg.threads = n;
+    if (parse_cpu_engine_name(name, cfg)) {
       return std::make_unique<CpuEngine>(interest, hazard, cfg);
     }
   }

@@ -54,6 +54,14 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
                                     const FpgaEngineConfig& fpga_config = {},
                                     const CpuEngineConfig& cpu_config = {});
 
+/// Parses a "cpu[-batch][-risk][-mt[N]]" family name into `config`
+/// (batch_kernel / risk_mode / threads; other fields are left untouched).
+/// Returns false -- leaving `config` unmodified -- when `name` is not a
+/// CPU-family name. The one home of the CPU name grammar: make_engine uses
+/// it, and the streaming runtime reuses it so `cdsflow_cli stream` accepts
+/// the same engine names (risk mode included) as the batch commands.
+bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config);
+
 /// All fixed registry names (the parametrised multi-N/cpu-mtN forms are
 /// represented by "multi-5" and "cpu-mt").
 std::vector<std::string> engine_names();

@@ -174,6 +174,17 @@ void write_sensitivities_csv(const std::string& path,
   }
 }
 
+void write_stream_batches_csv(const std::string& path,
+                              const std::vector<StreamBatchRow>& rows) {
+  auto out = open_for_write(path);
+  out << "batch,events,lane,pricing_seconds,max_latency_us,deadline_misses\n";
+  for (const auto& r : rows) {
+    out << r.batch << ',' << r.events << ',' << r.lane << ','
+        << r.pricing_seconds << ',' << r.max_latency_us << ','
+        << r.deadline_misses << '\n';
+  }
+}
+
 std::vector<cds::SpreadResult> read_results_csv(const std::string& path) {
   const auto rows = read_rows(path, "id,spread_bps");
   std::vector<cds::SpreadResult> results;

@@ -8,6 +8,8 @@
 ///   results:    id,spread_bps
 ///   risk:       id,spread_bps,cs01,ir01,rec01,jtd[,cs01_bucket_<i>...]
 ///   quotes:     tenor_years,spread_bps
+///   stream:     batch,events,lane,pricing_seconds,max_latency_us,
+///               deadline_misses (per micro-batch trace of a streaming run)
 ///
 /// Readers validate structure eagerly (header, field counts, numeric
 /// parses, curve monotonicity / option ranges) and report the offending
@@ -49,6 +51,22 @@ void write_sensitivities_csv(const std::string& path,
                              const std::vector<cds::Sensitivities>& greeks,
                              const std::vector<double>& ladder = {},
                              std::size_t ladder_buckets = 0);
+
+// --- stream micro-batch trace -------------------------------------------------
+/// One row per streaming micro-batch: index, option events priced, lane,
+/// pricing time, worst ingest-to-result latency (microseconds) and deadline
+/// misses. A plain row struct so io stays independent of the runtime layer;
+/// the CLI converts runtime::StreamBatchOutcome records into these.
+struct StreamBatchRow {
+  std::size_t batch = 0;
+  std::size_t events = 0;
+  unsigned lane = 0;
+  double pricing_seconds = 0.0;
+  double max_latency_us = 0.0;
+  std::uint64_t deadline_misses = 0;
+};
+void write_stream_batches_csv(const std::string& path,
+                              const std::vector<StreamBatchRow>& rows);
 
 // --- spread quotes (bootstrapping input) ----------------------------------------
 void write_quotes_csv(const std::string& path,

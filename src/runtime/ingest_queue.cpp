@@ -1,0 +1,166 @@
+#include "runtime/ingest_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cdsflow::runtime {
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDropOldest:
+      return "drop-oldest";
+  }
+  return "?";
+}
+
+BackpressurePolicy parse_backpressure_policy(const std::string& name) {
+  if (name == "block") return BackpressurePolicy::kBlock;
+  if (name == "drop-oldest") return BackpressurePolicy::kDropOldest;
+  throw Error("unknown backpressure policy '" + name +
+              "'; known: block, drop-oldest");
+}
+
+QuoteEvent option_event(cds::CdsOption option) {
+  QuoteEvent event;
+  event.kind = QuoteEvent::Kind::kOption;
+  event.option = option;
+  return event;
+}
+
+QuoteEvent hazard_quote_event(std::size_t knot, double rate) {
+  QuoteEvent event;
+  event.kind = QuoteEvent::Kind::kHazardQuote;
+  event.knot = knot;
+  event.rate = rate;
+  return event;
+}
+
+IngestQueue::IngestQueue(std::size_t capacity, BackpressurePolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  CDSFLOW_EXPECT(capacity_ > 0, "ingest queue capacity must be positive");
+}
+
+bool IngestQueue::push(QuoteEvent event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) {
+    ++stats_.rejected_closed;
+    return false;
+  }
+  if (queue_.size() >= capacity_) {
+    if (policy_ == BackpressurePolicy::kBlock) {
+      ++stats_.blocked_pushes;
+      not_full_.wait(lock, [this] {
+        return closed_ || queue_.size() < capacity_;
+      });
+      if (closed_) {
+        ++stats_.rejected_closed;
+        return false;
+      }
+    } else {
+      while (queue_.size() >= capacity_) {
+        queue_.pop_front();
+        ++stats_.dropped_oldest;
+      }
+    }
+  }
+  event.sequence = next_sequence_++;
+  event.ingest = StreamClock::now();
+  queue_.push_back(std::move(event));
+  ++stats_.accepted;
+  stats_.high_water = std::max(stats_.high_water, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void IngestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::optional<QuoteEvent> IngestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // drained
+  QuoteEvent event = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return event;
+}
+
+std::optional<QuoteEvent> IngestQueue::pop_for(StreamClock::duration timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, timeout,
+                      [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // timeout or drained
+  QuoteEvent event = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return event;
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+bool IngestQueue::drained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_ && queue_.empty();
+}
+
+std::size_t IngestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+IngestQueueStats IngestQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+MicroBatcher::MicroBatcher(std::size_t max_batch,
+                           StreamClock::duration max_wait)
+    : max_batch_(max_batch), max_wait_(max_wait) {
+  CDSFLOW_EXPECT(max_batch_ > 0, "micro-batch size must be positive");
+  CDSFLOW_EXPECT(max_wait_ >= StreamClock::duration::zero(),
+                 "micro-batch max wait must be non-negative");
+}
+
+bool MicroBatcher::add(QuoteEvent event) {
+  CDSFLOW_ASSERT(events_.size() < max_batch_,
+                 "add() on a full micro-batch; take() it first");
+  if (events_.empty()) opened_ = event.ingest;
+  events_.push_back(std::move(event));
+  return events_.size() >= max_batch_;
+}
+
+bool MicroBatcher::due(StreamClock::time_point now) const {
+  return open() && now - opened_ >= max_wait_;
+}
+
+StreamClock::duration MicroBatcher::time_until_due(
+    StreamClock::time_point now) const {
+  if (!open()) return max_wait_;
+  const auto waited = now - opened_;
+  if (waited >= max_wait_) return StreamClock::duration::zero();
+  return max_wait_ - waited;
+}
+
+std::vector<QuoteEvent> MicroBatcher::take() {
+  std::vector<QuoteEvent> batch = std::move(events_);
+  events_.clear();  // moved-from state is unspecified; make it empty again
+  return batch;
+}
+
+}  // namespace cdsflow::runtime

@@ -1,0 +1,180 @@
+/// \file ingest_queue.hpp
+/// Bounded multi-producer/single-consumer ingest queue plus the micro-batch
+/// accumulator for the streaming quote runtime.
+///
+/// The paper's stated future direction is driving the engine from a live
+/// AAT-style real-time feed rather than a pre-materialised book. The feed
+/// side of that runtime is here:
+///
+///   * QuoteEvent      -- one timestamped feed element: a CDS option quote
+///                        request, or a hazard-quote update (knot k of the
+///                        hazard curve moved to a new rate).
+///   * IngestQueue     -- a bounded MPSC queue with a configurable
+///                        backpressure policy. kBlock parks producers until
+///                        the dispatcher frees space (lossless, adds
+///                        latency); kDropOldest evicts the stalest queued
+///                        event to admit the new one (bounded latency, loses
+///                        events). Both behaviours are *counted*
+///                        (blocked_pushes / dropped_oldest) so the report
+///                        can say which price was paid.
+///   * MicroBatcher    -- the dispatcher's flush policy: close the open
+///                        micro-batch when it reaches `max_batch` events or
+///                        when its oldest event has waited `max_wait` since
+///                        ingest. A pure state machine over the events'
+///                        ingest timestamps -- no clock of its own -- so
+///                        tests drive it with a fake clock.
+///
+/// Timestamps use steady_clock and are stamped once, at ingest (under the
+/// queue lock, which also assigns the global sequence number); ingest-to-
+/// result latency and deadline accounting in the runtime all measure from
+/// that stamp.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cds/types.hpp"
+
+namespace cdsflow::runtime {
+
+using StreamClock = std::chrono::steady_clock;
+
+/// What to do with a push into a full queue.
+enum class BackpressurePolicy {
+  kBlock,      ///< park the producer until the dispatcher frees space
+  kDropOldest  ///< evict the stalest queued event, admit the new one
+};
+
+const char* to_string(BackpressurePolicy policy);
+/// Parses "block" / "drop-oldest" (the CLI flag values); throws on others.
+BackpressurePolicy parse_backpressure_policy(const std::string& name);
+
+/// One feed element.
+struct QuoteEvent {
+  enum class Kind : std::uint8_t {
+    kOption,      ///< price this CDS option
+    kHazardQuote  ///< hazard curve knot `knot` moved to `rate`
+  };
+  Kind kind = Kind::kOption;
+  /// Global arrival order, assigned by the queue at ingest.
+  std::uint64_t sequence = 0;
+  /// Ingest timestamp, stamped by the queue (latency measurements anchor
+  /// here).
+  StreamClock::time_point ingest{};
+  /// kOption payload.
+  cds::CdsOption option{};
+  /// kHazardQuote payload.
+  std::size_t knot = 0;
+  double rate = 0.0;
+};
+
+QuoteEvent option_event(cds::CdsOption option);
+QuoteEvent hazard_quote_event(std::size_t knot, double rate);
+
+/// Queue-side accounting (snapshot via IngestQueue::stats()).
+struct IngestQueueStats {
+  /// Events accepted into the queue (including any later evicted by
+  /// kDropOldest).
+  std::uint64_t accepted = 0;
+  /// Events evicted by the kDropOldest policy (never reach the dispatcher).
+  std::uint64_t dropped_oldest = 0;
+  /// Pushes rejected because the queue was already closed.
+  std::uint64_t rejected_closed = 0;
+  /// Pushes that had to wait for space (kBlock policy).
+  std::uint64_t blocked_pushes = 0;
+  /// Maximum queue depth observed.
+  std::size_t high_water = 0;
+};
+
+class IngestQueue {
+ public:
+  /// `capacity` must be > 0.
+  IngestQueue(std::size_t capacity, BackpressurePolicy policy);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Multi-producer push. Stamps sequence + ingest time and enqueues.
+  /// Returns false only when the queue is closed (the event is discarded);
+  /// under kDropOldest a push into a full queue evicts the oldest event and
+  /// still returns true.
+  bool push(QuoteEvent event);
+
+  /// No more pushes will be accepted; parked producers and the consumer are
+  /// released. Events already queued remain poppable (close-then-drain).
+  void close();
+
+  /// Single-consumer pop: waits until an event is available or the queue is
+  /// drained (closed and empty, -> nullopt).
+  std::optional<QuoteEvent> pop();
+
+  /// Like pop() but gives up after `timeout`; nullopt on timeout or drain
+  /// (disambiguate with drained()).
+  std::optional<QuoteEvent> pop_for(StreamClock::duration timeout);
+
+  bool closed() const;
+  /// Closed and empty: no event will ever be popped again.
+  bool drained() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  BackpressurePolicy policy() const { return policy_; }
+  IngestQueueStats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<QuoteEvent> queue_;
+  bool closed_ = false;
+  std::uint64_t next_sequence_ = 0;
+  IngestQueueStats stats_;
+};
+
+/// The dispatcher's micro-batch flush policy. Accumulates popped events;
+/// flush when the batch is full (add() returns true) or when the oldest
+/// event has waited `max_wait` since its ingest stamp (due()). Pure state
+/// machine over the events' own timestamps: the caller supplies "now", so
+/// tests exercise the max-wait path with a fake clock.
+class MicroBatcher {
+ public:
+  /// `max_batch` must be > 0; `max_wait` must be >= 0.
+  MicroBatcher(std::size_t max_batch, StreamClock::duration max_wait);
+
+  /// Adds an event to the open batch (opening one anchored at the event's
+  /// ingest stamp if needed). Returns true when the batch just reached
+  /// max_batch and must flush.
+  bool add(QuoteEvent event);
+
+  /// True while a (partial) batch is open.
+  bool open() const { return !events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// True when the open batch's oldest event has waited >= max_wait at
+  /// `now`. A closed (empty) batcher is never due.
+  bool due(StreamClock::time_point now) const;
+
+  /// Time until due(now + result) turns true: 0 when already due, max_wait
+  /// when no batch is open (the longest a fresh event could wait).
+  StreamClock::duration time_until_due(StreamClock::time_point now) const;
+
+  /// Hands the open batch over and resets to empty.
+  std::vector<QuoteEvent> take();
+
+ private:
+  const std::size_t max_batch_;
+  const StreamClock::duration max_wait_;
+  StreamClock::time_point opened_{};  ///< oldest event's ingest stamp
+  std::vector<QuoteEvent> events_;
+};
+
+}  // namespace cdsflow::runtime

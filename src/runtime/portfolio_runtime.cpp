@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "engines/registry.hpp"
+#include "runtime/replica_pool.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -15,46 +16,16 @@ namespace cdsflow::runtime {
 
 namespace {
 
-/// Hands each in-flight shard task an exclusive engine replica. One replica
-/// exists per pool thread, so acquire() never waits.
-class EnginePool {
- public:
-  explicit EnginePool(std::size_t n) {
-    free_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) free_.push_back(n - 1 - i);
-  }
-
-  std::size_t acquire() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    CDSFLOW_ASSERT(!free_.empty(), "more in-flight shards than engines");
-    const std::size_t idx = free_.back();
-    free_.pop_back();
-    return idx;
-  }
-
-  void release(std::size_t idx) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    free_.push_back(idx);
-  }
-
- private:
-  std::mutex mutex_;
-  std::vector<std::size_t> free_;
-};
-
 /// Deterministic list schedule: shards in submission order, each onto the
-/// earliest-free lane. Returns the makespan and writes lane assignments.
+/// earliest-free lane (list_schedule_makespan, shared with the streaming
+/// runtime). Returns the makespan and writes lane assignments.
 double schedule_lanes(std::vector<ShardOutcome>& shards, unsigned lanes) {
-  std::vector<double> lane_busy_until(lanes, 0.0);
-  double makespan = 0.0;
-  for (auto& shard : shards) {
-    const auto lane = static_cast<unsigned>(
-        std::min_element(lane_busy_until.begin(), lane_busy_until.end()) -
-        lane_busy_until.begin());
-    shard.lane = lane;
-    lane_busy_until[lane] += shard.engine_seconds;
-    makespan = std::max(makespan, lane_busy_until[lane]);
-  }
+  std::vector<double> task_seconds;
+  task_seconds.reserve(shards.size());
+  for (const auto& shard : shards) task_seconds.push_back(shard.engine_seconds);
+  std::vector<unsigned> lane_of;
+  const double makespan = list_schedule_makespan(task_seconds, lanes, &lane_of);
+  for (std::size_t i = 0; i < shards.size(); ++i) shards[i].lane = lane_of[i];
   return makespan;
 }
 
@@ -104,23 +75,17 @@ RuntimeRun PortfolioRuntime::price(const std::vector<cds::CdsOption>& options) {
       shard_runs[shard.index] = engines_.front()->price(slice);
     }
   } else {
-    EnginePool engine_pool(engines_.size());
+    ReplicaPool engine_pool(engines_.size());
     ThreadPool pool(lanes_);
     std::vector<std::future<void>> pending;
     pending.reserve(plan.size());
     for (const auto& shard : plan) {
       pending.push_back(pool.submit([this, &engine_pool, &options, &shard,
                                      &shard_runs] {
-        const std::size_t engine_idx = engine_pool.acquire();
-        try {
-          const std::vector<cds::CdsOption> slice(
-              options.begin() + shard.begin, options.begin() + shard.end);
-          shard_runs[shard.index] = engines_[engine_idx]->price(slice);
-        } catch (...) {
-          engine_pool.release(engine_idx);
-          throw;
-        }
-        engine_pool.release(engine_idx);
+        const ReplicaPool::Lease engine(engine_pool);
+        const std::vector<cds::CdsOption> slice(
+            options.begin() + shard.begin, options.begin() + shard.end);
+        shard_runs[shard.index] = engines_[engine.index()]->price(slice);
       }));
     }
     for (auto& f : pending) f.get();  // rethrows the first shard failure

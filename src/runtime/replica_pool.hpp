@@ -1,0 +1,58 @@
+/// \file replica_pool.hpp
+/// Free-list of engine-replica indices shared by the batch and streaming
+/// runtimes: each in-flight task checks out an exclusive replica for the
+/// duration of its shard / micro-batch. The runtimes size the pool to the
+/// thread-pool width, so acquire() never actually waits -- the assertion
+/// documents (and enforces) that invariant.
+
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cdsflow::runtime {
+
+class ReplicaPool {
+ public:
+  explicit ReplicaPool(std::size_t n) {
+    free_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) free_.push_back(n - 1 - i);
+  }
+
+  std::size_t acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CDSFLOW_ASSERT(!free_.empty(), "more in-flight tasks than replicas");
+    const std::size_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+
+  void release(std::size_t idx) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(idx);
+  }
+
+  /// RAII checkout so worker lambdas release on every exit path (including
+  /// a throwing engine).
+  class Lease {
+   public:
+    explicit Lease(ReplicaPool& pool) : pool_(pool), idx_(pool.acquire()) {}
+    ~Lease() { pool_.release(idx_); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    std::size_t index() const { return idx_; }
+
+   private:
+    ReplicaPool& pool_;
+    std::size_t idx_;
+  };
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::size_t> free_;
+};
+
+}  // namespace cdsflow::runtime

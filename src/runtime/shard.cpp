@@ -24,4 +24,24 @@ std::size_t auto_shard_size(std::size_t n_options, unsigned workers) {
                                       target_shards);
 }
 
+double list_schedule_makespan(std::span<const double> task_seconds,
+                              unsigned lanes,
+                              std::vector<unsigned>* lane_of) {
+  CDSFLOW_EXPECT(lanes > 0, "list schedule needs at least one lane");
+  if (lane_of != nullptr) {
+    lane_of->assign(task_seconds.size(), 0);
+  }
+  std::vector<double> lane_busy_until(lanes, 0.0);
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < task_seconds.size(); ++i) {
+    const auto lane = static_cast<unsigned>(
+        std::min_element(lane_busy_until.begin(), lane_busy_until.end()) -
+        lane_busy_until.begin());
+    if (lane_of != nullptr) (*lane_of)[i] = lane;
+    lane_busy_until[lane] += task_seconds[i];
+    makespan = std::max(makespan, lane_busy_until[lane]);
+  }
+  return makespan;
+}
+
 }  // namespace cdsflow::runtime

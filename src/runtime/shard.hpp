@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace cdsflow::runtime {
@@ -33,5 +34,15 @@ std::vector<Shard> plan_shards(std::size_t n_options, std::size_t shard_size);
 /// lanes: enough shards per lane that list scheduling balances the load
 /// (about 4x oversubscription), never smaller than one option.
 std::size_t auto_shard_size(std::size_t n_options, unsigned workers);
+
+/// Deterministic list schedule of `task_seconds` (tasks in submission order)
+/// onto `lanes` identical lanes: each task is placed on the earliest-free
+/// lane. Returns the makespan; when `lane_of` is non-null it is resized and
+/// receives the per-task lane assignment. The single home of the modelled
+/// concurrent-throughput figure both runtimes report (shards for the batch
+/// runtime, micro-batches for the streaming runtime). `lanes` must be > 0.
+double list_schedule_makespan(std::span<const double> task_seconds,
+                              unsigned lanes,
+                              std::vector<unsigned>* lane_of = nullptr);
 
 }  // namespace cdsflow::runtime

@@ -1,0 +1,238 @@
+/// \file stream_runtime.hpp
+/// Streaming quote-ingest runtime: live feed -> bounded queue -> micro-
+/// batches -> concurrent pricer lanes -> deterministic event-order merge,
+/// with per-event deadline accounting.
+///
+/// This is the paper's AAT-style real-time future-work scenario built on the
+/// pieces the batch runtime already proved out: the same ThreadPool drives
+/// the lanes, the same ReplicaPool hands each in-flight micro-batch an
+/// exclusive pricer replica, and the same list-schedule gives the modelled
+/// (paper-style) throughput figure next to the measured wall figure.
+///
+/// Dataflow:
+///
+///   producers --push--> IngestQueue (bounded; block / drop-oldest, counted)
+///                           |
+///                      dispatcher thread: MicroBatcher
+///                      (flush on max_batch or max_wait)
+///                           |              .
+///                   option micro-batch     hazard-quote event
+///                           |                   |
+///                  ThreadPool lane           barrier (drain in-flight),
+///                  (StreamPricer replica)    then update *every* replica
+///                           |                incrementally
+///                  BatchCollector.put(index, results)
+///                           |
+///                  finish(): concatenate batches in index order
+///                  == event ingest order, whatever order lanes finished in
+///
+/// Determinism guarantee: micro-batches are formed and indexed in ingest
+/// (sequence) order, every lane replica holds identical curve/grid state
+/// between barriers (hazard updates are applied to all replicas at a
+/// barrier, in event order), and the merge concatenates batches by index.
+/// The merged spreads for a given accepted-event sequence are therefore
+/// bit-identical to replaying the same events through one StreamPricer
+/// serially, regardless of lane count, batch boundaries or completion
+/// order. (Under kDropOldest the *accepted* sequence itself depends on
+/// producer/dispatcher timing; the guarantee is order- and
+/// value-determinism for whatever survived, which is what a lossy feed can
+/// promise.)
+///
+/// Deadline accounting definitions (all anchored at the queue's ingest
+/// stamp):
+///   * ingest-to-result latency -- per option event: completion time of its
+///     micro-batch minus its ingest stamp. Reported as p50 / p99 / max.
+///   * deadline miss            -- an option event whose ingest-to-result
+///     latency exceeded `deadline_us` (0 disables).
+///   * queue-depth high water   -- max ingest-queue depth observed.
+/// The modelled/wall throughput split follows the batch runtime: modelled =
+/// events / list-schedule makespan of the per-batch pricing times over the
+/// lanes; wall = events / (last batch completion - first event ingest).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/stream_pricer.hpp"
+#include "engines/engine.hpp"
+#include "runtime/ingest_queue.hpp"
+#include "runtime/replica_pool.hpp"
+#include "runtime/thread_pool.hpp"
+#include "workload/feed.hpp"
+
+namespace cdsflow::runtime {
+
+struct StreamConfig {
+  /// CPU-family engine name, "cpu[-batch][-risk][-mt[N]]" (the stream lanes
+  /// always run the batched grid kernel -- values are identical across the
+  /// CPU kernels -- so the name's significant parts are "-risk", which
+  /// switches the micro-batches to Greeks, and "-mt[N]", which sets the
+  /// lane count when `lanes` is 0).
+  std::string engine = "cpu-batch";
+  /// Pricer lanes (= replicas). 0: take the engine name's -mtN, else
+  /// hardware_concurrency.
+  unsigned lanes = 0;
+  std::size_t queue_capacity = 8192;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// Micro-batch flush bounds: flush when `max_batch` events are pending or
+  /// the oldest pending event has waited `max_wait_us` since ingest.
+  std::size_t max_batch = 1024;
+  std::uint64_t max_wait_us = 500;
+  /// Ingest-to-result deadline for the miss counter; 0 disables.
+  std::uint64_t deadline_us = 0;
+  /// Risk-mode parameters (engine name carrying "-risk").
+  double risk_bump = 1e-4;
+  std::vector<double> ladder_edges;
+};
+
+/// Per micro-batch accounting, in batch (= event) order.
+struct StreamBatchOutcome {
+  std::size_t index = 0;
+  std::size_t events = 0;  ///< option events priced in this batch
+  unsigned lane = 0;       ///< replica that actually priced it
+  double pricing_seconds = 0.0;
+  double max_latency_seconds = 0.0;
+  std::uint64_t deadline_misses = 0;
+};
+
+struct StreamReport {
+  /// Merged run: results (and, in risk mode, sensitivities / cs01_ladder)
+  /// in event-ingest order; kernel_seconds sums the per-batch pricing
+  /// times, total_seconds is the modelled lane makespan, invocations the
+  /// batch count.
+  engine::PricingRun run;
+  std::vector<StreamBatchOutcome> batches;
+
+  unsigned lanes = 1;
+  /// Feed accounting.
+  std::uint64_t events_in = 0;      ///< accepted into the queue
+  std::uint64_t events_priced = 0;  ///< option events that produced results
+  std::uint64_t hazard_updates = 0;
+  std::uint64_t events_dropped = 0;  ///< evicted by kDropOldest
+  std::uint64_t blocked_pushes = 0;  ///< kBlock pushes that had to wait
+  std::size_t queue_high_water = 0;
+  /// Incremental-risk accounting (sums over all lanes' pricers).
+  std::uint64_t grids_retabulated = 0;
+  std::uint64_t full_rebuild_grids = 0;  ///< what per-update rebuilds cost
+  /// Deadline accounting (see file header for definitions).
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  double max_latency_seconds = 0.0;
+  std::uint64_t deadline_misses = 0;
+  /// Modelled vs wall throughput split (see file header).
+  double modelled_seconds = 0.0;
+  double modelled_events_per_second = 0.0;
+  double wall_seconds = 0.0;
+  double wall_events_per_second = 0.0;
+  double batches_per_second = 0.0;
+};
+
+namespace stream_detail {
+
+/// One priced micro-batch as a lane hands it back.
+struct BatchResult {
+  std::size_t index = 0;
+  unsigned lane = 0;
+  double pricing_seconds = 0.0;
+  StreamClock::time_point done{};
+  std::vector<cds::SpreadResult> results;
+  std::vector<cds::Sensitivities> sensitivities;
+  std::vector<double> cs01_ladder;
+  /// Per option event, batch order: done - ingest.
+  std::vector<double> latency_seconds;
+};
+
+/// Thread-safe store of priced micro-batches, merged back in batch-index
+/// order regardless of completion order -- the streaming counterpart of the
+/// batch runtime's shard merge.
+class BatchCollector {
+ public:
+  /// Any lane, any order. Indices must be unique.
+  void put(BatchResult result);
+  /// Hands back all batches sorted by index; asserts they are the
+  /// contiguous range 0..n-1 (no batch lost, none duplicated).
+  std::vector<BatchResult> take();
+  std::size_t count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<BatchResult> results_;
+};
+
+}  // namespace stream_detail
+
+class StreamRuntime {
+ public:
+  /// Builds the lane replicas up front (each copies the curves, as the
+  /// batch runtime's engine replicas do) and starts the dispatcher. Throws
+  /// cdsflow::Error for non-CPU engine names or invalid parameters.
+  StreamRuntime(cds::TermStructure interest, cds::TermStructure hazard,
+                StreamConfig config = {});
+  ~StreamRuntime();
+
+  StreamRuntime(const StreamRuntime&) = delete;
+  StreamRuntime& operator=(const StreamRuntime&) = delete;
+
+  /// Producer API (thread-safe, many producers). Returns false once the
+  /// stream is closed.
+  bool push(const cds::CdsOption& option);
+  bool push_hazard_quote(std::size_t knot, double rate);
+
+  /// Closes ingest: queued events still drain, further pushes fail.
+  void close();
+
+  /// Closes ingest, drains everything, joins the dispatcher and returns the
+  /// merged report. Call at most once; rethrows the first lane/dispatcher
+  /// exception, if any.
+  StreamReport finish();
+
+  /// Convenience: plays a pre-materialised feed -- pacing producers by the
+  /// events' arrival offsets (sleep-until; offsets of 0 push back-to-back)
+  /// -- then finish()es.
+  StreamReport play(const std::vector<workload::QuoteFeedEvent>& feed);
+
+  unsigned lanes() const { return lanes_; }
+  bool risk_mode() const { return pricer_config_.risk_mode; }
+  std::size_t ladder_buckets() const;
+  const StreamConfig& config() const { return config_; }
+  /// Description of one lane replica, for reports.
+  std::string worker_description() const;
+
+ private:
+  void dispatch_loop();
+  /// Submits one option micro-batch to the pool (dispatcher thread only).
+  void submit_batch(std::vector<QuoteEvent> events);
+  /// Waits for every in-flight micro-batch (dispatcher thread only).
+  void barrier();
+
+  StreamConfig config_;
+  cds::StreamPricerConfig pricer_config_;
+  unsigned lanes_ = 1;
+
+  std::vector<std::unique_ptr<cds::StreamPricer>> pricers_;
+  IngestQueue queue_;
+  std::unique_ptr<ReplicaPool> replicas_;
+  std::unique_ptr<ThreadPool> pool_;
+  stream_detail::BatchCollector collector_;
+
+  /// Dispatcher-thread state.
+  std::thread dispatcher_;
+  std::vector<std::future<void>> in_flight_;
+  std::size_t next_batch_index_ = 0;
+  std::uint64_t hazard_updates_ = 0;
+  std::exception_ptr failure_;
+  bool first_ingest_set_ = false;
+  StreamClock::time_point first_ingest_{};
+
+  bool finished_ = false;
+};
+
+}  // namespace cdsflow::runtime

@@ -12,13 +12,18 @@ ThreadPool::ThreadPool(unsigned workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (joined_) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
   for (auto& t : threads_) t.join();
+  joined_ = true;
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -26,7 +31,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    CDSFLOW_EXPECT(!stopping_, "submit() on a stopping thread pool");
+    // Fail fast: once stop has begun the workers may already be draining
+    // towards exit, and a task enqueued now could sit in the queue forever.
+    // Throwing here keeps the contract "every accepted task runs".
+    CDSFLOW_EXPECT(!stopping_,
+                   "submit() after ThreadPool::stop() began; late submits "
+                   "fail fast instead of enqueueing work no worker will run");
     queue_.push_back(std::move(packaged));
   }
   wake_.notify_one();

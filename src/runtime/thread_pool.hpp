@@ -1,11 +1,28 @@
 /// \file thread_pool.hpp
-/// A small fixed-size worker pool for the batch runtime.
+/// A small fixed-size worker pool for the batch and streaming runtimes.
 ///
 /// Deliberately minimal: FIFO task queue, std::future-based completion, no
-/// work stealing. The runtime submits one task per shard; fairness and load
-/// balance come from shard oversubscription (see shard.hpp), not from the
-/// pool. Kept as its own component so later PRs (async streaming ingest,
-/// request servers) can reuse it.
+/// work stealing. The runtimes submit one task per shard / micro-batch;
+/// fairness and load balance come from oversubscription (see shard.hpp), not
+/// from the pool. Kept as its own component so the batch runtime, the
+/// streaming ingest runtime and future request servers all share it.
+///
+/// Shutdown contract:
+///   * stop() (also run by the destructor) closes the submission window,
+///     lets the workers drain every task already queued, and joins them.
+///     It is idempotent and safe to call from any thread other than a pool
+///     worker.
+///   * Once stop has begun, submit() FAILS FAST by throwing cdsflow::Error
+///     instead of enqueueing a task that no worker may ever run -- a late
+///     submit racing the destructor therefore surfaces as an exception at
+///     the submission site, never as a silently-dropped task or a future
+///     that hangs forever.
+///   * Tasks queued before stop began always run to completion (join
+///     semantics, never detach), and their futures resolve normally.
+///   * Callers must still ensure the ThreadPool object outlives every
+///     thread that may call submit(): submitting to a pool whose destructor
+///     has *finished* is a use-after-free like any other. Use stop() to end
+///     the accepting period at a well-defined point before teardown.
 
 #pragma once
 
@@ -24,8 +41,7 @@ class ThreadPool {
   /// Starts `workers` threads. `workers` must be > 0.
   explicit ThreadPool(unsigned workers);
 
-  /// Drains nothing: outstanding tasks are completed before destruction
-  /// returns (join semantics, never detach).
+  /// Equivalent to stop().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -34,8 +50,13 @@ class ThreadPool {
   unsigned size() const { return static_cast<unsigned>(threads_.size()); }
 
   /// Enqueues a task; the future resolves when it has run (or carries the
-  /// exception it threw).
+  /// exception it threw). Throws cdsflow::Error once stop() has begun (see
+  /// the shutdown contract above).
   std::future<void> submit(std::function<void()> task);
+
+  /// Closes the submission window, drains the queued tasks and joins the
+  /// workers. Idempotent; must not be called from a pool worker.
+  void stop();
 
  private:
   void worker_loop();
@@ -45,6 +66,10 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> threads_;
+
+  /// Serialises stop() against itself (destructor vs explicit call).
+  std::mutex stop_mutex_;
+  bool joined_ = false;
 };
 
 }  // namespace cdsflow::runtime

@@ -1,0 +1,72 @@
+#include "workload/feed.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cdsflow::workload {
+
+void QuoteFeedSpec::validate() const {
+  CDSFLOW_EXPECT(rate_hz >= 0.0 && std::isfinite(rate_hz),
+                 "feed rate must be finite and >= 0");
+  CDSFLOW_EXPECT(hazard_update_every != 1,
+                 "hazard_update_every == 1 would make every event an update "
+                 "and price nothing");
+  CDSFLOW_EXPECT(hazard_update_scale >= 0.0 && hazard_update_scale < 1.0,
+                 "hazard update scale must lie in [0, 1) to keep rates "
+                 "positive");
+}
+
+std::vector<QuoteFeedEvent> make_quote_feed(const QuoteFeedSpec& spec,
+                                            const cds::TermStructure& hazard) {
+  spec.validate();
+  hazard.validate();
+  if (spec.events == 0) return {};
+
+  const bool updates = spec.hazard_update_every > 1;
+  std::size_t n_updates = 0;
+  if (updates) n_updates = spec.events / spec.hazard_update_every;
+  const std::size_t n_options = spec.events - n_updates;
+  CDSFLOW_EXPECT(n_options > 0, "feed must contain at least one option event");
+
+  PortfolioSpec book = spec.book;
+  book.count = n_options;
+  book.seed = Rng(spec.seed).split(1).next_u64();
+  const auto options = make_portfolio(book);
+
+  // Independent child streams so adding a consumer never perturbs the
+  // others (common/rng.hpp): arrivals, update knots, update sizes.
+  Rng arrival_rng = Rng(spec.seed).split(2);
+  Rng update_rng = Rng(spec.seed).split(3);
+
+  std::vector<QuoteFeedEvent> feed;
+  feed.reserve(spec.events);
+  double offset = 0.0;
+  std::size_t next_option = 0;
+  for (std::size_t i = 0; i < spec.events; ++i) {
+    if (spec.rate_hz > 0.0) {
+      // Exponential inter-arrival gap at the mean rate (Poisson feed).
+      const double u = std::max(1e-12, arrival_rng.uniform01());
+      offset += -std::log(u) / spec.rate_hz;
+    }
+    QuoteFeedEvent event;
+    event.offset_seconds = offset;
+    if (updates && (i + 1) % spec.hazard_update_every == 0) {
+      event.kind = QuoteFeedEvent::Kind::kHazardQuote;
+      event.knot = static_cast<std::size_t>(update_rng.uniform_int(
+          0, static_cast<std::int64_t>(hazard.size()) - 1));
+      const double factor =
+          1.0 + spec.hazard_update_scale * (2.0 * update_rng.uniform01() - 1.0);
+      event.rate = hazard.value(event.knot) * factor;
+    } else {
+      event.kind = QuoteFeedEvent::Kind::kOption;
+      event.option = options[next_option++];
+    }
+    feed.push_back(event);
+  }
+  CDSFLOW_ASSERT(next_option == n_options, "feed option accounting mismatch");
+  return feed;
+}
+
+}  // namespace cdsflow::workload

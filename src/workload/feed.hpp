@@ -1,0 +1,65 @@
+/// \file feed.hpp
+/// Deterministic synthetic quote-feed generation for the streaming runtime.
+///
+/// The paper's future-work scenario is an AAT-style real-time feed: quote
+/// requests (and, for the risk workflow, hazard-quote updates) arrive
+/// continuously instead of as a pre-materialised book. This generator draws
+/// such a feed from a seeded stream, bit-reproducibly (common/rng.hpp):
+/// option events use the portfolio generator's option mix, every Nth event
+/// is optionally a hazard-quote update (one curve knot nudged by a bounded
+/// relative move), and arrival offsets are exponential inter-arrival gaps at
+/// the requested mean rate (a Poisson feed) -- or all zero for an unpaced
+/// ("as fast as possible") feed that measures saturation throughput.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cds/curve.hpp"
+#include "cds/types.hpp"
+#include "workload/options.hpp"
+
+namespace cdsflow::workload {
+
+struct QuoteFeedSpec {
+  /// Total feed events (option quotes + hazard-quote updates).
+  std::size_t events = 16384;
+  /// Mean arrival rate in events/second; 0 makes every offset 0 (unpaced).
+  double rate_hz = 0.0;
+  /// Every Nth event (1-based) is a hazard-quote update; 0 disables updates.
+  /// Must not be 1 (an all-update feed prices nothing).
+  std::size_t hazard_update_every = 0;
+  /// Relative size of a hazard-quote move: the new rate is the knot's
+  /// original rate scaled by a uniform draw from [1-s, 1+s]. Must lie in
+  /// [0, 1) so rates stay positive.
+  double hazard_update_scale = 0.05;
+  /// Option mix for the quote events (count is derived from `events`, the
+  /// spec's own count is ignored).
+  PortfolioSpec book;
+  std::uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// One pre-materialised feed element.
+struct QuoteFeedEvent {
+  enum class Kind { kOption, kHazardQuote };
+  Kind kind = Kind::kOption;
+  /// Arrival offset from feed start, seconds (non-decreasing; 0 when
+  /// unpaced).
+  double offset_seconds = 0.0;
+  /// kOption payload (ids run 0..n_options-1 in feed order).
+  cds::CdsOption option{};
+  /// kHazardQuote payload: knot index into `hazard` and its new rate.
+  std::size_t knot = 0;
+  double rate = 0.0;
+};
+
+/// Draws the feed. `hazard` is the curve the updates move (knot indices and
+/// baseline rates are taken from it; it must satisfy the TermStructure
+/// invariants).
+std::vector<QuoteFeedEvent> make_quote_feed(const QuoteFeedSpec& spec,
+                                            const cds::TermStructure& hazard);
+
+}  // namespace cdsflow::workload

@@ -68,6 +68,31 @@ TEST(ThreadPool, RunsAllTasksAndPropagatesExceptions) {
   EXPECT_THROW(failing.get(), Error);
 }
 
+TEST(ThreadPool, LateSubmitFailsFastAfterStop) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  pool.stop();
+  // Everything accepted before stop ran to completion...
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 8);
+  // ... and a submit racing (or trailing) the shutdown throws instead of
+  // enqueueing a task no worker will ever run.
+  EXPECT_THROW(pool.submit([&counter] { ++counter; }), Error);
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, StopIsIdempotent) {
+  runtime::ThreadPool pool(2);
+  pool.submit([] {}).get();
+  pool.stop();
+  pool.stop();  // second stop (and the destructor's) must be a no-op
+  EXPECT_THROW(pool.submit([] {}), Error);
+}
+
 /// Bit-identical: sharded pricing must merge to exactly the bytes the
 /// single-engine baseline produces, in submission order.
 void expect_identical(const std::vector<cds::SpreadResult>& got,

@@ -1,0 +1,398 @@
+/// \file test_stream_ingest.cpp
+/// The streaming ingest runtime: bounded-queue backpressure (blocking vs
+/// drop-oldest, both counted), micro-batch flush policy on a fake clock,
+/// deterministic merge of out-of-order batch completions, and end-to-end
+/// equivalence of the concurrent stream with a serial replay -- hazard-quote
+/// updates included.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "cds/batch_pricer.hpp"
+#include "cds/stream_pricer.hpp"
+#include "common/error.hpp"
+#include "runtime/ingest_queue.hpp"
+#include "runtime/stream_runtime.hpp"
+#include "workload/curves.hpp"
+#include "workload/feed.hpp"
+
+namespace cdsflow {
+namespace {
+
+using runtime::BackpressurePolicy;
+using runtime::IngestQueue;
+using runtime::MicroBatcher;
+using runtime::QuoteEvent;
+using runtime::StreamClock;
+
+cds::TermStructure test_interest() {
+  return workload::paper_interest_curve(64, 11);
+}
+cds::TermStructure test_hazard() { return workload::paper_hazard_curve(64, 23); }
+
+cds::CdsOption option_with_id(std::int32_t id) {
+  cds::CdsOption option;
+  option.id = id;
+  option.maturity_years = 5.0;
+  return option;
+}
+
+// --- ingest queue -----------------------------------------------------------
+
+TEST(IngestQueue, BlockPolicyIsLosslessAndCountsWaits) {
+  IngestQueue queue(2, BackpressurePolicy::kBlock);
+  std::thread producer([&queue] {
+    for (std::int32_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(queue.push(runtime::option_event(option_with_id(i))));
+    }
+    queue.close();
+  });
+  // Let the producer actually hit the capacity wall before draining.
+  for (int spin = 0; spin < 1000 && queue.stats().blocked_pushes == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<QuoteEvent> events;
+  while (auto event = queue.pop()) events.push_back(*event);
+  producer.join();
+
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, i);
+    EXPECT_EQ(events[i].option.id, static_cast<std::int32_t>(i));
+  }
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 6u);
+  EXPECT_EQ(stats.dropped_oldest, 0u);
+  EXPECT_GE(stats.blocked_pushes, 1u);
+  EXPECT_EQ(stats.high_water, 2u);
+  EXPECT_TRUE(queue.drained());
+}
+
+TEST(IngestQueue, DropOldestEvictsStalestAndCounts) {
+  IngestQueue queue(4, BackpressurePolicy::kDropOldest);
+  for (std::int32_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(queue.push(runtime::option_event(option_with_id(i))));
+  }
+  EXPECT_EQ(queue.size(), 4u);
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.dropped_oldest, 6u);
+  EXPECT_EQ(stats.blocked_pushes, 0u);
+
+  queue.close();
+  // The survivors are the newest four, still in ingest order.
+  for (std::int32_t want = 6; want < 10; ++want) {
+    const auto event = queue.pop();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->option.id, want);
+    EXPECT_EQ(event->sequence, static_cast<std::uint64_t>(want));
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_TRUE(queue.drained());
+}
+
+TEST(IngestQueue, CloseRejectsPushesAndDrains) {
+  IngestQueue queue(8, BackpressurePolicy::kBlock);
+  EXPECT_TRUE(queue.push(runtime::option_event(option_with_id(0))));
+  queue.close();
+  EXPECT_FALSE(queue.push(runtime::option_event(option_with_id(1))));
+  EXPECT_EQ(queue.stats().rejected_closed, 1u);
+  EXPECT_FALSE(queue.drained());  // one event still queued
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.drained());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(IngestQueue, PopForTimesOutOnEmptyOpenQueue) {
+  IngestQueue queue(4, BackpressurePolicy::kBlock);
+  EXPECT_FALSE(queue.pop_for(std::chrono::milliseconds(1)).has_value());
+  EXPECT_FALSE(queue.drained());  // timed out, not drained
+}
+
+TEST(IngestQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(IngestQueue(0, BackpressurePolicy::kBlock), Error);
+}
+
+TEST(IngestQueue, PolicyNamesRoundTrip) {
+  EXPECT_EQ(runtime::parse_backpressure_policy("block"),
+            BackpressurePolicy::kBlock);
+  EXPECT_EQ(runtime::parse_backpressure_policy("drop-oldest"),
+            BackpressurePolicy::kDropOldest);
+  EXPECT_STREQ(to_string(BackpressurePolicy::kDropOldest), "drop-oldest");
+  EXPECT_THROW(runtime::parse_backpressure_policy("spill"), Error);
+}
+
+// --- micro-batcher (fake clock) ---------------------------------------------
+
+QuoteEvent event_at(StreamClock::time_point ingest, std::int32_t id) {
+  QuoteEvent event = runtime::option_event(option_with_id(id));
+  event.ingest = ingest;
+  return event;
+}
+
+TEST(MicroBatcher, FlushesOnMaxBatch) {
+  const auto t0 = StreamClock::time_point(std::chrono::seconds(100));
+  MicroBatcher batcher(3, std::chrono::microseconds(500));
+  EXPECT_FALSE(batcher.add(event_at(t0, 0)));
+  EXPECT_FALSE(batcher.add(event_at(t0, 1)));
+  EXPECT_TRUE(batcher.add(event_at(t0, 2)));  // full: flush now
+  const auto batch = batcher.take();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[2].option.id, 2);
+  EXPECT_FALSE(batcher.open());
+}
+
+TEST(MicroBatcher, FlushesOnMaxWaitWithFakeClock) {
+  const auto t0 = StreamClock::time_point(std::chrono::seconds(100));
+  const auto wait = std::chrono::microseconds(500);
+  MicroBatcher batcher(1024, wait);
+
+  // Closed batcher: never due, a fresh event could wait the full budget.
+  EXPECT_FALSE(batcher.due(t0));
+  EXPECT_EQ(batcher.time_until_due(t0), wait);
+
+  // The deadline anchors at the *oldest* event's ingest stamp.
+  batcher.add(event_at(t0, 0));
+  batcher.add(event_at(t0 + std::chrono::microseconds(400), 1));
+  EXPECT_FALSE(batcher.due(t0 + std::chrono::microseconds(499)));
+  EXPECT_EQ(batcher.time_until_due(t0 + std::chrono::microseconds(300)),
+            std::chrono::microseconds(200));
+  EXPECT_TRUE(batcher.due(t0 + std::chrono::microseconds(500)));
+  EXPECT_EQ(batcher.time_until_due(t0 + std::chrono::microseconds(600)),
+            StreamClock::duration::zero());
+
+  EXPECT_EQ(batcher.take().size(), 2u);
+  EXPECT_FALSE(batcher.due(t0 + std::chrono::seconds(1)));  // reset
+}
+
+TEST(MicroBatcher, RejectsDegenerateConfig) {
+  EXPECT_THROW(MicroBatcher(0, std::chrono::microseconds(1)), Error);
+  EXPECT_THROW(MicroBatcher(4, std::chrono::microseconds(-1)), Error);
+}
+
+// --- deterministic merge ----------------------------------------------------
+
+runtime::stream_detail::BatchResult batch_result(std::size_t index,
+                                                 std::int32_t first_id,
+                                                 std::size_t n) {
+  runtime::stream_detail::BatchResult result;
+  result.index = index;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.results.push_back(
+        {first_id + static_cast<std::int32_t>(i), 100.0});
+  }
+  return result;
+}
+
+TEST(BatchCollector, MergesOutOfOrderCompletionsInBatchOrder) {
+  runtime::stream_detail::BatchCollector collector;
+  // Completion order 2, 0, 3, 1 -- the merge must not care.
+  collector.put(batch_result(2, 20, 2));
+  collector.put(batch_result(0, 0, 3));
+  collector.put(batch_result(3, 30, 1));
+  collector.put(batch_result(1, 10, 2));
+  EXPECT_EQ(collector.count(), 4u);
+
+  const auto merged = collector.take();
+  ASSERT_EQ(merged.size(), 4u);
+  std::vector<std::int32_t> ids;
+  for (const auto& batch : merged) {
+    for (const auto& r : batch.results) ids.push_back(r.id);
+  }
+  EXPECT_EQ(ids, (std::vector<std::int32_t>{0, 1, 2, 10, 11, 20, 21, 30}));
+}
+
+TEST(BatchCollector, DetectsLostBatch) {
+  runtime::stream_detail::BatchCollector collector;
+  collector.put(batch_result(0, 0, 1));
+  collector.put(batch_result(2, 20, 1));  // index 1 never arrives
+  EXPECT_THROW(collector.take(), Error);
+}
+
+// --- stream runtime end to end ----------------------------------------------
+
+workload::QuoteFeedSpec small_feed_spec(std::size_t events,
+                                        std::size_t update_every) {
+  workload::QuoteFeedSpec spec;
+  spec.events = events;
+  spec.hazard_update_every = update_every;
+  spec.book.maturity_tenor_grid = {1.0, 3.0, 5.0, 7.0, 10.0};
+  spec.seed = 99;
+  return spec;
+}
+
+/// Serial replay reference: one StreamPricer, events applied in feed order.
+std::vector<cds::SpreadResult> replay_serially(
+    const cds::TermStructure& interest, const cds::TermStructure& hazard,
+    const std::vector<workload::QuoteFeedEvent>& feed) {
+  cds::StreamPricer pricer(interest, hazard);
+  std::vector<cds::SpreadResult> results;
+  for (const auto& event : feed) {
+    if (event.kind == workload::QuoteFeedEvent::Kind::kHazardQuote) {
+      pricer.update_hazard_quote(event.knot, event.rate);
+    } else {
+      cds::SpreadResult out;
+      pricer.price({&event.option, 1}, {&out, 1});
+      results.push_back(out);
+    }
+  }
+  return results;
+}
+
+TEST(StreamRuntime, MatchesSerialReplayWithHazardUpdates) {
+  const auto interest = test_interest();
+  const auto hazard = test_hazard();
+  const auto spec = small_feed_spec(101, 10);
+  const auto feed = workload::make_quote_feed(spec, hazard);
+  const auto want = replay_serially(interest, hazard, feed);
+
+  runtime::StreamConfig cfg;
+  cfg.lanes = 3;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 50;
+  runtime::StreamRuntime rt(interest, hazard, cfg);
+  const auto report = rt.play(feed);
+
+  EXPECT_EQ(report.events_in, 101u);
+  EXPECT_EQ(report.hazard_updates, 10u);
+  EXPECT_EQ(report.events_priced, 91u);
+  EXPECT_EQ(report.events_dropped, 0u);
+  ASSERT_EQ(report.run.results.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(report.run.results[i].id, want[i].id) << "at " << i;
+    EXPECT_EQ(report.run.results[i].spread_bps, want[i].spread_bps)
+        << "at " << i;
+  }
+  // Sanity on the accounting: every option event has a latency, batches
+  // partition the events, modelled makespan is positive.
+  std::size_t batched_events = 0;
+  for (const auto& batch : report.batches) batched_events += batch.events;
+  EXPECT_EQ(batched_events, report.events_priced);
+  EXPECT_GT(report.run.invocations, 0u);
+  EXPECT_GT(report.modelled_seconds, 0.0);
+  EXPECT_GT(report.max_latency_seconds, 0.0);
+  EXPECT_GE(report.p99_latency_seconds, report.p50_latency_seconds);
+}
+
+TEST(StreamRuntime, DeterministicAcrossLaneCounts) {
+  const auto interest = test_interest();
+  const auto hazard = test_hazard();
+  const auto feed =
+      workload::make_quote_feed(small_feed_spec(64, 9), hazard);
+  std::vector<cds::SpreadResult> reference;
+  for (const unsigned lanes : {1u, 4u}) {
+    SCOPED_TRACE(lanes);
+    runtime::StreamConfig cfg;
+    cfg.lanes = lanes;
+    cfg.max_batch = 5;
+    runtime::StreamRuntime rt(interest, hazard, cfg);
+    const auto report = rt.play(feed);
+    if (reference.empty()) {
+      reference = report.run.results;
+    } else {
+      ASSERT_EQ(report.run.results.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(report.run.results[i].id, reference[i].id);
+        EXPECT_EQ(report.run.results[i].spread_bps,
+                  reference[i].spread_bps);
+      }
+    }
+  }
+}
+
+TEST(StreamRuntime, RiskModeStreamsGreeks) {
+  const auto interest = test_interest();
+  const auto hazard = test_hazard();
+  const auto feed =
+      workload::make_quote_feed(small_feed_spec(40, 0), hazard);
+  std::vector<cds::CdsOption> book;
+  for (const auto& event : feed) book.push_back(event.option);
+
+  runtime::StreamConfig cfg;
+  cfg.engine = "cpu-batch-risk";
+  cfg.lanes = 2;
+  cfg.max_batch = 16;
+  cfg.ladder_edges = {0.0, 5.0, 30.0};
+  runtime::StreamRuntime rt(interest, hazard, cfg);
+  EXPECT_TRUE(rt.risk_mode());
+  EXPECT_EQ(rt.ladder_buckets(), 2u);
+  const auto report = rt.play(feed);
+
+  cds::BatchRiskConfig risk_config;
+  risk_config.ladder_edges = cfg.ladder_edges;
+  const cds::BatchPricer reference(interest, hazard);
+  const auto want = reference.price_with_sensitivities(book, risk_config);
+
+  ASSERT_EQ(report.run.sensitivities.size(), book.size());
+  ASSERT_EQ(report.run.ladder_buckets, 2u);
+  ASSERT_EQ(report.run.cs01_ladder.size(), book.size() * 2);
+  for (std::size_t i = 0; i < book.size(); ++i) {
+    EXPECT_EQ(report.run.sensitivities[i].cs01, want.sensitivities[i].cs01);
+    EXPECT_EQ(report.run.sensitivities[i].jtd, want.sensitivities[i].jtd);
+    EXPECT_EQ(report.run.results[i].spread_bps,
+              want.sensitivities[i].spread_bps);
+  }
+  for (std::size_t i = 0; i < report.run.cs01_ladder.size(); ++i) {
+    EXPECT_EQ(report.run.cs01_ladder[i], want.cs01_ladder[i]);
+  }
+}
+
+TEST(StreamRuntime, DeadlineMissesAreCounted) {
+  const auto interest = test_interest();
+  const auto hazard = test_hazard();
+  runtime::StreamConfig cfg;
+  cfg.lanes = 1;
+  cfg.max_batch = 1024;       // never fills from 3 events
+  cfg.max_wait_us = 100'000;  // flush only happens at drain
+  cfg.deadline_us = 1;        // everything that waited measurably misses
+  runtime::StreamRuntime rt(interest, hazard, cfg);
+  for (std::int32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rt.push(option_with_id(i)));
+  }
+  // Let the events age well past the 1 us deadline before the drain flush.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto report = rt.finish();
+  EXPECT_EQ(report.events_priced, 3u);
+  EXPECT_EQ(report.deadline_misses, 3u);
+  ASSERT_EQ(report.batches.size(), 1u);
+  EXPECT_EQ(report.batches[0].deadline_misses, 3u);
+  EXPECT_GT(report.p50_latency_seconds, 1e-6);
+}
+
+TEST(StreamRuntime, PushAfterCloseFailsAndFinishIsSingleUse) {
+  runtime::StreamConfig cfg;
+  cfg.lanes = 1;
+  runtime::StreamRuntime rt(test_interest(), test_hazard(), cfg);
+  rt.close();
+  EXPECT_FALSE(rt.push(option_with_id(1)));
+  EXPECT_FALSE(rt.push_hazard_quote(0, 0.02));
+  const auto report = rt.finish();
+  EXPECT_EQ(report.events_in, 0u);
+  EXPECT_EQ(report.events_priced, 0u);
+  EXPECT_EQ(report.modelled_seconds, 0.0);
+  EXPECT_THROW(rt.finish(), Error);
+}
+
+TEST(StreamRuntime, BadHazardUpdateSurfacesAtFinish) {
+  runtime::StreamConfig cfg;
+  cfg.lanes = 2;
+  runtime::StreamRuntime rt(test_interest(), test_hazard(), cfg);
+  rt.push(option_with_id(0));
+  rt.push_hazard_quote(1'000'000, 0.02);  // knot out of range
+  EXPECT_THROW(rt.finish(), Error);
+}
+
+TEST(StreamRuntime, RejectsNonCpuEngines) {
+  runtime::StreamConfig cfg;
+  cfg.engine = "vectorised";
+  EXPECT_THROW(
+      runtime::StreamRuntime(test_interest(), test_hazard(), cfg), Error);
+}
+
+}  // namespace
+}  // namespace cdsflow

@@ -23,6 +23,26 @@
 /// repricing per option. Results match the scalar reference within 1e-9
 /// relative (documented kernel tolerance: 1e-12).
 ///
+///   cdsflow_cli stream [--engine cpu-batch[-risk]] [--count N] [--seed S]
+///                      [--rate HZ] [--max-batch B] [--max-wait-us W]
+///                      [--deadline-us D] [--policy block|drop-oldest]
+///                      [--queue-capacity C] [--workers N]
+///                      [--hazard-every K] [--hazard-scale S]
+///                      [--tenors 1,3,5,7,10]
+///                      [--bump B] [--ladder 0,1,3,5,7,10]
+///                      [--curve-interest f.csv] [--curve-hazard f.csv]
+///                      [--out results.csv] [--batch-trace trace.csv]
+///
+/// `stream` drives the streaming quote-ingest runtime (src/runtime/
+/// stream_runtime.hpp) with a deterministic synthetic feed: `--count`
+/// events arrive at `--rate` events/s (0 = unpaced saturation), every
+/// `--hazard-every`th event is a hazard-quote update applied incrementally
+/// to the lane pricers, micro-batches flush on `--max-batch` or
+/// `--max-wait-us`, and the report carries ingest-to-result latency
+/// percentiles, `--deadline-us` miss counts and queue accounting next to
+/// the modelled/wall throughput split. An engine name carrying "-risk"
+/// streams per-option Greeks instead of spreads alone.
+///
 ///   cdsflow_cli bootstrap --quotes quotes.csv [--out hazard.csv]
 ///   cdsflow_cli engines
 ///   cdsflow_cli device [--engines N] [--lanes L]
@@ -44,7 +64,9 @@
 #include "fpga/resource.hpp"
 #include "io/csv.hpp"
 #include "runtime/portfolio_runtime.hpp"
+#include "runtime/stream_runtime.hpp"
 #include "workload/curves.hpp"
+#include "workload/feed.hpp"
 #include "workload/options.hpp"
 
 namespace {
@@ -134,17 +156,19 @@ std::vector<cds::CdsOption> load_book(const Args& args) {
   return workload::make_portfolio(spec);
 }
 
-/// "0,1,3,5,7,10" -> {0, 1, 3, 5, 7, 10}.
-std::vector<double> parse_edge_list(const std::string& csv) {
+/// "0,1,3,5,7,10" -> {0, 1, 3, 5, 7, 10}. `flag` names the option in
+/// diagnostics (--ladder, --tenors).
+std::vector<double> parse_edge_list(const std::string& csv,
+                                    const std::string& flag = "--ladder") {
   std::vector<double> edges;
   std::size_t begin = 0;
   while (begin <= csv.size()) {
     const std::size_t comma = std::min(csv.find(',', begin), csv.size());
     const std::string field = csv.substr(begin, comma - begin);
     CDSFLOW_EXPECT(!field.empty(),
-                   "--ladder expects comma-separated numbers, got '" + csv +
+                   flag + " expects comma-separated numbers, got '" + csv +
                        "'");
-    edges.push_back(parse_double_strict(field, "--ladder"));
+    edges.push_back(parse_double_strict(field, flag));
     begin = comma + 1;
   }
   return edges;
@@ -300,6 +324,110 @@ int cmd_risk(const Args& args) {
   return 0;
 }
 
+int cmd_stream(const Args& args) {
+  const auto [interest, hazard] = load_curves(args);
+
+  runtime::StreamConfig cfg;
+  cfg.engine = args.get_or("engine", "cpu-batch");
+  const long workers = args.get_long_or("workers", 0);
+  CDSFLOW_EXPECT(workers >= 0, "--workers must be >= 0 (0 = all cores)");
+  cfg.lanes = static_cast<unsigned>(workers);
+  const long queue_capacity = args.get_long_or("queue-capacity", 8192);
+  CDSFLOW_EXPECT(queue_capacity > 0, "--queue-capacity must be > 0");
+  cfg.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  cfg.policy =
+      runtime::parse_backpressure_policy(args.get_or("policy", "block"));
+  const long max_batch = args.get_long_or("max-batch", 1024);
+  CDSFLOW_EXPECT(max_batch > 0, "--max-batch must be > 0");
+  cfg.max_batch = static_cast<std::size_t>(max_batch);
+  const long max_wait_us = args.get_long_or("max-wait-us", 500);
+  CDSFLOW_EXPECT(max_wait_us >= 0, "--max-wait-us must be >= 0");
+  cfg.max_wait_us = static_cast<std::uint64_t>(max_wait_us);
+  const long deadline_us = args.get_long_or("deadline-us", 0);
+  CDSFLOW_EXPECT(deadline_us >= 0, "--deadline-us must be >= 0 (0 = off)");
+  cfg.deadline_us = static_cast<std::uint64_t>(deadline_us);
+  cfg.risk_bump = args.get_double_or("bump", 1e-4);
+  if (args.get("ladder")) {
+    cfg.ladder_edges = parse_edge_list(*args.get("ladder"));
+  }
+
+  workload::QuoteFeedSpec feed_spec;
+  feed_spec.events =
+      static_cast<std::size_t>(args.get_long_or("count", 16384));
+  feed_spec.rate_hz = args.get_double_or("rate", 0.0);
+  feed_spec.hazard_update_every =
+      static_cast<std::size_t>(args.get_long_or("hazard-every", 0));
+  feed_spec.hazard_update_scale = args.get_double_or("hazard-scale", 0.05);
+  feed_spec.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 42));
+  if (args.get("tenors")) {
+    // Standard-tenor quoting: many quotes share a schedule, the lanes' grid
+    // caches (and the incremental updates) do the least work.
+    feed_spec.book.maturity_tenor_grid =
+        parse_edge_list(*args.get("tenors"), "--tenors");
+  }
+  const auto feed = workload::make_quote_feed(feed_spec, hazard);
+
+  runtime::StreamRuntime rt(interest, hazard, cfg);
+  std::cout << "streaming runtime: " << rt.lanes() << " lane(s) of ["
+            << rt.worker_description() << "], queue capacity "
+            << cfg.queue_capacity << " (" << to_string(cfg.policy)
+            << "), micro-batch <= " << cfg.max_batch << " or "
+            << cfg.max_wait_us << " us\n";
+  const auto report = rt.play(feed);
+
+  auto us = [](double seconds) { return fixed(seconds * 1e6, 1) + " us"; };
+  std::cout << "events: " << report.events_in << " in, "
+            << report.events_priced << " priced, " << report.hazard_updates
+            << " hazard update(s), " << report.events_dropped
+            << " dropped\n"
+            << "micro-batches: " << report.batches.size() << " ("
+            << with_thousands(report.batches_per_second, 1)
+            << " batches/s), queue high water " << report.queue_high_water
+            << ", blocked pushes " << report.blocked_pushes << "\n"
+            << "modelled throughput: "
+            << with_thousands(report.modelled_events_per_second, 2)
+            << " options/s\nwall throughput: "
+            << with_thousands(report.wall_events_per_second, 2)
+            << " options/s\n"
+            << "ingest-to-result latency: p50 "
+            << us(report.p50_latency_seconds) << ", p99 "
+            << us(report.p99_latency_seconds) << ", max "
+            << us(report.max_latency_seconds) << '\n';
+  if (cfg.deadline_us > 0) {
+    std::cout << "deadline " << cfg.deadline_us << " us: "
+              << report.deadline_misses << " miss(es)\n";
+  }
+  if (report.hazard_updates > 0) {
+    std::cout << "incremental risk: " << report.grids_retabulated
+              << " grid re-tabulation(s) vs " << report.full_rebuild_grids
+              << " under per-update full rebuilds\n";
+  }
+
+  if (args.get("out")) {
+    if (rt.risk_mode()) {
+      io::write_sensitivities_csv(*args.get("out"), report.run.results,
+                                  report.run.sensitivities,
+                                  report.run.cs01_ladder,
+                                  report.run.ladder_buckets);
+    } else {
+      io::write_results_csv(*args.get("out"), report.run.results);
+    }
+    std::cout << "results written to " << *args.get("out") << '\n';
+  }
+  if (args.get("batch-trace")) {
+    std::vector<io::StreamBatchRow> rows;
+    rows.reserve(report.batches.size());
+    for (const auto& b : report.batches) {
+      rows.push_back({b.index, b.events, b.lane, b.pricing_seconds,
+                      b.max_latency_seconds * 1e6, b.deadline_misses});
+    }
+    io::write_stream_batches_csv(*args.get("batch-trace"), rows);
+    std::cout << "batch trace written to " << *args.get("batch-trace")
+              << '\n';
+  }
+  return 0;
+}
+
 int cmd_bootstrap(const Args& args) {
   CDSFLOW_EXPECT(args.get("quotes").has_value(),
                  "bootstrap requires --quotes quotes.csv");
@@ -349,8 +477,8 @@ int cmd_device(const Args& args) {
 }
 
 int usage() {
-  std::cerr << "usage: cdsflow_cli <price|risk|bootstrap|engines|device> "
-               "[--flag value ...]\n"
+  std::cerr << "usage: cdsflow_cli <price|risk|stream|bootstrap|engines|"
+               "device> [--flag value ...]\n"
                "see the file header of tools/cdsflow_cli.cpp for details\n";
   return 1;
 }
@@ -364,6 +492,7 @@ int main(int argc, char** argv) {
     const Args args(argc, argv, 2);
     if (command == "price") return cmd_price(args);
     if (command == "risk") return cmd_risk(args);
+    if (command == "stream") return cmd_stream(args);
     if (command == "bootstrap") return cmd_bootstrap(args);
     if (command == "engines") return cmd_engines();
     if (command == "device") return cmd_device(args);
