@@ -107,8 +107,9 @@ int main(int argc, char** argv) {
   const engine::BatchRequirements requirements{.n_options = 10'000'000,
                                                .deadline_seconds = 120.0};
   engine::PlannerConfig planner_cfg;
-  // Probe large enough that CPU thread spin-up amortises fairly.
-  planner_cfg.probe_options = 512;
+  // Two probe sizes calibrate the affine (setup + per-option) cost model;
+  // the larger one is big enough that CPU thread spin-up amortises fairly.
+  planner_cfg.probe_sizes = {128, 512};
   const auto candidates = engine::enumerate_backends(
       scenario.interest, scenario.hazard, planner_cfg);
   const auto plan = engine::plan_batch(candidates, requirements);
@@ -129,6 +130,18 @@ int main(int argc, char** argv) {
     std::cout << "planner picks: " << best->candidate.engine_name << '\n';
   } else {
     std::cout << "no back-end meets the deadline -- scale out\n";
+  }
+
+  // --- full runtime plan: engine x workers x shard_size ------------------------
+  const auto runtime_plans =
+      engine::plan_runtime(candidates, requirements, planner_cfg);
+  if (const auto best = engine::best_runtime_plan(runtime_plans)) {
+    std::cout << "auto-planner picks: " << best->config.engine << " x "
+              << best->config.workers << " worker(s), shard size "
+              << best->config.shard_size << " ("
+              << format_duration_ns(best->projected_seconds * 1e9)
+              << " projected; the config plugs straight into "
+                 "PortfolioRuntime)\n";
   }
   return 0;
 }

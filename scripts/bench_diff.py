@@ -35,6 +35,12 @@ METRICS = {
         ("p50_ingest_to_result_us", False),
         ("p99_ingest_to_result_us", False),
     ],
+    # worst_accuracy_distance is max(ratio, 1/ratio) over the measured CPU
+    # plans -- the lower-is-better distance of plan projections from 1.0x.
+    "BENCH_planner.json": [
+        ("worst_accuracy_distance", False),
+        ("chosen_plan_wall_options_per_second", True),
+    ],
 }
 
 WARN_THRESHOLD = 0.10  # flag drops beyond 10%

@@ -1,44 +1,110 @@
 /// \file planner.hpp
-/// Deadline-aware back-end selection for overnight batches.
+/// Probe-calibrated, deadline-aware capacity planning.
 ///
 /// The paper's motivation (Sec. I): banks batch-process financial models
 /// "for instance overnight, which must still occur within specific time
 /// constraints". Given a book size, a deadline, and the available back-ends
-/// (CPU threads, 1..max FPGA engines), the planner measures or models each
-/// candidate's throughput, discards those that miss the deadline, and ranks
-/// the rest by energy (power model x runtime) -- the decision a capacity
-/// planner actually makes with Table II in hand.
+/// (CPU threads, 1..max FPGA engines), the planner measures each candidate,
+/// discards those that miss the deadline, and ranks the rest by energy
+/// (power model x runtime) -- the decision a capacity planner actually makes
+/// with Table II in hand.
+///
+/// The planning dataflow is probe -> fit -> enumerate -> rank:
+///
+///   1. *probe*  -- enumerate_backends() measures every candidate at two or
+///      more workload sizes. Natively executed CPU candidates get a
+///      discarded warmup run and the best of N timed repeats (first-touch
+///      allocation and thread-spawn noise otherwise inverts rankings at
+///      probe size); simulated FPGA candidates report deterministic modelled
+///      time and are measured once per size.
+///   2. *fit*    -- fit_backend_model() fits an affine cost model
+///      seconds(n) = setup_seconds + n / options_per_second per candidate.
+///      A single-size linear extrapolation systematically misprojects
+///      back-ends with a large fixed setup: the batch kernel's grid dedup +
+///      tabulation dominates a 128-option probe yet amortises to nothing at
+///      book size (the effect that makes streaming-Greeks engines fast at
+///      scale, arXiv:2212.13977).
+///   3. *enumerate* -- plan_runtime() expands candidates into full
+///      runtime::RuntimeConfig plans (engine x workers x shard_size,
+///      including auto_shard_size and a setup-aware shard size that avoids
+///      paying the batch kernel's setup per tiny shard) and projects each
+///      with the runtime's own deterministic list schedule
+///      (runtime::list_schedule_makespan), so the projection prices exactly
+///      the schedule the runtime will execute.
+///   4. *rank*   -- deadline-meeting plans first (projected energy
+///      ascending), then the rest (projected time ascending).
+///      best_runtime_plan() yields the RuntimeConfig to hand directly to
+///      runtime::PortfolioRuntime.
+///
+/// plan_batch()/best_plan() survive as the bare-back-end projection (one
+/// back-end pricing the whole batch as a single shard), now on the fitted
+/// affine model.
 
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cds/curve.hpp"
+#include "engines/cpu_engine.hpp"
 #include "fpga/power.hpp"
 #include "fpga/resource.hpp"
+#include "runtime/portfolio_runtime.hpp"
 
 namespace cdsflow::engine {
 
-/// One candidate execution configuration.
+/// One timed probe run: `n_options` priced in `seconds` (best of the timed
+/// repeats for CPU candidates, deterministic modelled time for simulated
+/// ones).
+struct ProbeMeasurement {
+  std::size_t n_options = 0;
+  double seconds = 0.0;
+};
+
+/// One candidate back-end with its fitted affine cost model.
 struct BackendCandidate {
-  /// Engine registry name ("cpu-mt8", "multi-3", ...).
+  /// Engine registry name ("cpu-batch", "cpu-mt8", "multi-3", ...).
   std::string engine_name;
   /// Modelled electrical power while running.
   double watts = 0.0;
-  /// Measured/modelled throughput on the probe workload.
+  /// Marginal throughput: options/second once the per-batch setup has
+  /// amortised (1 / per-option seconds of the fitted model).
   double options_per_second = 0.0;
+  /// Fixed cost paid once per batch (per shard, under the sharded runtime):
+  /// grid dedup + tabulation for the batch kernel, thread spawn for -mt
+  /// engines, transfer setup for the simulated cards. 0 reproduces the old
+  /// linear model, so hand-built candidates stay valid.
+  double setup_seconds = 0.0;
+  /// The measurements the model was fitted from (empty for hand-built
+  /// candidates).
+  std::vector<ProbeMeasurement> probes;
 
+  double per_option_seconds() const { return 1.0 / options_per_second; }
+  /// Projected batch time under the fitted affine model. The pre-fit
+  /// planner computed n / probe_throughput here, which overcharges
+  /// setup-heavy back-ends by probe-to-batch extrapolation.
   double seconds_for(std::uint64_t n_options) const {
-    return static_cast<double>(n_options) / options_per_second;
+    return setup_seconds +
+           static_cast<double>(n_options) / options_per_second;
   }
   double joules_for(std::uint64_t n_options) const {
     return watts * seconds_for(n_options);
   }
 };
 
-/// A candidate judged against the batch requirements.
+/// Fits the affine cost model seconds(n) = setup + n * per_option over the
+/// probe measurements (least squares; exact through two points). With one
+/// distinct probe size the model degrades to linear (setup = 0). Noise
+/// guards: a non-positive fitted slope or a negative intercept falls back
+/// to the through-origin linear fit. Throws cdsflow::Error on empty probes
+/// or non-positive sizes/times.
+BackendCandidate fit_backend_model(std::string engine_name, double watts,
+                                   std::vector<ProbeMeasurement> probes);
+
+/// A bare candidate judged against the batch requirements (whole batch as
+/// one shard on one back-end).
 struct PlanEntry {
   BackendCandidate candidate;
   double projected_seconds = 0.0;
@@ -52,16 +118,40 @@ struct BatchRequirements {
 };
 
 struct PlannerConfig {
-  /// Probe workload size used to measure candidate throughput.
-  std::size_t probe_options = 128;
+  /// Probe workload sizes. Two or more distinct sizes calibrate the affine
+  /// model's setup term; a single size degrades to the linear model. Every
+  /// size must be >= 8 to be representative.
+  std::vector<std::size_t> probe_sizes = {128, 2048};
+  /// Discarded warmup runs per CPU candidate before timing (first-touch
+  /// allocation, thread spawn).
+  unsigned probe_warmup_runs = 1;
+  /// Timed repeats per (CPU candidate, probe size); the best (minimum) time
+  /// is kept. Simulated engines are deterministic and measured once.
+  unsigned probe_repeats = 2;
   /// CPU thread counts to consider (empty: 1 and hardware_concurrency).
   std::vector<unsigned> cpu_thread_counts;
   /// Also probe the batched SoA fast-path CPU kernel ("cpu-batch[-mtN]") at
   /// every CPU thread count. Same power model as the scalar kernel -- the
   /// fast path wins on energy purely by finishing sooner.
   bool probe_cpu_batch = true;
+  /// Probe the CPU candidates in risk mode ("cpu[-batch]-risk[-mtN]") and
+  /// skip the simulated candidates (they only price). Risk details (bump,
+  /// ladder edges) ride in `cpu`.
+  bool risk_mode = false;
+  /// Forwarded to every CPU candidate (and into the planned RuntimeConfig):
+  /// risk bump size, ladder edges. batch_kernel/risk_mode/threads are
+  /// overridden by each candidate's registry name.
+  CpuEngineConfig cpu;
   /// FPGA engine counts to consider (empty: 1..max that fit the device).
   std::vector<unsigned> fpga_engine_counts;
+  /// Worker-lane counts plan_runtime() considers for single-threaded CPU
+  /// candidates (empty: 1, 2, 4, ... up to hardware_concurrency). Already-
+  /// parallel candidates (cpu-mtN, multi-N, cluster-MxN) always plan at one
+  /// lane -- their parallelism lives inside the engine.
+  std::vector<unsigned> worker_counts;
+  /// The setup-aware shard size grows shards until the per-shard setup cost
+  /// is at most this fraction of the shard's per-option compute.
+  double max_setup_fraction = 0.1;
   /// Device for the fit check and the FPGA count default.
   fpga::DeviceSpec device;
   fpga::FpgaPowerModel fpga_power;
@@ -70,19 +160,61 @@ struct PlannerConfig {
   PlannerConfig();
 };
 
-/// Measures every candidate back-end on a probe workload drawn from the
-/// given curves.
+/// Measures every candidate back-end on probe workloads drawn from the
+/// given curves and fits its affine cost model.
 std::vector<BackendCandidate> enumerate_backends(
     const cds::TermStructure& interest, const cds::TermStructure& hazard,
     const PlannerConfig& config = {});
 
-/// Projects each candidate against the requirements and returns the entries
-/// sorted: deadline-meeting entries first (by energy ascending), then the
-/// rest (by time ascending).
+/// Projects each bare candidate against the requirements (whole batch, one
+/// shard) and returns the entries sorted: deadline-meeting entries first
+/// (by energy ascending), then the rest (by time ascending).
 std::vector<PlanEntry> plan_batch(const std::vector<BackendCandidate>& candidates,
                                   const BatchRequirements& requirements);
 
 /// The cheapest candidate that meets the deadline, if any.
 std::optional<PlanEntry> best_plan(const std::vector<PlanEntry>& entries);
+
+/// One fully-specified runtime plan: a RuntimeConfig ready to hand to
+/// runtime::PortfolioRuntime, plus the projection it was ranked on.
+struct RuntimePlanEntry {
+  /// engine x workers x shard_size (engine_replicas 0 = one per worker);
+  /// `cpu` carries the PlannerConfig's risk details.
+  runtime::RuntimeConfig config;
+  /// The per-lane cost model the projection used.
+  BackendCandidate candidate;
+  /// Shards of config.shard_size covering the batch.
+  std::size_t n_shards = 0;
+  /// Modelled power of the whole plan (all lanes).
+  double watts = 0.0;
+  /// List-schedule makespan of the per-shard fitted costs (setup + size *
+  /// per-option) over config.workers lanes -- the same deterministic
+  /// schedule PortfolioRuntime reports as its modelled figure.
+  double projected_seconds = 0.0;
+  double projected_joules = 0.0;
+  bool meets_deadline = false;
+};
+
+/// Expands the candidates into engine x workers x shard_size plans,
+/// projects each with runtime::list_schedule_makespan over the fitted
+/// per-shard costs, and returns the plans sorted: deadline-meeting first
+/// (projected energy ascending), then the rest (projected time ascending).
+/// Deterministic for fixed candidates and config. Throws cdsflow::Error on
+/// an empty candidate set, a zero-option batch, a non-positive deadline, or
+/// a candidate without a throughput measurement.
+std::vector<RuntimePlanEntry> plan_runtime(
+    const std::vector<BackendCandidate>& candidates,
+    const BatchRequirements& requirements, const PlannerConfig& config = {});
+
+/// Probe + fit + enumerate + rank in one call: enumerate_backends() then
+/// plan_runtime() on the measured candidates.
+std::vector<RuntimePlanEntry> plan_runtime(
+    const cds::TermStructure& interest, const cds::TermStructure& hazard,
+    const BatchRequirements& requirements, const PlannerConfig& config = {});
+
+/// The cheapest runtime plan that meets the deadline, if any. Its `.config`
+/// plugs straight into runtime::PortfolioRuntime.
+std::optional<RuntimePlanEntry> best_runtime_plan(
+    const std::vector<RuntimePlanEntry>& entries);
 
 }  // namespace cdsflow::engine

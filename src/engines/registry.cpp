@@ -53,6 +53,19 @@ bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config) {
   return true;
 }
 
+std::string cpu_engine_name(bool batch_kernel, bool risk_mode,
+                            unsigned threads) {
+  std::string name = "cpu";
+  if (batch_kernel) name += "-batch";
+  if (risk_mode) name += "-risk";
+  if (threads == 0) {
+    name += "-mt";
+  } else if (threads > 1) {
+    name += "-mt" + std::to_string(threads);
+  }
+  return name;
+}
+
 std::unique_ptr<Engine> make_engine(const std::string& name,
                                     const cds::TermStructure& interest,
                                     const cds::TermStructure& hazard,

@@ -62,6 +62,13 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
 /// the same engine names (risk mode included) as the batch commands.
 bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config);
 
+/// Assembles the "cpu[-batch][-risk][-mt[N]]" family name for the given
+/// kernel/mode/thread count -- the inverse of parse_cpu_engine_name
+/// (threads == 1 omits the -mt token, threads == 0 means all hardware
+/// threads, "-mt"). The planner uses it to build its CPU candidate names.
+std::string cpu_engine_name(bool batch_kernel, bool risk_mode,
+                            unsigned threads);
+
 /// All fixed registry names (the parametrised multi-N/cpu-mtN forms are
 /// represented by "multi-5" and "cpu-mt").
 std::vector<std::string> engine_names();

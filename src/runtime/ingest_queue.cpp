@@ -45,6 +45,10 @@ IngestQueue::IngestQueue(std::size_t capacity, BackpressurePolicy policy)
 }
 
 bool IngestQueue::push(QuoteEvent event) {
+  // Stamp on entry, before the lock and any backpressure wait: time a
+  // producer spends parked by the kBlock policy is part of the event's
+  // ingest-to-result latency and of deadline accounting, not free.
+  event.ingest = StreamClock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) {
     ++stats_.rejected_closed;
@@ -68,7 +72,6 @@ bool IngestQueue::push(QuoteEvent event) {
     }
   }
   event.sequence = next_sequence_++;
-  event.ingest = StreamClock::now();
   queue_.push_back(std::move(event));
   ++stats_.accepted;
   stats_.high_water = std::max(stats_.high_water, queue_.size());

@@ -24,10 +24,13 @@
 ///                        ingest timestamps -- no clock of its own -- so
 ///                        tests drive it with a fake clock.
 ///
-/// Timestamps use steady_clock and are stamped once, at ingest (under the
-/// queue lock, which also assigns the global sequence number); ingest-to-
-/// result latency and deadline accounting in the runtime all measure from
-/// that stamp.
+/// Timestamps use steady_clock and are stamped once, on entry to push() --
+/// *before* any backpressure wait, so time a producer spends parked by the
+/// kBlock policy is charged to the event's latency (the sequence number is
+/// still assigned under the queue lock at enqueue, so sequences match queue
+/// order while ingest stamps of racing producers may interleave).
+/// Ingest-to-result latency and deadline accounting in the runtime all
+/// measure from that stamp.
 
 #pragma once
 
@@ -65,8 +68,8 @@ struct QuoteEvent {
   Kind kind = Kind::kOption;
   /// Global arrival order, assigned by the queue at ingest.
   std::uint64_t sequence = 0;
-  /// Ingest timestamp, stamped by the queue (latency measurements anchor
-  /// here).
+  /// Ingest timestamp, stamped on entry to IngestQueue::push -- before any
+  /// backpressure wait (latency measurements anchor here).
   StreamClock::time_point ingest{};
   /// kOption payload.
   cds::CdsOption option{};
@@ -101,10 +104,11 @@ class IngestQueue {
   IngestQueue(const IngestQueue&) = delete;
   IngestQueue& operator=(const IngestQueue&) = delete;
 
-  /// Multi-producer push. Stamps sequence + ingest time and enqueues.
-  /// Returns false only when the queue is closed (the event is discarded);
-  /// under kDropOldest a push into a full queue evicts the oldest event and
-  /// still returns true.
+  /// Multi-producer push. Stamps the ingest time on entry (so a blocked
+  /// kBlock push charges its wait to the event's latency), assigns the
+  /// sequence number at enqueue, and enqueues. Returns false only when the
+  /// queue is closed (the event is discarded); under kDropOldest a push
+  /// into a full queue evicts the oldest event and still returns true.
   bool push(QuoteEvent event);
 
   /// No more pushes will be accepted; parked producers and the consumer are

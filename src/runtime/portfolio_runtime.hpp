@@ -47,6 +47,11 @@
 
 namespace cdsflow::runtime {
 
+/// The full execution configuration of one batch: engine x workers x
+/// shard_size (plus per-engine-family details). Hand-written by callers, or
+/// produced whole by the probe-calibrated auto-planner
+/// (engine::plan_runtime / best_runtime_plan in engines/planner.hpp) --
+/// a planned config plugs into PortfolioRuntime unchanged.
 struct RuntimeConfig {
   /// Registry name of the shard worker engine (see engines/registry.hpp).
   std::string engine = "vectorised";

@@ -1,6 +1,7 @@
 #include "runtime/shard.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -22,6 +23,29 @@ std::size_t auto_shard_size(std::size_t n_options, unsigned workers) {
       static_cast<std::size_t>(workers) * 4;  // oversubscribe for balance
   return std::max<std::size_t>(1, (n_options + target_shards - 1) /
                                       target_shards);
+}
+
+std::size_t setup_aware_shard_size(std::size_t n_options, unsigned workers,
+                                   double setup_seconds,
+                                   double per_option_seconds,
+                                   double max_setup_fraction) {
+  CDSFLOW_EXPECT(workers > 0, "workers must be positive");
+  CDSFLOW_EXPECT(per_option_seconds > 0.0,
+                 "per-option cost must be positive");
+  CDSFLOW_EXPECT(max_setup_fraction > 0.0,
+                 "setup fraction must be positive");
+  const std::size_t balanced = auto_shard_size(n_options, workers);
+  if (setup_seconds <= 0.0 || n_options == 0) return balanced;
+  const std::size_t per_lane = std::max<std::size_t>(
+      1, (n_options + workers - 1) / workers);
+  // Smallest shard whose setup is <= max_setup_fraction of its compute.
+  const double amortised = std::ceil(
+      setup_seconds / (max_setup_fraction * per_option_seconds));
+  if (amortised >= static_cast<double>(per_lane)) return per_lane;
+  return std::min(per_lane,
+                  std::max(balanced, std::max<std::size_t>(
+                                         1, static_cast<std::size_t>(
+                                                amortised))));
 }
 
 double list_schedule_makespan(std::span<const double> task_seconds,

@@ -35,6 +35,18 @@ std::vector<Shard> plan_shards(std::size_t n_options, std::size_t shard_size);
 /// (about 4x oversubscription), never smaller than one option.
 std::size_t auto_shard_size(std::size_t n_options, unsigned workers);
 
+/// Shard size for an engine that pays a fixed `setup_seconds` per shard
+/// (e.g. the batch kernel's grid dedup + tabulation): grows shards beyond
+/// auto_shard_size() until the per-shard setup is at most
+/// `max_setup_fraction` of the shard's per-option compute, capped at one
+/// shard per lane so every lane still gets work. With no setup cost this is
+/// exactly auto_shard_size(). `workers`, `per_option_seconds` and
+/// `max_setup_fraction` must be positive.
+std::size_t setup_aware_shard_size(std::size_t n_options, unsigned workers,
+                                   double setup_seconds,
+                                   double per_option_seconds,
+                                   double max_setup_fraction = 0.1);
+
 /// Deterministic list schedule of `task_seconds` (tasks in submission order)
 /// onto `lanes` identical lanes: each task is placed on the earliest-free
 /// lane. Returns the makespan; when `lane_of` is non-null it is resized and

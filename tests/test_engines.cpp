@@ -73,6 +73,23 @@ TEST(CpuEngine, ZeroThreadsSelectsHardwareConcurrency) {
   EXPECT_GE(engine.threads(), 1u);
 }
 
+TEST(Registry, CpuEngineNameRoundTripsThroughParse) {
+  for (const bool batch : {false, true}) {
+    for (const bool risk : {false, true}) {
+      for (const unsigned threads : {0u, 1u, 2u, 24u}) {
+        const std::string name = cpu_engine_name(batch, risk, threads);
+        CpuEngineConfig config;
+        ASSERT_TRUE(parse_cpu_engine_name(name, config)) << name;
+        EXPECT_EQ(config.batch_kernel, batch) << name;
+        EXPECT_EQ(config.risk_mode, risk) << name;
+        EXPECT_EQ(config.threads, threads) << name;
+      }
+    }
+  }
+  EXPECT_EQ(cpu_engine_name(false, false, 1), "cpu");
+  EXPECT_EQ(cpu_engine_name(true, true, 8), "cpu-batch-risk-mt8");
+}
+
 // --- Xilinx baseline -------------------------------------------------------------
 
 TEST_F(EnginesFixture, BaselineMatchesGoldenExactly) {

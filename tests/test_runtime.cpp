@@ -55,6 +55,26 @@ TEST(ShardPlan, AutoShardSizeOversubscribes) {
   EXPECT_THROW(runtime::auto_shard_size(100, 0), Error);
 }
 
+TEST(ShardPlan, SetupAwareShardSizeAmortisesSetup) {
+  // No setup cost: identical to the load-balanced default.
+  EXPECT_EQ(runtime::setup_aware_shard_size(1600, 4, 0.0, 1e-3),
+            runtime::auto_shard_size(1600, 4));
+  // 0.5 s setup at 10 us/option and 10% tolerated overhead needs 500k
+  // options per shard -- more than one lane's worth, so cap at n/workers.
+  EXPECT_EQ(runtime::setup_aware_shard_size(100'000, 4, 0.5, 1e-5, 0.1),
+            25'000u);
+  // Mild setup grows the shard just enough: 1 ms setup at 1 ms/option and
+  // 10% overhead -> 10 options per shard, above the balanced 7 (100/16).
+  EXPECT_EQ(runtime::setup_aware_shard_size(100, 4, 1e-3, 1e-3, 0.1), 10u);
+  // Already-amortised setup keeps the balanced size.
+  EXPECT_EQ(runtime::setup_aware_shard_size(1600, 4, 1e-6, 1e-3, 0.1),
+            runtime::auto_shard_size(1600, 4));
+  EXPECT_THROW(runtime::setup_aware_shard_size(100, 0, 0.1, 1e-3), Error);
+  EXPECT_THROW(runtime::setup_aware_shard_size(100, 4, 0.1, 0.0), Error);
+  EXPECT_THROW(runtime::setup_aware_shard_size(100, 4, 0.1, 1e-3, 0.0),
+               Error);
+}
+
 TEST(ThreadPool, RunsAllTasksAndPropagatesExceptions) {
   runtime::ThreadPool pool(3);
   std::atomic<int> counter{0};

@@ -73,6 +73,40 @@ TEST(IngestQueue, BlockPolicyIsLosslessAndCountsWaits) {
   EXPECT_TRUE(queue.drained());
 }
 
+TEST(IngestQueue, BlockedPushChargesWaitToIngestLatency) {
+  // Regression: the ingest stamp used to be taken *after* the kBlock
+  // capacity wait, so time an event spent blocked by backpressure was
+  // invisible to ingest-to-result latency and deadline accounting. The
+  // stamp is now taken on entry to push(): with a capacity-1 queue and a
+  // deliberately slow consumer, the blocked event's latency must include
+  // the time it spent parked.
+  IngestQueue queue(1, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.push(runtime::option_event(option_with_id(0))));
+  std::thread producer([&queue] {
+    ASSERT_TRUE(queue.push(runtime::option_event(option_with_id(1))));
+  });
+  // Wait until the producer is provably parked on the full queue.
+  for (int spin = 0; spin < 2000 && queue.stats().blocked_pushes == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(queue.stats().blocked_pushes, 1u);
+  // Slow consumer: hold the queue full while the producer stays blocked.
+  const auto blocked_for = std::chrono::milliseconds(50);
+  std::this_thread::sleep_for(blocked_for);
+  ASSERT_TRUE(queue.pop().has_value());  // frees space, releases producer
+  producer.join();
+
+  const auto blocked = queue.pop();
+  ASSERT_TRUE(blocked.has_value());
+  EXPECT_EQ(blocked->option.id, 1);
+  const auto latency = StreamClock::now() - blocked->ingest;
+  // Pre-fix this measured ~0 (stamped after the wait); post-fix it covers
+  // the whole blocked interval. Allow generous slack under sanitizers.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(latency),
+            blocked_for - std::chrono::milliseconds(5));
+}
+
 TEST(IngestQueue, DropOldestEvictsStalestAndCounts) {
   IngestQueue queue(4, BackpressurePolicy::kDropOldest);
   for (std::int32_t i = 0; i < 10; ++i) {

@@ -6,16 +6,26 @@
 ///                     [--curve-interest f.csv] [--curve-hazard f.csv]
 ///                     [--portfolio book.csv] [--out results.csv]
 ///                     [--workers N] [--shard-size S] [--replicas R]
+///                     [--auto-plan] [--deadline-s D] [--probe-sizes 128,2048]
 ///
 /// `--workers` / `--shard-size` route pricing through the sharded batch
 /// runtime (src/runtime/): the book is cut into shards and priced on N
 /// concurrent engine replicas, results merged back in submission order.
+///
+/// `--auto-plan` replaces the hand-chosen flags with the probe-calibrated
+/// auto-planner (engines/planner.hpp): every candidate back-end is probed
+/// at >= 2 sizes, an affine cost model (setup + per-option) is fitted, and
+/// the cheapest engine x workers x shard_size plan whose projected list-
+/// schedule makespan meets `--deadline-s` (default 3600) is executed.
+/// Explicit --engine/--workers/--shard-size/--replicas flags override the
+/// planned values.
 ///
 ///   cdsflow_cli risk  --engine cpu-batch-risk [--count N] [--seed S]
 ///                     [--bump B] [--ladder 0,1,3,5,7,10]
 ///                     [--curve-interest f.csv] [--curve-hazard f.csv]
 ///                     [--portfolio book.csv] [--out risk.csv]
 ///                     [--workers N] [--shard-size S] [--replicas R]
+///                     [--auto-plan] [--deadline-s D] [--probe-sizes 128,2048]
 ///
 /// `risk` computes per-option CS01/IR01/Rec01/JTD (and a bucketed CS01
 /// ladder when --ladder is given) on a CPU risk engine -- by default the
@@ -60,6 +70,7 @@
 #include "cds/bootstrap.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "engines/planner.hpp"
 #include "engines/registry.hpp"
 #include "fpga/resource.hpp"
 #include "io/csv.hpp"
@@ -93,7 +104,9 @@ long parse_long_strict(const std::string& s, const std::string& what) {
   return v;
 }
 
-/// --flag value parser; flags are unique, all take one value.
+/// --flag [value] parser; flags are unique. A flag followed by another
+/// --flag (or by nothing) is boolean presence ("--auto-plan"); value-taking
+/// flags reject the resulting empty string in their strict parses.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -101,8 +114,11 @@ class Args {
       std::string key = argv[i];
       CDSFLOW_EXPECT(key.rfind("--", 0) == 0, "expected --flag, got '" + key +
                                                   "'");
-      CDSFLOW_EXPECT(i + 1 < argc, "flag '" + key + "' needs a value");
-      values_[key.substr(2)] = argv[++i];
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key.substr(2)] = argv[++i];
+      } else {
+        values_[key.substr(2)] = "";  // boolean flag
+      }
     }
   }
 
@@ -174,23 +190,85 @@ std::vector<double> parse_edge_list(const std::string& csv,
   return edges;
 }
 
-/// Fills a RuntimeConfig from --workers/--shard-size/--replicas; returns
-/// false when none of the sharding flags were given.
+/// Applies --workers/--shard-size/--replicas to `cfg` (only the flags that
+/// were given, so planned values survive as defaults); returns false when
+/// none of the sharding flags were present.
 bool runtime_config_from_args(const Args& args, runtime::RuntimeConfig& cfg) {
   if (!args.get("workers") && !args.get("shard-size") &&
       !args.get("replicas")) {
     return false;
   }
-  const long workers = args.get_long_or("workers", 0);
-  const long shard_size = args.get_long_or("shard-size", 0);
-  const long replicas = args.get_long_or("replicas", 0);
-  CDSFLOW_EXPECT(workers >= 0, "--workers must be >= 0 (0 = all cores)");
-  CDSFLOW_EXPECT(shard_size >= 0, "--shard-size must be >= 0 (0 = auto)");
-  CDSFLOW_EXPECT(replicas >= 0, "--replicas must be >= 0 (0 = per worker)");
-  cfg.workers = static_cast<unsigned>(workers);
-  cfg.shard_size = static_cast<std::size_t>(shard_size);
-  cfg.engine_replicas = static_cast<unsigned>(replicas);
+  if (args.get("workers")) {
+    const long workers = args.get_long_or("workers", 0);
+    CDSFLOW_EXPECT(workers >= 0, "--workers must be >= 0 (0 = all cores)");
+    cfg.workers = static_cast<unsigned>(workers);
+  }
+  if (args.get("shard-size")) {
+    const long shard_size = args.get_long_or("shard-size", 0);
+    CDSFLOW_EXPECT(shard_size >= 0, "--shard-size must be >= 0 (0 = auto)");
+    cfg.shard_size = static_cast<std::size_t>(shard_size);
+  }
+  if (args.get("replicas")) {
+    const long replicas = args.get_long_or("replicas", 0);
+    CDSFLOW_EXPECT(replicas >= 0, "--replicas must be >= 0 (0 = per worker)");
+    cfg.engine_replicas = static_cast<unsigned>(replicas);
+  }
   return true;
+}
+
+/// Runs the probe-calibrated auto-planner (--auto-plan) and returns the
+/// chosen RuntimeConfig, with any explicit --engine/--workers/--shard-size/
+/// --replicas flags applied as overrides on top of the plan.
+runtime::RuntimeConfig auto_plan_config(const Args& args,
+                                        const Curves& curves,
+                                        std::size_t n_options, bool risk_mode,
+                                        const engine::CpuEngineConfig& cpu) {
+  engine::PlannerConfig pcfg;
+  pcfg.risk_mode = risk_mode;
+  pcfg.cpu = cpu;
+  if (args.get("probe-sizes")) {
+    pcfg.probe_sizes.clear();
+    for (const double v :
+         parse_edge_list(*args.get("probe-sizes"), "--probe-sizes")) {
+      CDSFLOW_EXPECT(v >= 1.0, "--probe-sizes entries must be >= 1");
+      pcfg.probe_sizes.push_back(static_cast<std::size_t>(v));
+    }
+  }
+  const double deadline_s = args.get_double_or("deadline-s", 3600.0);
+  CDSFLOW_EXPECT(deadline_s > 0.0, "--deadline-s must be > 0");
+
+  const engine::BatchRequirements requirements{n_options, deadline_s};
+  const auto entries = engine::plan_runtime(curves.interest, curves.hazard,
+                                            requirements, pcfg);
+  std::cout << "auto-plan: " << entries.size() << " candidate plan(s) for "
+            << n_options << " options in <= " << fixed(deadline_s, 1)
+            << " s (top 5):\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, entries.size()); ++i) {
+    const auto& e = entries[i];
+    std::cout << "  " << pad_right(e.config.engine, 22) << " x"
+              << e.config.workers << " worker(s), shard "
+              << e.config.shard_size << " (" << e.n_shards
+              << " shard(s)): " << fixed(e.projected_seconds, 4) << " s, "
+              << fixed(e.projected_joules, 1) << " J"
+              << (e.meets_deadline ? "" : "  [misses deadline]") << '\n';
+  }
+  const auto best = engine::best_runtime_plan(entries);
+  CDSFLOW_EXPECT(best.has_value(),
+                 "no plan meets the deadline; fastest projected " +
+                     fixed(entries.front().projected_seconds, 6) +
+                     " s -- raise --deadline-s or scale out");
+  runtime::RuntimeConfig cfg = best->config;
+  std::cout << "chosen plan: " << cfg.engine << " x " << cfg.workers
+            << " worker(s), shard size " << cfg.shard_size << " (projected "
+            << fixed(best->projected_seconds, 4) << " s, "
+            << fixed(best->projected_joules, 1) << " J, setup "
+            << fixed(best->candidate.setup_seconds * 1e3, 3)
+            << " ms/shard)\n";
+  // Explicit flags override the planned values (same validation as the
+  // manual sharding path; absent flags keep the plan).
+  if (args.get("engine")) cfg.engine = *args.get("engine");
+  (void)runtime_config_from_args(args, cfg);
+  return cfg;
 }
 
 int cmd_price(const Args& args) {
@@ -201,7 +279,15 @@ int cmd_price(const Args& args) {
   engine::PricingRun run;
   runtime::RuntimeConfig cfg;
   cfg.engine = engine_name;
-  if (runtime_config_from_args(args, cfg)) {
+  bool use_runtime;
+  if (args.get("auto-plan")) {
+    cfg = auto_plan_config(args, {interest, hazard}, book.size(),
+                           /*risk_mode=*/false, {});
+    use_runtime = true;
+  } else {
+    use_runtime = runtime_config_from_args(args, cfg);
+  }
+  if (use_runtime) {
     runtime::PortfolioRuntime rt(interest, hazard, cfg);
     auto batch = rt.price(book);
     std::cout << "sharded runtime: " << batch.lanes << " lane(s) of ["
@@ -265,7 +351,15 @@ int cmd_risk(const Args& args) {
   runtime::RuntimeConfig cfg;
   cfg.engine = engine_name;
   cfg.cpu = cpu;
-  if (runtime_config_from_args(args, cfg)) {
+  bool use_runtime;
+  if (args.get("auto-plan")) {
+    cfg = auto_plan_config(args, {interest, hazard}, book.size(),
+                           /*risk_mode=*/true, cpu);
+    use_runtime = true;
+  } else {
+    use_runtime = runtime_config_from_args(args, cfg);
+  }
+  if (use_runtime) {
     runtime::PortfolioRuntime rt(interest, hazard, cfg);
     auto batch = rt.price(book);
     std::cout << "sharded runtime: " << batch.lanes << " lane(s) of ["
