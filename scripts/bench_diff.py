@@ -35,6 +35,12 @@ METRICS = {
         ("p50_ingest_to_result_us", False),
         ("p99_ingest_to_result_us", False),
     ],
+    # SIMD vector kernel vs the scalar batch kernel, single thread; the
+    # risk pass reuses the tabulated columns so it tracks separately.
+    "BENCH_cpu_vector.json": [
+        ("single_thread_speedup", True),
+        ("risk_speedup", True),
+    ],
     # worst_accuracy_distance is max(ratio, 1/ratio) over the measured CPU
     # plans -- the lower-is-better distance of plan projections from 1.0x.
     "BENCH_planner.json": [
@@ -69,6 +75,12 @@ def main():
     prev_dir, cur_dir = Path(sys.argv[1]), Path(sys.argv[2])
     if not prev_dir.is_dir():
         print(f"no previous artifact at {prev_dir}; skipping bench diff")
+        return 0
+    if not any(prev_dir.glob("BENCH_*.json")):
+        # The artifact download can succeed yet deliver an empty directory
+        # (first run on a branch, expired artifact): not an error.
+        print(f"no prior trajectory in {prev_dir}; "
+              "current run seeds the baseline")
         return 0
 
     rows = []

@@ -53,6 +53,17 @@
 /// match compute_sensitivities / cs01_ladder bit-for-bit under default
 /// compilation; the tests and benches hold the documented tolerance of
 /// 1e-12 relative (the acceptance bound is 1e-9).
+///
+/// *Vector kernel* (cds/vector_kernel.hpp): constructed with a
+/// simd::Level above kScalar, passes 2/2b tabulate the discount and
+/// survival columns with the SIMD exp/search kernels -- arena-wide, one
+/// lane tail for the whole batch instead of one per grid -- and pass 3
+/// combines spreads `lanes(level)` options at a time. The leg-sum
+/// *reductions* stay scalar in the reference association order, so the only
+/// divergence from the scalar kernel is the per-element column math, bounded
+/// by VectorKernelContract (cds/precision.hpp) and documented in
+/// docs/VECTOR_LANES.md. At kScalar (the default) every path below is
+/// byte-for-byte the pre-vector kernel.
 
 #pragma once
 
@@ -66,6 +77,7 @@
 #include "cds/risk.hpp"
 #include "cds/schedule.hpp"
 #include "cds/types.hpp"
+#include "cds/vector_kernel.hpp"
 
 namespace cdsflow::cds {
 
@@ -110,11 +122,17 @@ struct GridSums {
 /// curve has not moved (the reused values are the ones a recompute would
 /// produce, so bit-consistency is preserved either way). Throws the scalar
 /// reference's diagnostic when the risky annuity is not positive.
+///
+/// `level` above simd::Level::kScalar tabulates the columns with the SIMD
+/// kernels (column values within VectorKernelContract of the reference);
+/// the leg-sum reduction stays in the reference association order either
+/// way. The default reproduces the scalar walk exactly.
 GridSums tabulate_grid(const TermStructure& interest,
                        const HazardPrefix& hazard_prefix,
                        std::span<const TimePoint> points,
                        std::span<double> discount, std::span<double> survival,
-                       std::span<double> default_mass, bool refresh_discount);
+                       std::span<double> default_mass, bool refresh_discount,
+                       simd::Level level = simd::Level::kScalar);
 
 }  // namespace detail
 
@@ -202,6 +220,9 @@ class BatchPricer {
     std::vector<double> ladder_annuity_dn, ladder_payoff_dn;
     // Per-grid accumulator scratch (2 q_prev + 6 sums per ladder bucket).
     std::vector<double> bucket_scratch;
+    // Vector-kernel path: one arena-wide scenario column, reused across all
+    // bumped scenarios (column-at-a-time keeps risk scratch at one column).
+    std::vector<double> scenario_col;
 
     void clear();
   };
@@ -220,11 +241,21 @@ class BatchPricer {
   /// Both curves are copied and the hazard prefix table is built once; the
   /// pricer is immutable afterwards (safe to share across threads, each
   /// thread bringing its own Workspace).
-  BatchPricer(TermStructure interest, TermStructure hazard);
+  ///
+  /// `kernel_level` selects the SIMD tier of the tabulation/combine passes
+  /// and is clamped to what the host supports (simd::resolve_level), so
+  /// requesting kAvx512 on an AVX2-only machine degrades safely. The
+  /// CDSFLOW_SIMD environment override applies where engines construct the
+  /// pricer with simd::active_level(); direct construction takes the level
+  /// literally (modulo hardware).
+  explicit BatchPricer(TermStructure interest, TermStructure hazard,
+                       simd::Level kernel_level = simd::Level::kScalar);
 
   const TermStructure& interest() const { return interest_; }
   const TermStructure& hazard() const { return hazard_; }
   const HazardPrefix& hazard_prefix() const { return hazard_prefix_; }
+  /// The SIMD tier the kernel actually runs at (post hardware clamp).
+  simd::Level kernel_level() const { return kernel_level_; }
 
   /// Prices options[i] into out[i] (ids preserved, batch order). `out` must
   /// have the same length as `options`. Throws cdsflow::Error on invalid
@@ -267,6 +298,7 @@ class BatchPricer {
   TermStructure interest_;
   TermStructure hazard_;
   HazardPrefix hazard_prefix_;
+  simd::Level kernel_level_ = simd::Level::kScalar;
 };
 
 }  // namespace cdsflow::cds

@@ -57,4 +57,51 @@ PrecisionErrorReport evaluate_precision(const TermStructure& interest,
                                         const std::vector<CdsOption>& book,
                                         Precision precision);
 
+/// The SIMD vector kernel's precision contract against the scalar batch
+/// kernel (cds/vector_kernel.hpp; rationale and derivation in
+/// docs/VECTOR_LANES.md). The vector path never reassociates a reduction --
+/// leg sums always accumulate in the scalar reference's order -- so the only
+/// divergence is the per-element column math: the polynomial exp and the
+/// fused multiply-adds inside interpolation. Each bound below is asserted by
+/// tests/test_vector_kernel.cpp; loosening one is an interface change and
+/// must update the doc and the tests together.
+struct VectorKernelContract {
+  /// Vectorised exp vs std::exp, in units in the last place. Measured at 1
+  /// ulp on both AVX2 and AVX-512; 4 leaves margin for other libms' scalar
+  /// exp (itself not correctly rounded).
+  static constexpr double kExpUlpBound = 4.0;
+  /// Batch spreads, vector vs scalar kernel, relative. Column errors of a
+  /// few ulp propagate through the premium/accrual/payoff sums and one
+  /// division essentially unamplified; 1e-11 holds ~two decades of margin
+  /// over the observed worst case. Rec01 obeys the same bound (it is a
+  /// reweighting of base sums).
+  static constexpr double kSpreadRelTol = 1e-11;
+  /// CS01 / IR01 / ladder buckets, vector vs scalar kernel, relative term.
+  static constexpr double kGreekRelTol = 1e-9;
+  /// Absolute floor for Greeks of near-zero spreads, where both other terms
+  /// of greek_tolerance() vanish.
+  static constexpr double kGreekAbsFloor = 1e-12;
+  /// The bound for one bumped Greek. Three regimes, take the largest:
+  /// relative when the Greek is well away from zero; the amplified spread
+  /// error otherwise -- the central difference (up - dn) / (2 * bump) * 1e-4
+  /// scales each scenario spread's error by 1e-4 / (2 * bump) (= 0.5 at the
+  /// default bump), which dominates for Greeks that are small relative to
+  /// their spread (IR01 on a rate-insensitive book, far ladder buckets); and
+  /// the hard floor when the spread itself is ~0.
+  static constexpr double greek_tolerance(double greek, double spread_bps,
+                                          double bump) {
+    const double rel = kGreekRelTol * (greek < 0 ? -greek : greek);
+    const double amplified = kSpreadRelTol *
+                             (spread_bps < 0 ? -spread_bps : spread_bps) *
+                             (1e-4 / (2.0 * bump));
+    const double tol = rel > amplified ? rel : amplified;
+    return tol > kGreekAbsFloor ? tol : kGreekAbsFloor;
+  }
+  // JTD (= 1 - R, no curve math) and the pass-3 spread combine are bit-exact
+  // by construction: identical IEEE expressions evaluated per lane. The
+  // kScalar fallback is bit-identical to the scalar batch kernel, not merely
+  // within tolerance. Both are EXPECT_EQ'd in the tests, so they carry no
+  // constant here.
+};
+
 }  // namespace cdsflow::cds

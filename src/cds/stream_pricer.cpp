@@ -34,7 +34,7 @@ void StreamPricer::tabulate(std::size_t g, bool refresh_discount) {
       std::span<double>(grids_.discount).subspan(offset, n_points),
       std::span<double>(grids_.survival).subspan(offset, n_points),
       std::span<double>(grids_.default_mass).subspan(offset, n_points),
-      refresh_discount);
+      refresh_discount, config_.kernel_level);
   grids_.grid_annuity[g] = sums.annuity;
   grids_.grid_payoff[g] = sums.payoff;
 }
@@ -74,13 +74,20 @@ void StreamPricer::price(std::span<const CdsOption> options,
     grids_.grid_of.push_back(it->second);
   }
 
-  // Pass 2 -- per option: the same branch-free combine as the batch kernel.
-  const double* annuity = grids_.grid_annuity.data();
-  const double* payoff = grids_.grid_payoff.data();
-  for (std::size_t i = 0; i < options.size(); ++i) {
-    const std::uint32_t g = grids_.grid_of[i];
-    const double protection = (1.0 - options[i].recovery_rate) * payoff[g];
-    out[i] = {options[i].id, kBasisPointsPerUnit * protection / annuity[g]};
+  // Pass 2 -- per option: the same branch-free combine as the batch kernel
+  // (vectorised `lanes` at a time under a SIMD level; bit-exact either way,
+  // see simd::combine_spreads).
+  if (config_.kernel_level != simd::Level::kScalar) {
+    simd::combine_spreads(options, grids_.grid_of, grids_.grid_annuity,
+                          grids_.grid_payoff, out, config_.kernel_level);
+  } else {
+    const double* annuity = grids_.grid_annuity.data();
+    const double* payoff = grids_.grid_payoff.data();
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      const std::uint32_t g = grids_.grid_of[i];
+      const double protection = (1.0 - options[i].recovery_rate) * payoff[g];
+      out[i] = {options[i].id, kBasisPointsPerUnit * protection / annuity[g]};
+    }
   }
 
   stats_.options_priced += options.size();
@@ -91,7 +98,8 @@ void StreamPricer::price(std::span<const CdsOption> options,
 
 const BatchPricer& StreamPricer::risk_pricer() {
   if (risk_dirty_ || !risk_pricer_) {
-    risk_pricer_ = std::make_unique<BatchPricer>(interest_, hazard_);
+    risk_pricer_ = std::make_unique<BatchPricer>(interest_, hazard_,
+                                                 config_.kernel_level);
     risk_dirty_ = false;
   }
   return *risk_pricer_;

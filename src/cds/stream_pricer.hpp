@@ -59,6 +59,12 @@ struct StreamPricerConfig {
   double risk_bump = 1e-4;
   /// CS01 ladder bucket edges for risk mode; empty disables the ladder.
   std::vector<double> ladder_edges;
+  /// SIMD tier of the grid tabulations and per-option combines
+  /// (cds/vector_kernel.hpp; clamped to the host). kScalar reproduces the
+  /// scalar batch kernel bit-for-bit; vector levels hold
+  /// VectorKernelContract against it. Risk mode forwards the level to the
+  /// batched Greeks kernel.
+  simd::Level kernel_level = simd::Level::kScalar;
 };
 
 /// Lifetime accounting of one stream pricer replica.

@@ -1,0 +1,385 @@
+#include "cds/vector_kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cds/vector_kernel_arch.hpp"
+#include "common/error.hpp"
+
+namespace cdsflow::cds::simd {
+
+namespace {
+
+// The arch TUs address these types as raw strided doubles.
+static_assert(sizeof(TimePoint) == 2 * sizeof(double) &&
+                  offsetof(TimePoint, t) == 0,
+              "TimePoint must be two packed doubles starting at t");
+static_assert(sizeof(CdsOption) == 4 * sizeof(double) &&
+                  offsetof(CdsOption, recovery_rate) == 3 * sizeof(double),
+              "CdsOption must be 4 double-slots with recovery_rate last");
+static_assert(sizeof(SpreadResult) == 2 * sizeof(double) &&
+                  offsetof(SpreadResult, spread_bps) == sizeof(double),
+              "SpreadResult must be two double-slots with the spread second");
+
+PrefixView view(const HazardPrefix& prefix) {
+  return {prefix.times.data(), prefix.rates.data(), prefix.lambda.data(),
+          prefix.times.size(), SearchLut{}};
+}
+
+CurveView view(const TermStructure& curve) {
+  return {curve.times().data(), curve.values().data(), curve.size(),
+          SearchLut{}};
+}
+
+/// Points the arch kernel covers: the largest multiple of the lane width.
+std::size_t vector_head(std::size_t n, Level level) {
+  const std::size_t w = lanes(level);
+  return n - n % w;
+}
+
+/// Scalar twin of the arch TUs' exp_pd (vector_kernel_impl.hpp), operation
+/// for operation: std::fma is the single-rounding scalar counterpart of the
+/// lane fmadd/fnmadd, so for any finite input this returns the exact bits a
+/// vector lane would. The vector-level column tails run this instead of
+/// std::exp so a point's value never depends on whether it landed in the
+/// lane head or the tail -- i.e. on where the batch arena happened to end.
+/// That is what keeps vector-level results invariant under sharding, thread
+/// chunking and micro-batching (the runtime's determinism guarantees), and
+/// incremental per-grid re-tabulation bit-consistent with an arena-wide
+/// rebuild. kScalar keeps std::exp: the scalar reference, bit-identical to
+/// the scalar batch kernel.
+double exp_pd_scalar(double x) {
+  constexpr double kLog2e = 1.44269504088896340736;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  constexpr double kMagic = 6755399441055744.0;  // 2^52 + 2^51
+
+  x = x < -708.0 ? -708.0 : (x > 708.0 ? 708.0 : x);
+
+  const double t = std::fma(x, kLog2e, kMagic);
+  const double n = t - kMagic;
+  const std::int64_t ni =
+      std::bit_cast<std::int64_t>(t) - std::bit_cast<std::int64_t>(kMagic);
+
+  double r = std::fma(-n, kLn2Hi, x);
+  r = std::fma(-n, kLn2Lo, r);
+
+  double p = 1.0 / 6227020800.0;         // 1/13!
+  p = std::fma(p, r, 1.0 / 479001600.0);  // 1/12!
+  p = std::fma(p, r, 1.0 / 39916800.0);   // 1/11!
+  p = std::fma(p, r, 1.0 / 3628800.0);    // 1/10!
+  p = std::fma(p, r, 1.0 / 362880.0);     // 1/9!
+  p = std::fma(p, r, 1.0 / 40320.0);      // 1/8!
+  p = std::fma(p, r, 1.0 / 5040.0);       // 1/7!
+  p = std::fma(p, r, 1.0 / 720.0);        // 1/6!
+  p = std::fma(p, r, 1.0 / 120.0);        // 1/5!
+  p = std::fma(p, r, 1.0 / 24.0);         // 1/4!
+  p = std::fma(p, r, 1.0 / 6.0);          // 1/3!
+  p = std::fma(p, r, 0.5);                // 1/2!
+  p = std::fma(p, r, 1.0);
+  p = std::fma(p, r, 1.0);
+
+  const double scale = std::bit_cast<double>(
+      static_cast<std::uint64_t>(ni + 1023) << 52);
+  return p * scale;
+}
+
+/// Builds the bucketed search-acceleration table documented on SearchLut
+/// (vector_kernel_arch.hpp): bucket width at most half the smallest knot
+/// gap, buckets[k] = the exact bound index of the anchor fma(k, width, t0).
+/// The arch kernels then resolve any query with two gathers instead of a
+/// log2(knots)-step gather chain, landing on the *identical* index.
+///
+/// Returns false -- leaving the view's table empty, so the kernels keep the
+/// plain binary search -- for degenerate curves (fewer than two knots, or a
+/// non-increasing gap) and when the required table would outgrow 8x the
+/// knot count (strongly non-uniform spacing: the build would cost more than
+/// the queries save).
+bool build_search_lut(const double* times, std::size_t n, bool upper,
+                      std::vector<std::int64_t>& buckets, SearchLut& lut) {
+  if (n < 2) return false;
+  double min_gap = times[1] - times[0];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double gap = times[i + 1] - times[i];
+    min_gap = gap < min_gap ? gap : min_gap;
+  }
+  if (!(min_gap > 0.0)) return false;
+  const double range = times[n - 1] - times[0];
+  const double needed = std::ceil(range / (0.5 * min_gap)) + 1.0;
+  if (!(needed <= 8.0 * static_cast<double>(n))) return false;
+  lut.n_buckets = static_cast<std::int64_t>(needed);
+  lut.t0 = times[0];
+  lut.width = range / static_cast<double>(lut.n_buckets);
+  lut.inv_width = 1.0 / lut.width;
+  buckets.resize(static_cast<std::size_t>(lut.n_buckets));
+  const double* end = times + n;
+  for (std::int64_t k = 0; k < lut.n_buckets; ++k) {
+    const double anchor = std::fma(static_cast<double>(k), lut.width, lut.t0);
+    const double* it = upper ? std::upper_bound(times, end, anchor)
+                             : std::lower_bound(times, end, anchor);
+    buckets[static_cast<std::size_t>(k)] = it - times;
+  }
+  lut.buckets = buckets.data();
+  return true;
+}
+
+/// The table costs O(n_buckets) ~ O(knots) to build, so it only pays when
+/// the call amortises it over enough points: arena-wide tabulations (every
+/// batch/risk pass) qualify, per-grid stream re-tabulations (~tens of
+/// points against a large curve) keep the binary search. Either path
+/// produces the same indices, hence the same bits.
+bool lut_worthwhile(std::size_t n_points, std::size_t n_knots) {
+  return n_points >= 2 * n_knots;
+}
+
+Level min_level(Level a, Level b) { return a < b ? a : b; }
+
+Level env_clamp(Level detected) {
+  const char* env = std::getenv("CDSFLOW_SIMD");
+  if (env == nullptr) return detected;
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    return min_level(detected, Level::kAvx2);
+  }
+  if (std::strcmp(env, "avx512") == 0) {
+    return min_level(detected, Level::kAvx512);
+  }
+  return detected;  // unknown values are ignored, never widen
+}
+
+}  // namespace
+
+bool compiled_with_simd() {
+#if defined(CDSFLOW_HAVE_AVX2) || defined(CDSFLOW_HAVE_AVX512)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Level detect_level() {
+#if defined(CDSFLOW_HAVE_AVX2) || defined(CDSFLOW_HAVE_AVX512)
+  static const Level detected = [] {
+#if defined(CDSFLOW_HAVE_AVX512)
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return Level::kAvx512;
+    }
+#endif
+#if defined(CDSFLOW_HAVE_AVX2)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return Level::kAvx2;
+    }
+#endif
+    return Level::kScalar;
+  }();
+  return detected;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level active_level() {
+  static const Level active = env_clamp(detect_level());
+  return active;
+}
+
+Level resolve_level(Level level) { return min_level(level, detect_level()); }
+
+unsigned lanes(Level level) {
+  switch (level) {
+    case Level::kAvx512:
+      return 8;
+    case Level::kAvx2:
+      return 4;
+    case Level::kScalar:
+      return 1;
+  }
+  return 1;
+}
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kAvx512:
+      return "avx512";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+void survival_column(const HazardPrefix& prefix,
+                     std::span<const TimePoint> points, std::span<double> out,
+                     Level level) {
+  CDSFLOW_ASSERT(out.size() == points.size(),
+                 "survival column span must match the schedule length");
+  const Level run = resolve_level(level);
+  std::size_t head = 0;
+  if (run != Level::kScalar) {
+    head = vector_head(points.size(), run);
+    // maybe_unused: with no arch TU compiled in (CDSFLOW_DISABLE_SIMD) the
+    // dispatch blocks below vanish and this branch is dead code.
+    [[maybe_unused]] const double* ts = &points.data()->t;
+    PrefixView pv = view(prefix);
+    std::vector<std::int64_t> lut_storage;
+    if (lut_worthwhile(head, prefix.times.size())) {
+      build_search_lut(pv.times, pv.size, /*upper=*/false, lut_storage,
+                       pv.lut);
+    }
+#if defined(CDSFLOW_HAVE_AVX512)
+    if (run == Level::kAvx512) {
+      detail_avx512::survival_column(pv, ts, 2, head, out.data());
+    }
+#endif
+#if defined(CDSFLOW_HAVE_AVX2)
+    if (run == Level::kAvx2) {
+      detail_avx2::survival_column(pv, ts, 2, head, out.data());
+    }
+#endif
+    // Lane tail: Lambda via the reference expressions (which the lanes
+    // already match bit for bit), exp via the scalar exp_pd twin -- the
+    // column's bits are independent of where the head ends.
+    for (std::size_t i = head; i < points.size(); ++i) {
+      out[i] = exp_pd_scalar(-integrated_hazard_prefix(prefix, points[i].t));
+    }
+    return;
+  }
+  // kScalar: the scalar reference arithmetic, bit-identical to the batch
+  // kernel's fused walk.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out[i] = survival_probability_prefix(prefix, points[i].t);
+  }
+}
+
+void discount_column(const TermStructure& interest,
+                     std::span<const TimePoint> points, std::span<double> out,
+                     Level level) {
+  CDSFLOW_ASSERT(out.size() == points.size(),
+                 "discount column span must match the schedule length");
+  const Level run = resolve_level(level);
+  if (run != Level::kScalar) {
+    std::size_t head = 0;
+    // A single-knot curve interpolates to a constant; the arch kernels
+    // assume size >= 2 so their bracket gathers stay in range.
+    if (interest.size() >= 2) {
+      head = vector_head(points.size(), run);
+      [[maybe_unused]] const double* ts = &points.data()->t;
+      CurveView cv = view(interest);
+      std::vector<std::int64_t> lut_storage;
+      if (lut_worthwhile(head, interest.size())) {
+        build_search_lut(cv.times, cv.size, /*upper=*/true, lut_storage,
+                         cv.lut);
+      }
+#if defined(CDSFLOW_HAVE_AVX512)
+      if (run == Level::kAvx512) {
+        detail_avx512::discount_column(cv, ts, 2, head, out.data());
+      }
+#endif
+#if defined(CDSFLOW_HAVE_AVX2)
+      if (run == Level::kAvx2) {
+        detail_avx2::discount_column(cv, ts, 2, head, out.data());
+      }
+#endif
+    }
+    // Lane tail: interpolation is the reference expression either way; exp
+    // via the scalar exp_pd twin keeps the bits alignment-independent.
+    for (std::size_t i = head; i < points.size(); ++i) {
+      const double r = interest.interpolate_fast(points[i].t);
+      out[i] = exp_pd_scalar(-(r * points[i].t));
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double r = interest.interpolate_fast(points[i].t);
+    out[i] = std::exp(-r * points[i].t);
+  }
+}
+
+void tabulate_columns(const TermStructure& interest,
+                      const HazardPrefix& prefix,
+                      std::span<const TimePoint> points,
+                      std::span<double> discount, std::span<double> survival,
+                      bool refresh_discount, Level level) {
+  survival_column(prefix, points, survival, level);
+  if (refresh_discount) {
+    discount_column(interest, points, discount, level);
+  }
+}
+
+void combine_spreads(std::span<const CdsOption> options,
+                     std::span<const std::uint32_t> grid_of,
+                     std::span<const double> annuity,
+                     std::span<const double> payoff,
+                     std::span<SpreadResult> out, Level level) {
+  CDSFLOW_ASSERT(out.size() == options.size() &&
+                     grid_of.size() == options.size(),
+                 "combine spans must match the option count");
+  const Level run = resolve_level(level);
+  std::size_t head = 0;
+  if (run != Level::kScalar && !options.empty()) {
+    head = vector_head(options.size(), run);
+    [[maybe_unused]] const double* recovery = &options.data()->recovery_rate;
+#if defined(CDSFLOW_HAVE_AVX512)
+    if (run == Level::kAvx512) {
+      detail_avx512::combine_spreads(recovery, 4, grid_of.data(),
+                                     annuity.data(), payoff.data(), head,
+                                     &out.data()->spread_bps, 2);
+    }
+#endif
+#if defined(CDSFLOW_HAVE_AVX2)
+    if (run == Level::kAvx2) {
+      detail_avx2::combine_spreads(recovery, 4, grid_of.data(),
+                                   annuity.data(), payoff.data(), head,
+                                   &out.data()->spread_bps, 2);
+    }
+#endif
+    for (std::size_t i = 0; i < head; ++i) {
+      out[i].id = options[i].id;
+    }
+  }
+  // Scalar tail / fallback: the batch kernel's combine, op for op.
+  for (std::size_t i = head; i < options.size(); ++i) {
+    const std::uint32_t g = grid_of[i];
+    const double protection = (1.0 - options[i].recovery_rate) * payoff[g];
+    out[i] = {options[i].id, kBasisPointsPerUnit * protection / annuity[g]};
+  }
+}
+
+void exp_columns(std::span<const double> xs, std::span<double> out,
+                 Level level) {
+  CDSFLOW_ASSERT(out.size() == xs.size(),
+                 "exp column spans must match in length");
+  const Level run = resolve_level(level);
+  if (run != Level::kScalar) {
+    const std::size_t head = vector_head(xs.size(), run);
+#if defined(CDSFLOW_HAVE_AVX512)
+    if (run == Level::kAvx512) {
+      detail_avx512::exp_columns(xs.data(), head, out.data());
+    }
+#endif
+#if defined(CDSFLOW_HAVE_AVX2)
+    if (run == Level::kAvx2) {
+      detail_avx2::exp_columns(xs.data(), head, out.data());
+    }
+#endif
+    for (std::size_t i = head; i < xs.size(); ++i) {
+      out[i] = exp_pd_scalar(xs[i]);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = std::exp(xs[i]);
+  }
+}
+
+}  // namespace cdsflow::cds::simd

@@ -1,0 +1,137 @@
+/// \file vector_kernel.hpp
+/// Runtime-dispatched SIMD vector-lane kernel for the batched CPU fast path.
+///
+/// The paper's Fig. 3 "vectorisation" replicates the expensive hazard /
+/// interpolation sub-functions into parallel lanes behind a round-robin
+/// distributor (hls/replicate.hpp models exactly that structure). This
+/// module is the host-side counterpart: the same per-time-point curve
+/// queries -- Lambda(t) lookup + exp for the survival column, bracket
+/// search + lerp + exp for the discount column -- executed W points at a
+/// time in x86 vector lanes:
+///
+///     level     lanes W   HLS analogue (Fig. 3 / replicate.hpp)
+///     kScalar   1         un-replicated sub-function
+///     kAvx2     4         4 replica lanes
+///     kAvx512   8         8 replica lanes  (paper: 6, URAM-feed limited)
+///
+/// The lane count *is* the replication factor: one AVX-512 register holds
+/// what the paper feeds six replica kernels, and `bench_fig3_vector_lanes`
+/// (modelled) and `bench_cpu_vector` (native) tell the same story. See
+/// docs/VECTOR_LANES.md for the full correspondence and the precision
+/// contract.
+///
+/// Dispatch rules (docs/VECTOR_LANES.md "Runtime dispatch"):
+///   * detect_level(): best level both compiled in (CMake flag checks;
+///     CDSFLOW_DISABLE_SIMD forces none) and supported by the running CPU
+///     (AVX-512 needs F+DQ+VL, AVX2 needs AVX2+FMA).
+///   * active_level(): detect_level(), optionally clamped *down* by the
+///     CDSFLOW_SIMD environment variable ("scalar" | "avx2" | "avx512");
+///     cached after first use. This is what the engines run with.
+///   * Every entry point takes an explicit Level and resolves it with
+///     resolve_level(), so a request can never exceed what the host
+///     supports; Level::kScalar is always valid and executes the exact
+///     scalar-reference arithmetic (bit-identical fallback).
+///
+/// Precision contract (documented in docs/VECTOR_LANES.md, every bound
+/// asserted by tests/test_vector_kernel.cpp; the numeric bounds live in
+/// cds/precision.hpp as VectorKernelContract):
+///   * kScalar level: bit-identical to the scalar batch kernel.
+///   * The integrated hazard and the interpolated rate use the reference
+///     expressions (no fused contractions), so the only vector-vs-scalar
+///     deviation in the columns is exp_pd() vs std::exp -- bounded by
+///     VectorKernelContract::kExpUlpBound ulp.
+///   * The leg-sum reductions and dq subtraction stay on the scalar path in
+///     the reference association order (batch_pricer.cpp), so no
+///     reassociation tolerance is ever needed; spreads and Greeks inherit
+///     only the column ulp noise (kSpreadRelTol / kGreekRelTol).
+///   * At a vector level the lane *tail* evaluates a scalar twin of exp_pd
+///     (std::fma mirrors the lane fmadd bit for bit), so a point's column
+///     value never depends on where the lane head happens to end. Results
+///     at a fixed level are therefore invariant under sharding, thread
+///     chunking, micro-batching and incremental per-grid re-tabulation --
+///     the runtime's bit-determinism guarantees hold for cpu-vec exactly as
+///     for cpu-batch.
+///   * combine_spreads() performs the identical IEEE ops per lane as the
+///     scalar combine: bit-exact at every level.
+
+#pragma once
+
+#include <span>
+
+#include "cds/curve.hpp"
+#include "cds/hazard.hpp"
+#include "cds/schedule.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::cds::simd {
+
+/// Vector-lane width selector, ordered so narrower levels compare less.
+enum class Level { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// True when at least one SIMD translation unit was compiled in (i.e. the
+/// build did not use -DCDSFLOW_DISABLE_SIMD=ON and the compiler supported
+/// the -m flags). The scalar-only CI lane asserts this is false.
+bool compiled_with_simd();
+
+/// Best level both compiled in and supported by the running CPU.
+Level detect_level();
+
+/// detect_level() clamped down by the CDSFLOW_SIMD environment variable
+/// ("scalar" | "avx2" | "avx512"; anything else is ignored). Cached after
+/// the first call -- the level the engines construct kernels with.
+Level active_level();
+
+/// What a request for `level` actually executes: min(level, detect_level()).
+Level resolve_level(Level level);
+
+/// Vector lanes of a level: 1 / 4 / 8 -- the CPU replication factor
+/// mirroring hls::ReplicationConfig::lanes.
+unsigned lanes(Level level);
+
+const char* to_string(Level level);
+
+/// Fills the survival column Q(t_i) = exp(-Lambda(t_i)) over `points`.
+/// Lambda uses the integrated_hazard_prefix expressions verbatim. At vector
+/// levels the lane tail (points.size() % lanes) runs the scalar exp_pd twin
+/// so the column's bits are alignment-independent; kScalar runs the scalar
+/// reference (std::exp) throughout.
+void survival_column(const HazardPrefix& prefix,
+                     std::span<const TimePoint> points, std::span<double> out,
+                     Level level);
+
+/// Fills the discount column D(t_i) = exp(-r(t_i) * t_i) with r from
+/// TermStructure::interpolate_fast's bracket-search + lerp arithmetic.
+void discount_column(const TermStructure& interest,
+                     std::span<const TimePoint> points, std::span<double> out,
+                     Level level);
+
+/// Both base-grid columns in one call: survival always, discount only when
+/// `refresh_discount` (the hazard-quote update path reuses the stored
+/// column, exactly like detail::tabulate_grid).
+void tabulate_columns(const TermStructure& interest,
+                      const HazardPrefix& prefix,
+                      std::span<const TimePoint> points,
+                      std::span<double> discount, std::span<double> survival,
+                      bool refresh_discount, Level level);
+
+/// The branch-free per-option combine, W options per iteration: gathers
+/// each option's grid sums by id and evaluates
+///   spread = (kBasisPointsPerUnit * ((1 - recovery) * payoff[g])) / annuity[g]
+/// with the identical per-lane IEEE operations as the scalar loop --
+/// bit-exact at every level (asserted by tests).
+void combine_spreads(std::span<const CdsOption> options,
+                     std::span<const std::uint32_t> grid_of,
+                     std::span<const double> annuity,
+                     std::span<const double> payoff,
+                     std::span<SpreadResult> out, Level level);
+
+/// exp() over a column -- the one transcendental the vector path replaces.
+/// kScalar runs std::exp; vector levels run the Cody-Waite + polynomial
+/// exp_pd (lanes on the head, its bit-identical scalar twin on the tail)
+/// whose error vs std::exp is bounded by
+/// VectorKernelContract::kExpUlpBound ulp (asserted by tests). Exposed so
+/// the precision tests can measure the bound directly.
+void exp_columns(std::span<const double> xs, std::span<double> out,
+                 Level level);
+
+}  // namespace cdsflow::cds::simd

@@ -1,0 +1,102 @@
+/// \file vector_kernel_arch.hpp
+/// Internal interface between the vector-kernel dispatcher
+/// (vector_kernel.cpp) and the per-architecture translation units
+/// (vector_kernel_avx2.cpp / vector_kernel_avx512.cpp).
+///
+/// The arch TUs are compiled with -mavx2/-mavx512* flags, so they must not
+/// instantiate inline functions from common headers (a comdat copy built
+/// with wider ISA flags could be the one the linker keeps, crashing hosts
+/// without that ISA). Everything crosses this boundary as raw pointers and
+/// sizes; the dispatcher unpacks HazardPrefix / TermStructure / TimePoint
+/// spans and handles the scalar tails, and the arch entry points require
+/// n to be a multiple of the lane width.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cdsflow::cds::simd {
+
+/// Bucketed knot-search acceleration table (optional: buckets == nullptr
+/// makes the arch kernels fall back to the branchless binary search).
+///
+/// The dispatcher builds it per call when the point count justifies the
+/// O(n_buckets) build (vector_kernel.cpp's build_search_lut): a uniform
+/// grid of
+/// `n_buckets` buckets over [t0, t0 + n_buckets * width] whose width is at
+/// most *half* the smallest knot gap, where buckets[k] is the exact
+/// std::lower_bound (or std::upper_bound, per table) index of the bucket's
+/// anchor `fma(k, width, t0)`. A lane query re-derives its exact bucket
+/// with the same fma anchors and then needs at most ONE masked advance:
+/// a half-gap bucket can hold at most one knot, so the bound index of any
+/// t inside bucket k is buckets[k] or buckets[k] + 1. The result is the
+/// exact scalar search index -- bit-identical bracket choice, ~10 data-
+/// dependent gathers per lane replaced by 2.
+struct SearchLut {
+  const std::int64_t* buckets = nullptr;
+  double t0 = 0.0;
+  double width = 0.0;
+  double inv_width = 0.0;
+  std::int64_t n_buckets = 0;
+};
+
+/// TermStructure, flattened (times/values SoA; size >= 2 -- single-knot
+/// curves are degenerate constants the dispatcher handles itself).
+struct CurveView {
+  const double* times;
+  const double* values;
+  std::size_t size;
+  /// Optional upper_bound table over `times`.
+  SearchLut lut;
+};
+
+/// HazardPrefix, flattened.
+struct PrefixView {
+  const double* times;
+  const double* rates;
+  const double* lambda;
+  std::size_t size;
+  /// Optional lower_bound table over `times`.
+  SearchLut lut;
+};
+
+}  // namespace cdsflow::cds::simd
+
+// Each arch namespace implements the same four kernels (see
+// vector_kernel_impl.hpp for the single shared implementation):
+//
+//   survival_column:  q_out[i] = exp(-Lambda(t_i)); ts strided by
+//                     `t_stride` doubles (TimePoint arrays pass 2).
+//   discount_column:  d_out[i] = exp(-interpolate_fast(t_i) * t_i).
+//   combine_spreads:  spread_out[i * out_stride] from the recovery rates
+//                     (strided AoS doubles), grid ids and grid sums.
+//   exp_columns:      out[i] = exp_pd(xs[i]).
+
+#if defined(CDSFLOW_HAVE_AVX2)
+namespace cdsflow::cds::simd::detail_avx2 {
+void survival_column(const PrefixView& prefix, const double* ts,
+                     std::size_t t_stride, std::size_t n, double* q_out);
+void discount_column(const CurveView& curve, const double* ts,
+                     std::size_t t_stride, std::size_t n, double* d_out);
+void combine_spreads(const double* recovery, std::size_t rec_stride,
+                     const std::uint32_t* grid_of, const double* annuity,
+                     const double* payoff, std::size_t n, double* spread_out,
+                     std::size_t out_stride);
+void exp_columns(const double* xs, std::size_t n, double* out);
+}  // namespace cdsflow::cds::simd::detail_avx2
+#endif
+
+#if defined(CDSFLOW_HAVE_AVX512)
+namespace cdsflow::cds::simd::detail_avx512 {
+void survival_column(const PrefixView& prefix, const double* ts,
+                     std::size_t t_stride, std::size_t n, double* q_out);
+void discount_column(const CurveView& curve, const double* ts,
+                     std::size_t t_stride, std::size_t n, double* d_out);
+void combine_spreads(const double* recovery, std::size_t rec_stride,
+                     const std::uint32_t* grid_of, const double* annuity,
+                     const double* payoff, std::size_t n, double* spread_out,
+                     std::size_t out_stride);
+void exp_columns(const double* xs, std::size_t n, double* out);
+}  // namespace cdsflow::cds::simd::detail_avx512
+#endif

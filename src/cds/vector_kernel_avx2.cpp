@@ -1,0 +1,12 @@
+/// \file vector_kernel_avx2.cpp
+/// AVX2 (4 x double lanes) instantiation of the vector kernels. Compiled
+/// with -mavx2 -mfma (CMakeLists.txt set_source_files_properties); empty
+/// when the build disabled SIMD or the compiler lacks the flags.
+
+#include "cds/vector_kernel_arch.hpp"
+
+#if defined(CDSFLOW_HAVE_AVX2)
+#define CDSFLOW_SIMD_NS detail_avx2
+#define CDSFLOW_SIMD_WIDTH 4
+#include "cds/vector_kernel_impl.hpp"
+#endif

@@ -1,0 +1,13 @@
+/// \file vector_kernel_avx512.cpp
+/// AVX-512 (8 x double lanes) instantiation of the vector kernels. Compiled
+/// with -mavx512f -mavx512dq -mavx512vl -mfma (CMakeLists.txt
+/// set_source_files_properties); empty when the build disabled SIMD or the
+/// compiler lacks the flags.
+
+#include "cds/vector_kernel_arch.hpp"
+
+#if defined(CDSFLOW_HAVE_AVX512)
+#define CDSFLOW_SIMD_NS detail_avx512
+#define CDSFLOW_SIMD_WIDTH 8
+#include "cds/vector_kernel_impl.hpp"
+#endif

@@ -16,14 +16,16 @@ CpuEngine::CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
                      CpuEngineConfig config)
     : pricer_(std::move(interest), std::move(hazard)),
       threads_(config.threads),
-      batch_(config.batch_kernel),
+      batch_(config.batch_kernel || config.vector_kernel),
+      vector_(config.vector_kernel),
       risk_(config.risk_mode) {
   if (threads_ == 0) {
     threads_ = std::max(1u, std::thread::hardware_concurrency());
   }
   if (batch_) {
-    batch_pricer_ = std::make_unique<cds::BatchPricer>(pricer_.interest(),
-                                                       pricer_.hazard());
+    if (vector_) kernel_level_ = cds::simd::active_level();
+    batch_pricer_ = std::make_unique<cds::BatchPricer>(
+        pricer_.interest(), pricer_.hazard(), kernel_level_);
   }
   risk_config_.bump = config.risk_bump;
   risk_config_.ladder_edges = std::move(config.ladder_edges);
@@ -40,14 +42,21 @@ CpuEngine::CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
 }
 
 std::string CpuEngine::name() const {
-  std::string base = batch_ ? "cpu-batch" : "cpu";
+  std::string base = vector_ ? "cpu-vec" : batch_ ? "cpu-batch" : "cpu";
   if (risk_) base += "-risk";
   return threads_ == 1 ? base : (base + "-mt" + std::to_string(threads_));
 }
 
 std::string CpuEngine::description() const {
-  return std::string("Bespoke C++ CPU engine, ") +
-         (batch_ ? "batched SoA fast-path kernel" : "scalar reference kernel") +
+  std::string kernel = "scalar reference kernel";
+  if (vector_) {
+    kernel = std::string("SIMD batch kernel (") +
+             cds::simd::to_string(kernel_level_) + ", " +
+             std::to_string(cds::simd::lanes(kernel_level_)) + " lane(s))";
+  } else if (batch_) {
+    kernel = "batched SoA fast-path kernel";
+  }
+  return std::string("Bespoke C++ CPU engine, ") + kernel +
          (risk_ ? " + Greeks (CS01/IR01/Rec01/JTD)" : "") + ", " +
          std::to_string(threads_) + " thread(s) (" +
          (uses_openmp() ? "OpenMP" : "std::thread") + ")";

@@ -13,7 +13,13 @@
 ///     host-side counterpart of the paper's dataflow restructuring. Spreads
 ///     are identical to the scalar kernel (well under 1e-9 relative; see
 ///     batch_pricer.hpp), so "cpu-batch" runs merge bit-identically in the
-///     sharded runtime.
+///     sharded runtime;
+///   * vector (config.vector_kernel) -- the batch kernel with its
+///     tabulation and combine passes running on the SIMD vector kernels at
+///     the host's best level (cds/vector_kernel.hpp; AVX-512 8 lanes, AVX2
+///     4 lanes, scalar fallback). The CPU analogue of the paper's Fig. 3
+///     lane replication (hls/replicate.hpp); precision contract in
+///     cds::VectorKernelContract and docs/VECTOR_LANES.md.
 ///
 /// Either kernel can additionally run in *risk mode* (config.risk_mode,
 /// registry names "cpu-risk" / "cpu-batch-risk"): the run then carries
@@ -47,6 +53,12 @@ struct CpuEngineConfig {
   /// reference math. The scalar path survives (flag off) as the paper's
   /// naive comparator and for parity checks.
   bool batch_kernel = false;
+  /// Run the batch kernel's tabulation/combine passes on the SIMD vector
+  /// kernels at simd::active_level() (registry name "cpu-vec[...]"; implies
+  /// batch semantics, batch_kernel need not also be set). On a host without
+  /// SIMD support -- or under CDSFLOW_SIMD=scalar / -DCDSFLOW_DISABLE_SIMD
+  /// -- this degrades to exactly the batch kernel, bit for bit.
+  bool vector_kernel = false;
   /// Compute per-option sensitivities (CS01/IR01/Rec01/JTD, plus the CS01
   /// ladder when ladder_edges is set) instead of spreads alone. With the
   /// scalar kernel this loops compute_sensitivities/cs01_ladder per option
@@ -73,6 +85,10 @@ class CpuEngine final : public Engine {
 
   unsigned threads() const { return threads_; }
   bool batch_kernel() const { return batch_; }
+  bool vector_kernel() const { return vector_; }
+  /// The SIMD tier the vector kernel actually runs at (kScalar unless
+  /// vector_kernel(); post hardware/CDSFLOW_SIMD clamp).
+  cds::simd::Level kernel_level() const { return kernel_level_; }
   bool risk_mode() const { return risk_; }
 
   /// True when built with OpenMP (the paper's configuration).
@@ -105,7 +121,9 @@ class CpuEngine final : public Engine {
   cds::BatchRiskConfig risk_config_;
   unsigned threads_;
   bool batch_ = false;
+  bool vector_ = false;
   bool risk_ = false;
+  cds::simd::Level kernel_level_ = cds::simd::Level::kScalar;
 };
 
 }  // namespace cdsflow::engine

@@ -167,6 +167,10 @@ std::vector<BackendCandidate> enumerate_backends(
     if (config.probe_cpu_batch) {
       names.push_back(cpu_engine_name(true, config.risk_mode, t));
     }
+    if (config.probe_cpu_vec &&
+        cds::simd::active_level() != cds::simd::Level::kScalar) {
+      names.push_back(cpu_engine_name(true, true, config.risk_mode, t));
+    }
     for (const auto& name : names) {
       probe_candidate(name, config.cpu_power.watts(t), /*simulated=*/false);
     }

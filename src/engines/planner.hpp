@@ -134,6 +134,13 @@ struct PlannerConfig {
   /// every CPU thread count. Same power model as the scalar kernel -- the
   /// fast path wins on energy purely by finishing sooner.
   bool probe_cpu_batch = true;
+  /// Also probe the SIMD vector kernel ("cpu-vec[-mtN]") at every CPU
+  /// thread count -- skipped automatically when the host resolves to the
+  /// scalar level (the candidate would just re-measure cpu-batch under
+  /// another name). Same power model again: the planner needs no vector-
+  /// specific logic, the probe->affine-fit pipeline prices the lane win by
+  /// measuring it.
+  bool probe_cpu_vec = true;
   /// Probe the CPU candidates in risk mode ("cpu[-batch]-risk[-mtN]") and
   /// skip the simulated candidates (they only price). Risk details (bump,
   /// ladder edges) ride in `cpu`.

@@ -28,7 +28,7 @@ bool parse_suffix_uint(const std::string& s, const std::string& prefix,
 }  // namespace
 
 bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config) {
-  // CPU family, assembled as "cpu[-batch][-risk][-mt[N]]": strip the
+  // CPU family, assembled as "cpu[-batch|-vec][-risk][-mt[N]]": strip the
   // optional kernel and mode tokens, then parse the thread suffix.
   CpuEngineConfig cfg = config;
   std::string cpu_name = name;
@@ -37,7 +37,11 @@ bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config) {
     cpu_name = "cpu" + cpu_name.substr(prefix.size());
     return true;
   };
-  if (strip_token("cpu-batch")) cfg.batch_kernel = true;
+  if (strip_token("cpu-batch")) {
+    cfg.batch_kernel = true;
+  } else if (strip_token("cpu-vec")) {
+    cfg.vector_kernel = true;  // implies batch semantics in CpuEngine
+  }
   if (strip_token("cpu-risk")) cfg.risk_mode = true;
   unsigned n = 0;
   if (cpu_name == "cpu") {
@@ -53,10 +57,14 @@ bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config) {
   return true;
 }
 
-std::string cpu_engine_name(bool batch_kernel, bool risk_mode,
-                            unsigned threads) {
+std::string cpu_engine_name(bool batch_kernel, bool vector_kernel,
+                            bool risk_mode, unsigned threads) {
   std::string name = "cpu";
-  if (batch_kernel) name += "-batch";
+  if (vector_kernel) {
+    name += "-vec";
+  } else if (batch_kernel) {
+    name += "-batch";
+  }
   if (risk_mode) name += "-risk";
   if (threads == 0) {
     name += "-mt";
@@ -64,6 +72,12 @@ std::string cpu_engine_name(bool batch_kernel, bool risk_mode,
     name += "-mt" + std::to_string(threads);
   }
   return name;
+}
+
+std::string cpu_engine_name(bool batch_kernel, bool risk_mode,
+                            unsigned threads) {
+  return cpu_engine_name(batch_kernel, /*vector_kernel=*/false, risk_mode,
+                         threads);
 }
 
 std::unique_ptr<Engine> make_engine(const std::string& name,
@@ -113,14 +127,15 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
     }
   }
   throw Error("unknown engine name '" + name +
-              "'; known: cpu[-batch][-risk][-mt[N]], xilinx-baseline, "
+              "'; known: cpu[-batch|-vec][-risk][-mt[N]], xilinx-baseline, "
               "dataflow, dataflow-interoption, vectorised, multi-N, "
               "cluster-MxN");
 }
 
 std::vector<std::string> engine_names() {
   return {"cpu",      "cpu-mt",      "cpu-batch", "cpu-batch-mt",
-          "cpu-risk", "cpu-batch-risk",
+          "cpu-vec",  "cpu-vec-mt",
+          "cpu-risk", "cpu-batch-risk", "cpu-vec-risk",
           "xilinx-baseline", "dataflow", "dataflow-interoption",
           "vectorised", "multi-5"};
 }

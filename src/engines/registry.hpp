@@ -9,12 +9,17 @@
 ///   "cpu-batch"             single-thread batched SoA fast-path kernel
 ///   "cpu-batch-mt"          batch kernel on all hardware threads
 ///   "cpu-batch-mt<N>"       batch kernel on N threads
+///   "cpu-vec"               batch kernel on the SIMD vector kernels at the
+///                           host's best level (cds/vector_kernel.hpp;
+///                           scalar fallback when the host has none)
+///   "cpu-vec-mt[<N>]"       vector kernel on all / N threads
 ///   "cpu-risk"              scalar kernel + per-option Greeks (naive
 ///                           bumped-repricing loop)
 ///   "cpu-risk-mt[<N>]"      scalar risk kernel on all / N threads
 ///   "cpu-batch-risk"        batched Greeks over the precomputed grids
 ///                           (BatchPricer::price_with_sensitivities)
 ///   "cpu-batch-risk-mt[<N>]"  batched risk kernel on all / N threads
+///   "cpu-vec-risk[-mt[<N>]]"  batched Greeks on the vector kernels
 ///   "xilinx-baseline"       Vitis library model
 ///   "dataflow"              optimised dataflow, restart per option
 ///   "dataflow-interoption"  free-running dataflow
@@ -22,10 +27,11 @@
 ///   "multi-<N>"             N vectorised engines (e.g. "multi-5")
 ///   "cluster-<M>x<N>"       M cards of N vectorised engines each
 ///
-/// The CPU family name is assembled as "cpu[-batch][-risk][-mt[N]]": the
-/// optional "-batch" token selects the fast-path kernel, "-risk" switches
-/// the run to sensitivities, "-mt[N]" sets the thread count. Risk-mode
-/// details (bump size, ladder edges) ride in the CpuEngineConfig argument.
+/// The CPU family name is assembled as "cpu[-batch|-vec][-risk][-mt[N]]":
+/// the optional "-batch" token selects the fast-path kernel, "-vec" the
+/// same kernel on the SIMD lanes, "-risk" switches the run to
+/// sensitivities, "-mt[N]" sets the thread count. Risk-mode details (bump
+/// size, ladder edges) ride in the CpuEngineConfig argument.
 ///
 /// Determinism guarantee: engine construction is pure (no global state), and
 /// every engine the registry returns prices deterministically for a fixed
@@ -54,18 +60,26 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
                                     const FpgaEngineConfig& fpga_config = {},
                                     const CpuEngineConfig& cpu_config = {});
 
-/// Parses a "cpu[-batch][-risk][-mt[N]]" family name into `config`
-/// (batch_kernel / risk_mode / threads; other fields are left untouched).
-/// Returns false -- leaving `config` unmodified -- when `name` is not a
-/// CPU-family name. The one home of the CPU name grammar: make_engine uses
-/// it, and the streaming runtime reuses it so `cdsflow_cli stream` accepts
-/// the same engine names (risk mode included) as the batch commands.
+/// Parses a "cpu[-batch|-vec][-risk][-mt[N]]" family name into `config`
+/// (batch_kernel / vector_kernel / risk_mode / threads; other fields are
+/// left untouched). Returns false -- leaving `config` unmodified -- when
+/// `name` is not a CPU-family name. The one home of the CPU name grammar:
+/// make_engine uses it, and the streaming runtime reuses it so
+/// `cdsflow_cli stream` accepts the same engine names (risk mode included)
+/// as the batch commands.
 bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config);
 
-/// Assembles the "cpu[-batch][-risk][-mt[N]]" family name for the given
-/// kernel/mode/thread count -- the inverse of parse_cpu_engine_name
+/// Assembles the "cpu[-batch|-vec][-risk][-mt[N]]" family name for the
+/// given kernel/mode/thread count -- the inverse of parse_cpu_engine_name
 /// (threads == 1 omits the -mt token, threads == 0 means all hardware
-/// threads, "-mt"). The planner uses it to build its CPU candidate names.
+/// threads, "-mt"; vector_kernel wins over batch_kernel, as in
+/// CpuEngine::name). The planner uses it to build its CPU candidate names.
+std::string cpu_engine_name(bool batch_kernel, bool vector_kernel,
+                            bool risk_mode, unsigned threads);
+
+/// Pre-vector-kernel spelling, kept so existing call sites read unchanged:
+/// cpu_engine_name(batch, risk, threads) == the 4-argument form with
+/// vector_kernel = false.
 std::string cpu_engine_name(bool batch_kernel, bool risk_mode,
                             unsigned threads);
 

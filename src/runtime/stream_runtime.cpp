@@ -57,11 +57,14 @@ StreamRuntime::StreamRuntime(cds::TermStructure interest,
   engine::CpuEngineConfig cpu;
   CDSFLOW_EXPECT(engine::parse_cpu_engine_name(config_.engine, cpu),
                  "stream runtime needs a CPU-family engine name "
-                 "(cpu[-batch][-risk][-mt[N]]); simulated engines price "
+                 "(cpu[-batch|-vec][-risk][-mt[N]]); simulated engines price "
                  "through the batch runtime");
   pricer_config_.risk_mode = cpu.risk_mode;
   pricer_config_.risk_bump = config_.risk_bump;
   pricer_config_.ladder_edges = config_.ladder_edges;
+  if (cpu.vector_kernel) {
+    pricer_config_.kernel_level = cds::simd::active_level();
+  }
 
   unsigned lanes = config_.lanes;
   if (lanes == 0 && config_.engine.find("-mt") != std::string::npos) {

@@ -344,6 +344,9 @@ TEST(Planner, EnumerateMeasuresRealBackends) {
   config.probe_repeats = 2;
   config.cpu_thread_counts = {1};
   config.fpga_engine_counts = {1, 2};
+  // Keep the candidate list host-independent (cpu-vec appears only on SIMD
+  // hosts; its enumeration is covered by tests/test_vector_kernel.cpp).
+  config.probe_cpu_vec = false;
   const auto candidates =
       enumerate_backends(scenario.interest, scenario.hazard, config);
   // cpu, cpu-batch, multi-1, multi-2.
@@ -375,6 +378,7 @@ TEST(Planner, EnumerateCanSkipCpuBatch) {
   config.cpu_thread_counts = {1};
   config.fpga_engine_counts = {1};
   config.probe_cpu_batch = false;
+  config.probe_cpu_vec = false;
   const auto candidates =
       enumerate_backends(scenario.interest, scenario.hazard, config);
   ASSERT_EQ(candidates.size(), 2u);
@@ -388,6 +392,7 @@ TEST(Planner, EnumerateRiskModeProbesRiskEnginesOnly) {
   config.probe_sizes = {16};
   config.cpu_thread_counts = {1};
   config.risk_mode = true;
+  config.probe_cpu_vec = false;  // host-independent candidate list
   const auto candidates =
       enumerate_backends(scenario.interest, scenario.hazard, config);
   // Risk planning: cpu-risk + cpu-batch-risk, no simulated candidates

@@ -33,6 +33,11 @@
 /// repricing per option. Results match the scalar reference within 1e-9
 /// relative (documented kernel tolerance: 1e-12).
 ///
+/// Every CPU engine name also accepts the "-vec" kernel token
+/// ("cpu-vec[-risk][-mt[N]]"): the batch kernel on the SIMD vector lanes
+/// (docs/VECTOR_LANES.md). Under --auto-plan the vector candidates are
+/// probed like any other back-end and win whenever measured fastest.
+///
 ///   cdsflow_cli stream [--engine cpu-batch[-risk]] [--count N] [--seed S]
 ///                      [--rate HZ] [--max-batch B] [--max-wait-us W]
 ///                      [--deadline-us D] [--policy block|drop-oldest]
@@ -338,8 +343,9 @@ int cmd_risk(const Args& args) {
 
   const std::string engine_name = args.get_or("engine", "cpu-batch-risk");
   CDSFLOW_EXPECT(engine_name.rfind("cpu", 0) == 0,
-                 "risk needs a CPU engine (cpu-risk / cpu-batch-risk, "
-                 "optionally -mt[N]); simulated engines only price");
+                 "risk needs a CPU engine (cpu-risk / cpu-batch-risk / "
+                 "cpu-vec-risk, optionally -mt[N]); simulated engines only "
+                 "price");
   engine::CpuEngineConfig cpu;
   cpu.risk_mode = true;  // "risk" on any cpu engine name forces risk mode
   cpu.risk_bump = args.get_double_or("bump", 1e-4);
@@ -554,7 +560,8 @@ int cmd_engines() {
     std::cout << "  " << pad_right(name, 22) << engine->description()
               << '\n';
   }
-  std::cout << "parameterised forms: cpu[-batch][-risk]-mt<N>, multi-<N>\n";
+  std::cout << "parameterised forms: cpu[-batch|-vec][-risk]-mt<N>, "
+               "multi-<N>\n";
   return 0;
 }
 
