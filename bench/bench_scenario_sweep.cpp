@@ -1,0 +1,295 @@
+/// \file bench_scenario_sweep.cpp
+/// Scenario-sweep engine: one book x N scenarios on shared grids
+/// (cds/sweep_pricer.hpp) against the naive per-scenario BatchPricer loop
+/// that re-deduplicates the book and re-tabulates BOTH curve columns for
+/// every scenario, reported as JSON for the cross-PR perf trajectory.
+///
+/// The workload is the sweep's home turf: a standard-tenor book (heavy
+/// schedule dedup) under deterministic Monte-Carlo hazard scenarios, where
+/// the sweep shares the discount column across the whole run, re-tabulates
+/// only the survival column -- W scenarios per SIMD register -- and
+/// aggregates each scenario in O(grids) through the extremal-recovery
+/// representatives. The headline `single_thread_speedup` compares sweep vs
+/// naive at the host's active SIMD level (acceptance bar: >= 50x at the
+/// full 4096 x 4096 size); `speedup_scalar_level` repeats the comparison
+/// with both sides pinned to the scalar kernel.
+///
+/// Parity is asserted, not just reported -- the bench exits 1 unless, on
+/// sampled scenarios at BOTH kernel levels, (a) the sweep's per-option
+/// spreads are bit-identical to the naive loop's and (b) the O(grids)
+/// aggregates are bit-identical to the full per-option scan; and (c) the
+/// SweepRuntime reproduces the single-pricer aggregates bit-for-bit across
+/// worker x shard-size splits. The >= 50x bar itself only warns: CI-scale
+/// sizes and scalar-only hosts sit lower by design.
+///
+/// Usage: bench_scenario_sweep [n_options] [n_scenarios] [out.json]
+///   defaults: 4096 4096 BENCH_scenario_sweep.json
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cds/batch_pricer.hpp"
+#include "cds/sweep_pricer.hpp"
+#include "common/format.hpp"
+#include "report/table.hpp"
+#include "runtime/sweep_runtime.hpp"
+#include "workload/curves.hpp"
+#include "workload/options.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace cdsflow;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The naive comparator: one fresh BatchPricer per scenario (grid dedup +
+/// discount AND survival tabulation every time), full per-option combine,
+/// full per-option aggregate scan.
+std::vector<cds::SpreadResult> naive_scenario(
+    const cds::TermStructure& interest, const workload::ScenarioSet& set,
+    std::size_t s, const std::vector<cds::CdsOption>& book,
+    cds::simd::Level level, cds::BatchPricer::Workspace& ws) {
+  const cds::BatchPricer pricer(interest, set.hazard_curve(s), level);
+  std::vector<cds::SpreadResult> results(book.size());
+  pricer.price(book, results, ws);
+  return results;
+}
+
+/// Times the naive loop over `sample` scenarios and returns seconds per
+/// scenario (the loop is already an average over many scenarios, so one
+/// pass is stable).
+double naive_seconds_per_scenario(const cds::TermStructure& interest,
+                                  const workload::ScenarioSet& set,
+                                  const std::vector<cds::CdsOption>& book,
+                                  cds::simd::Level level, std::size_t sample) {
+  cds::BatchPricer::Workspace ws;
+  // Warm the workspace and the curves.
+  (void)naive_scenario(interest, set, 0, book, level, ws);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < sample; ++s) {
+    const auto results = naive_scenario(interest, set, s, book, level, ws);
+    (void)cds::SweepPricer::aggregate_spreads(results);
+  }
+  return seconds_since(t0) / static_cast<double>(sample);
+}
+
+/// Times the full sweep (aggregates only) best-of-3 and returns seconds per
+/// scenario.
+double sweep_seconds_per_scenario(cds::SweepPricer& sweep,
+                                  const cds::ScenarioMatrix& matrix) {
+  std::vector<cds::ScenarioAggregate> aggregates(matrix.count);
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)sweep.sweep(matrix, 0, matrix.count, aggregates);
+    best = std::min(best, seconds_since(t0));
+  }
+  return best / static_cast<double>(matrix.count);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096;
+  const std::size_t n_scenarios =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4096;
+  const std::string out_path =
+      argc > 3 ? argv[3] : "BENCH_scenario_sweep.json";
+
+  const std::size_t knots = 1024;
+  const auto interest = workload::paper_interest_curve(knots);
+  const auto hazard = workload::paper_hazard_curve(knots);
+  const auto active = cds::simd::active_level();
+
+  workload::PortfolioSpec spec;
+  spec.count = n_options;
+  spec.seed = 7;
+  spec.maturity_tenor_grid = {1.0, 3.0, 5.0, 7.0, 10.0};
+  const auto book = workload::make_portfolio(spec);
+  const auto set = workload::mc_hazard_scenarios(hazard, n_scenarios);
+  const auto matrix = set.matrix();
+
+  std::cout << "== scenario sweep vs naive per-scenario loop ("
+            << cds::simd::to_string(active) << ", "
+            << cds::simd::lanes(active) << " lane(s)), " << n_options
+            << " options x " << n_scenarios << " scenarios, " << knots
+            << "-knot curves ==\n\n";
+
+  // --- hard parity gates ----------------------------------------------------
+  // Sampled scenarios, both kernel levels: per-option spreads and the
+  // O(grids) aggregates must be bit-identical to the naive loop.
+  bool bit_identical = true;
+  std::vector<cds::simd::Level> levels = {cds::simd::Level::kScalar};
+  if (active != cds::simd::Level::kScalar) levels.push_back(active);
+  const std::size_t parity_sample = std::min<std::size_t>(n_scenarios, 32);
+  for (const auto level : levels) {
+    cds::SweepPricer sweep(interest, hazard, book, level);
+    std::vector<std::vector<cds::SpreadResult>> sweep_results(n_scenarios);
+    std::vector<cds::ScenarioAggregate> aggregates(n_scenarios);
+    sweep.sweep(matrix, 0, n_scenarios, aggregates,
+                [&](std::size_t s, std::span<const cds::SpreadResult> rs) {
+                  // Keep only the sampled scenarios (stride over the set).
+                  if (s % (n_scenarios / parity_sample + 1) == 0 ||
+                      s < parity_sample) {
+                    sweep_results[s].assign(rs.begin(), rs.end());
+                  }
+                });
+    cds::BatchPricer::Workspace ws;
+    for (std::size_t s = 0; s < n_scenarios; ++s) {
+      if (sweep_results[s].empty()) continue;
+      const auto naive = naive_scenario(interest, set, s, book, level, ws);
+      for (std::size_t i = 0; i < naive.size(); ++i) {
+        if (sweep_results[s][i].spread_bps != naive[i].spread_bps) {
+          std::cerr << "FAIL: sweep spread != naive spread at level "
+                    << cds::simd::to_string(level) << " scenario " << s
+                    << " option " << i << '\n';
+          bit_identical = false;
+        }
+      }
+      const auto scan = cds::SweepPricer::aggregate_spreads(naive);
+      if (aggregates[s].min_spread_bps != scan.min_spread_bps ||
+          aggregates[s].max_spread_bps != scan.max_spread_bps) {
+        std::cerr << "FAIL: O(grids) aggregate != per-option scan at level "
+                  << cds::simd::to_string(level) << " scenario " << s
+                  << '\n';
+        bit_identical = false;
+      }
+      if (!bit_identical) break;
+    }
+    if (!bit_identical) break;
+  }
+
+  // SweepRuntime invariance: worker x shard splits reproduce the
+  // single-pricer aggregates bit-for-bit over the whole set.
+  if (bit_identical) {
+    cds::SweepPricer reference(interest, hazard, book, active);
+    const auto want = reference.sweep(matrix);
+    for (const unsigned workers : {1u, 4u}) {
+      for (const std::size_t shard_size : {std::size_t{0}, std::size_t{17}}) {
+        runtime::SweepRuntimeConfig cfg;
+        cfg.workers = workers;
+        cfg.shard_size = shard_size;
+        cfg.level = active;
+        runtime::SweepRuntime rt(interest, hazard, book, cfg);
+        const auto run = rt.run(matrix);
+        for (std::size_t s = 0; s < n_scenarios; ++s) {
+          if (run.aggregates[s].min_spread_bps != want[s].min_spread_bps ||
+              run.aggregates[s].max_spread_bps != want[s].max_spread_bps) {
+            std::cerr << "FAIL: SweepRuntime aggregates differ at workers "
+                      << workers << " shard " << shard_size << " scenario "
+                      << s << '\n';
+            bit_identical = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::cout << "parity gates: "
+            << (bit_identical ? "bit-identical" : "FAILED") << "\n\n";
+
+  // --- throughput -----------------------------------------------------------
+  const std::size_t naive_sample = std::min<std::size_t>(n_scenarios, 256);
+  const double naive_active =
+      naive_seconds_per_scenario(interest, set, book, active, naive_sample);
+  const double naive_scalar =
+      active == cds::simd::Level::kScalar
+          ? naive_active
+          : naive_seconds_per_scenario(interest, set, book,
+                                       cds::simd::Level::kScalar,
+                                       naive_sample);
+
+  cds::SweepPricer sweep_active(interest, hazard, book, active);
+  const double sweep_active_s = sweep_seconds_per_scenario(sweep_active,
+                                                           matrix);
+  double sweep_scalar_s = sweep_active_s;
+  if (active != cds::simd::Level::kScalar) {
+    cds::SweepPricer sweep_scalar(interest, hazard, book,
+                                  cds::simd::Level::kScalar);
+    sweep_scalar_s = sweep_seconds_per_scenario(sweep_scalar, matrix);
+  }
+
+  const double speedup = naive_active / sweep_active_s;
+  const double speedup_scalar = naive_scalar / sweep_scalar_s;
+
+  std::vector<cds::ScenarioAggregate> agg(n_scenarios);
+  const auto stats = sweep_active.sweep(matrix, 0, n_scenarios, agg);
+
+  report::Table table("Single-thread scenarios/second, naive vs sweep");
+  table.set_columns({"Path", "Level", "Scenarios/s", "Speedup"});
+  table.add_row({"naive loop", cds::simd::to_string(active),
+                 with_thousands(1.0 / naive_active, 0), "1.0x"});
+  table.add_row({"sweep", cds::simd::to_string(active),
+                 with_thousands(1.0 / sweep_active_s, 0),
+                 fixed(speedup, 1) + "x"});
+  table.add_row({"naive loop", "scalar",
+                 with_thousands(1.0 / naive_scalar, 0), "1.0x"});
+  table.add_row({"sweep", "scalar", with_thousands(1.0 / sweep_scalar_s, 0),
+                 fixed(speedup_scalar, 1) + "x"});
+  std::cout << table.render_text() << '\n';
+  std::cout << "book: " << stats.options << " options on "
+            << stats.unique_schedules << " unique schedule(s), "
+            << stats.grid_points << " grid point(s); "
+            << fixed(stats.shared_column_rate() * 100.0, 1)
+            << "% of columns shared across the sweep\n";
+
+  // Multi-lane wall throughput for reference (modelled/wall split as in the
+  // batch runtime).
+  runtime::SweepRuntimeConfig mt_cfg;
+  mt_cfg.workers = 0;  // all cores
+  mt_cfg.level = active;
+  runtime::SweepRuntime mt(interest, hazard, book, mt_cfg);
+  (void)mt.run(matrix);  // warm the lanes' scratch before the timed run
+  const auto mt_run = mt.run(matrix);
+  std::cout << "all-core runtime (" << mt_run.lanes << " lane(s)): "
+            << with_thousands(mt_run.wall_scenarios_per_second, 0)
+            << " scenarios/s wall\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"scenario_sweep\",\n"
+       << "  \"n_options\": " << n_options << ",\n"
+       << "  \"n_scenarios\": " << n_scenarios << ",\n"
+       << "  \"curve_knots\": " << knots << ",\n"
+       << "  \"simd_level\": \"" << cds::simd::to_string(active) << "\",\n"
+       << "  \"lanes\": " << cds::simd::lanes(active) << ",\n"
+       << "  \"unique_schedules\": " << stats.unique_schedules << ",\n"
+       << "  \"grid_points\": " << stats.grid_points << ",\n"
+       << "  \"shared_column_rate\": " << stats.shared_column_rate() << ",\n"
+       << "  \"naive_scenarios_per_second\": " << 1.0 / naive_active << ",\n"
+       << "  \"sweep_scenarios_per_second\": " << 1.0 / sweep_active_s
+       << ",\n"
+       << "  \"single_thread_speedup\": " << speedup << ",\n"
+       << "  \"speedup_scalar_level\": " << speedup_scalar << ",\n"
+       << "  \"mt_lanes\": " << mt_run.lanes << ",\n"
+       << "  \"mt_wall_scenarios_per_second\": "
+       << mt_run.wall_scenarios_per_second << ",\n"
+       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "JSON written to " << out_path << '\n';
+
+  if (!bit_identical) {
+    std::cerr << "FAIL: sweep results are not bit-identical to the naive "
+                 "per-scenario loop\n";
+    return 1;
+  }
+  if (n_options >= 4096 && n_scenarios >= 4096 && speedup < 50.0) {
+    std::cerr << "warning: single-thread sweep speedup " << fixed(speedup, 1)
+              << "x below the 50x acceptance bar at full size\n";
+  }
+  return 0;
+}

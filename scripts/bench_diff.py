@@ -47,6 +47,12 @@ METRICS = {
         ("worst_accuracy_distance", False),
         ("chosen_plan_wall_options_per_second", True),
     ],
+    # Scenario-sweep engine (one book x N scenarios on shared grids) vs the
+    # naive per-scenario BatchPricer loop, single thread at the active level.
+    "BENCH_scenario_sweep.json": [
+        ("single_thread_speedup", True),
+        ("sweep_scenarios_per_second", True),
+    ],
 }
 
 WARN_THRESHOLD = 0.10  # flag drops beyond 10%

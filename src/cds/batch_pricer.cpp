@@ -9,18 +9,8 @@
 
 namespace cdsflow::cds {
 
-namespace {
+namespace detail {
 
-struct LegSums {
-  double premium = 0.0;
-  double accrual = 0.0;
-  double payoff = 0.0;
-};
-
-/// Reduces the three leg sums over already-tabulated columns in exactly the
-/// scalar walk's accumulation order. The vector passes produce columns; this
-/// reduction is what keeps them bit-consistent with the fused scalar walk
-/// whenever the column values themselves agree.
 LegSums reduce_leg_sums(std::span<const TimePoint> points,
                         std::span<const double> discount,
                         std::span<const double> survival) {
@@ -37,19 +27,12 @@ LegSums reduce_leg_sums(std::span<const TimePoint> points,
   return sums;
 }
 
-/// Hoisted from the per-option combine: the annuity is recovery-free, so
-/// one check per grid covers every option on it (same diagnostic as
-/// combine_spread_bps).
-detail::GridSums checked_grid_sums(const LegSums& sums) {
+GridSums checked_grid_sums(const LegSums& sums) {
   const double annuity = sums.premium + sums.accrual;
   CDSFLOW_EXPECT(annuity > 0.0,
                  "risky annuity must be positive to quote a spread");
   return {annuity, sums.payoff};
 }
-
-}  // namespace
-
-namespace detail {
 
 GridSums tabulate_grid(const TermStructure& interest,
                        const HazardPrefix& hazard_prefix,
@@ -198,7 +181,7 @@ BatchStats BatchPricer::build_grids(std::span<const CdsOption> options,
       const std::size_t end = g + 1 < n_grids ? ws.grid_offset[g + 1] : arena;
       // One walk per grid: the default-mass column and the three leg sums,
       // the latter accumulating in exactly the scalar reference's order.
-      LegSums sums;
+      detail::LegSums sums;
       double q_prev = 1.0;  // Q(0)
       for (std::size_t i = begin; i < end; ++i) {
         const double q = ws.survival[i];
@@ -210,7 +193,7 @@ BatchStats BatchPricer::build_grids(std::span<const CdsOption> options,
         sums.payoff += terms.payoff;
         q_prev = q;
       }
-      const detail::GridSums checked = checked_grid_sums(sums);
+      const detail::GridSums checked = detail::checked_grid_sums(sums);
       ws.grid_annuity.push_back(checked.annuity);
       ws.grid_payoff.push_back(checked.payoff);
     }
@@ -375,7 +358,7 @@ BatchRiskStats BatchPricer::price_with_sensitivities(
         const std::size_t end =
             g + 1 < n_grids ? ws.base.grid_offset[g + 1] : arena;
         const std::size_t n = end - begin;
-        store(g, checked_grid_sums(reduce_leg_sums(
+        store(g, detail::checked_grid_sums(detail::reduce_leg_sums(
                      points.subspan(begin, n), discount.subspan(begin, n),
                      survival.subspan(begin, n))));
       }

@@ -134,6 +134,27 @@ GridSums tabulate_grid(const TermStructure& interest,
                        std::span<double> default_mass, bool refresh_discount,
                        simd::Level level = simd::Level::kScalar);
 
+/// The three running leg sums of one grid walk.
+struct LegSums {
+  double premium = 0.0;
+  double accrual = 0.0;
+  double payoff = 0.0;
+};
+
+/// Reduces the three leg sums over already-tabulated columns in exactly the
+/// scalar walk's accumulation order. The vector passes produce columns; this
+/// reduction is what keeps them bit-consistent with the fused scalar walk
+/// whenever the column values themselves agree. Shared by the batch, stream
+/// and scenario-sweep pricers so every engine folds columns identically.
+LegSums reduce_leg_sums(std::span<const TimePoint> points,
+                        std::span<const double> discount,
+                        std::span<const double> survival);
+
+/// Hoisted from the per-option combine: the annuity is recovery-free, so
+/// one check per grid covers every option on it (same diagnostic as
+/// combine_spread_bps).
+GridSums checked_grid_sums(const LegSums& sums);
+
 }  // namespace detail
 
 /// What one batch cost and how much work dedup removed.
@@ -287,14 +308,16 @@ class BatchPricer {
   RiskRun price_with_sensitivities(const std::vector<CdsOption>& options,
                                    const BatchRiskConfig& config = {}) const;
 
- private:
   /// Passes 1-2 of the kernel (dedup + base-grid tabulation), shared by the
-  /// pricing and risk paths. Fills everything in `ws` except grid_of-driven
-  /// combines; returns stats with options / unique_schedules / grid_points
-  /// set (scalar_points is left to the caller's combine loop).
+  /// pricing and risk paths and reused by the scenario sweep (which builds
+  /// the base grids once and re-tabulates only the moved column per
+  /// scenario). Fills everything in `ws` except grid_of-driven combines;
+  /// returns stats with options / unique_schedules / grid_points set
+  /// (scalar_points is left to the caller's combine loop).
   BatchStats build_grids(std::span<const CdsOption> options,
                          Workspace& ws) const;
 
+ private:
   TermStructure interest_;
   TermStructure hazard_;
   HazardPrefix hazard_prefix_;

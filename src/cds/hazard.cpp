@@ -59,8 +59,17 @@ double survival_probability(const TermStructure& hazard, double t) {
 HazardPrefix make_hazard_prefix(const TermStructure& hazard) {
   hazard.validate();
   HazardPrefix prefix;
-  prefix.times = hazard.times();
-  prefix.rates = hazard.values();
+  fill_hazard_prefix(hazard.times(), hazard.values(), prefix);
+  return prefix;
+}
+
+void fill_hazard_prefix(std::span<const double> times,
+                        std::span<const double> rates, HazardPrefix& prefix) {
+  CDSFLOW_ASSERT(times.size() == rates.size(),
+                 "hazard prefix needs times.size() == rates.size()");
+  prefix.times.assign(times.begin(), times.end());
+  prefix.rates.assign(rates.begin(), rates.end());
+  prefix.lambda.clear();
   prefix.lambda.reserve(prefix.times.size());
   // Accumulate full-segment contributions in exactly the in-order scan's
   // association order, so every lambda[j] is the bit pattern the scan
@@ -72,7 +81,6 @@ HazardPrefix make_hazard_prefix(const TermStructure& hazard) {
     prefix.lambda.push_back(acc);
     prev = prefix.times[j];
   }
-  return prefix;
 }
 
 double integrated_hazard_prefix(const HazardPrefix& prefix, double t) {

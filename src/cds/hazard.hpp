@@ -84,6 +84,15 @@ struct HazardPrefix {
 /// Builds the prefix table (O(knots), done once per curve).
 HazardPrefix make_hazard_prefix(const TermStructure& hazard);
 
+/// Rebuilds `prefix` in place from raw knot arrays, reusing its vectors'
+/// capacity (no validation; callers own the curve invariants). The lambda
+/// accumulation order is exactly make_hazard_prefix's, so the result is
+/// bit-identical to building a TermStructure and calling it -- this is the
+/// scenario sweep's per-scenario path, which swaps rate rows against fixed
+/// knot times without re-constructing curve objects.
+void fill_hazard_prefix(std::span<const double> times,
+                        std::span<const double> rates, HazardPrefix& prefix);
+
 /// O(log knots) Lambda(t); bit-identical to integrated_hazard(hazard, t)
 /// for the curve the prefix was built from.
 double integrated_hazard_prefix(const HazardPrefix& prefix, double t);

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cds/legs.hpp"
 #include "cds/vector_kernel_arch.hpp"
 #include "common/error.hpp"
 
@@ -380,6 +381,108 @@ void exp_columns(std::span<const double> xs, std::span<double> out,
   for (std::size_t i = 0; i < xs.size(); ++i) {
     out[i] = std::exp(xs[i]);
   }
+}
+
+void sweep_survival_group(std::span<const double> rates_T,
+                          std::span<const double> knot_dt,
+                          std::span<double> lambda_T,
+                          std::span<const double> point_dt,
+                          std::span<const std::int64_t> base_row,
+                          std::span<const std::int64_t> rate_row,
+                          std::span<double> q_T, Level level) {
+  const Level run = resolve_level(level);
+  const std::size_t w = lanes(run);
+  const std::size_t n_knots = knot_dt.size();
+  const std::size_t n_points = point_dt.size();
+  CDSFLOW_ASSERT(rates_T.size() == n_knots * w &&
+                     lambda_T.size() == (n_knots + 1) * w &&
+                     q_T.size() == n_points * w &&
+                     base_row.size() == n_points &&
+                     rate_row.size() == n_points,
+                 "sweep group spans must match (knots + 1 lambda rows, one "
+                 "q row per point, lane-width scenarios)");
+  // Row 0 is the j == 0 zero base in every lane.
+  for (std::size_t lane = 0; lane < w; ++lane) lambda_T[lane] = 0.0;
+  if (run != Level::kScalar) {
+#if defined(CDSFLOW_HAVE_AVX512)
+    if (run == Level::kAvx512) {
+      detail_avx512::sweep_survival_block(rates_T.data(), n_knots,
+                                          knot_dt.data(), lambda_T.data(),
+                                          point_dt.data(), base_row.data(),
+                                          rate_row.data(), n_points,
+                                          q_T.data());
+    }
+#endif
+#if defined(CDSFLOW_HAVE_AVX2)
+    if (run == Level::kAvx2) {
+      detail_avx2::sweep_survival_block(rates_T.data(), n_knots,
+                                        knot_dt.data(), lambda_T.data(),
+                                        point_dt.data(), base_row.data(),
+                                        rate_row.data(), n_points, q_T.data());
+    }
+#endif
+    return;
+  }
+  // kScalar (w == 1): the reference arithmetic -- make_hazard_prefix's
+  // accumulation, integrated_hazard_prefix's point expression, std::exp --
+  // so the sweep is bit-identical to per-scenario survival_probability_prefix.
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n_knots; ++j) {
+    acc += rates_T[j] * knot_dt[j];
+    lambda_T[j + 1] = acc;
+  }
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double lam =
+        lambda_T[static_cast<std::size_t>(base_row[i])] +
+        rates_T[static_cast<std::size_t>(rate_row[i])] * point_dt[i];
+    q_T[i] = std::exp(-lam);
+  }
+}
+
+void sweep_leg_sums_group(std::span<const double> dts,
+                          std::span<const double> discount,
+                          std::span<const double> q_T,
+                          std::span<double> annuity_out,
+                          std::span<double> payoff_out, Level level) {
+  const Level run = resolve_level(level);
+  const std::size_t w = lanes(run);
+  const std::size_t n = dts.size();
+  CDSFLOW_ASSERT(discount.size() == n && q_T.size() == n * w &&
+                     annuity_out.size() == w && payoff_out.size() == w,
+                 "sweep leg-sum spans must match (one grid, lane-width "
+                 "scenario group)");
+  if (run != Level::kScalar) {
+#if defined(CDSFLOW_HAVE_AVX512)
+    if (run == Level::kAvx512) {
+      detail_avx512::sweep_leg_sums_block(dts.data(), discount.data(),
+                                          q_T.data(), n, annuity_out.data(),
+                                          payoff_out.data());
+    }
+#endif
+#if defined(CDSFLOW_HAVE_AVX2)
+    if (run == Level::kAvx2) {
+      detail_avx2::sweep_leg_sums_block(dts.data(), discount.data(),
+                                        q_T.data(), n, annuity_out.data(),
+                                        payoff_out.data());
+    }
+#endif
+    return;
+  }
+  // kScalar (w == 1): literally reduce_leg_sums' walk, term by term.
+  double premium = 0.0;
+  double accrual = 0.0;
+  double payoff = 0.0;
+  double q_prev = 1.0;  // Q(0)
+  for (std::size_t i = 0; i < n; ++i) {
+    const LegTerms terms =
+        leg_terms_from_discount(discount[i], q_prev, q_T[i], dts[i]);
+    premium += terms.premium;
+    accrual += terms.accrual;
+    payoff += terms.payoff;
+    q_prev = q_T[i];
+  }
+  annuity_out[0] = premium + accrual;
+  payoff_out[0] = payoff;
 }
 
 }  // namespace cdsflow::cds::simd

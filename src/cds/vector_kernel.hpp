@@ -56,6 +56,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "cds/curve.hpp"
@@ -133,5 +134,51 @@ void combine_spreads(std::span<const CdsOption> options,
 /// the precision tests can measure the bound directly.
 void exp_columns(std::span<const double> xs, std::span<double> out,
                  Level level);
+
+/// Scenario-group survival tabulation for the sweep pricer: one group of
+/// exactly W = lanes(resolve_level(level)) scenarios, *scenarios* in the
+/// vector lanes instead of schedule points. All scenarios in a hazard sweep
+/// share the knot times and the schedule, so the segment bracket of every
+/// point is search-free: the caller precomputes, once per sweep,
+///
+///   knot_dt[j]   = tau_j - tau_{j-1}          (tau_{-1} = 0)
+///   base_row[i]  = std::lower_bound index j of point t_i
+///   rate_row[i]  = min(j, n_knots - 1)
+///   point_dt[i]  = t_i - seg_begin_i
+///
+/// and transposes the group's hazard rates into `rates_T` (n_knots rows of
+/// W doubles, scenario-minor). The kernel then accumulates the prefix
+/// lambdas into `lambda_T` ((n_knots + 1) rows of W; row 0 is the zero
+/// base, row n_knots the beyond-last-knot base) in make_hazard_prefix's
+/// exact order and writes q_T[i * W + w] = exp(-(base + rate * dt)) -- per
+/// lane the identical IEEE expression survival_column evaluates, with
+/// exp_pd at vector levels and std::exp at kScalar. Every operation is
+/// lane-wise, so a scenario's column bits depend only on its own rates:
+/// results are invariant under scenario grouping, padding of a partial
+/// final group, sharding and thread count (at a fixed level).
+void sweep_survival_group(std::span<const double> rates_T,
+                          std::span<const double> knot_dt,
+                          std::span<double> lambda_T,
+                          std::span<const double> point_dt,
+                          std::span<const std::int64_t> base_row,
+                          std::span<const std::int64_t> rate_row,
+                          std::span<double> q_T, Level level);
+
+/// Scenario-group leg-sum reduction for the sweep pricer: one grid of
+/// `dts.size()` schedule points, W = lanes(resolve_level(level)) scenarios
+/// abreast. `discount` is the grid's shared discount column, `q_T` the
+/// grid's slice of sweep_survival_group's scenario-minor survival rows, and
+/// the outputs hold one annuity (premium + accrual, checked_grid_sums' add)
+/// and one payoff sum per lane. Per lane this is detail::reduce_leg_sums'
+/// exact serial accumulation -- kScalar literally runs it; vector levels
+/// run the identical plain mul/add expressions lane-wise -- so a scenario's
+/// sums are bit-identical to a one-scenario reduction and invariant under
+/// grouping, sharding and thread count. The annuity positivity check stays
+/// with the caller.
+void sweep_leg_sums_group(std::span<const double> dts,
+                          std::span<const double> discount,
+                          std::span<const double> q_T,
+                          std::span<double> annuity_out,
+                          std::span<double> payoff_out, Level level);
 
 }  // namespace cdsflow::cds::simd

@@ -63,7 +63,7 @@ struct PrefixView {
 
 }  // namespace cdsflow::cds::simd
 
-// Each arch namespace implements the same four kernels (see
+// Each arch namespace implements the same five kernels (see
 // vector_kernel_impl.hpp for the single shared implementation):
 //
 //   survival_column:  q_out[i] = exp(-Lambda(t_i)); ts strided by
@@ -72,7 +72,48 @@ struct PrefixView {
 //   combine_spreads:  spread_out[i * out_stride] from the recovery rates
 //                     (strided AoS doubles), grid ids and grid sums.
 //   exp_columns:      out[i] = exp_pd(xs[i]).
+//   sweep_survival_block: one lane-width group of scenarios at once,
+//                     scenario-major (see the declaration comment below).
+//   sweep_leg_sums_block: the leg-sum reduction of one grid for one
+//                     lane-width group of scenarios (see below).
 
+// sweep_survival_block contract (scenario-sweep fast path, one group of
+// exactly W = lane-width scenarios, scenario-minor within a W-wide row):
+//
+//   rates_T:  n_knots rows of W doubles; rates_T[j*W + w] is scenario w's
+//             hazard rate on knot segment j.
+//   knot_dt:  n_knots scalars; knot_dt[j] = tau_j - tau_{j-1} (tau_{-1}=0),
+//             precomputed by the dispatcher with scalar subtractions.
+//   lambda_T: (n_knots + 1) rows of W doubles, written by the kernel. Row 0
+//             must be pre-zeroed by the caller; row j+1 becomes
+//             Lambda(tau_j) per scenario, accumulated in exactly
+//             make_hazard_prefix's order (plain mul + add, no fma).
+//   base_row / rate_row: per schedule point i, the lambda_T row holding the
+//             point's prefix base (the scalar lower_bound index j; row 0 is
+//             the j==0 zero base, row n_knots the beyond-last-knot base) and
+//             the rates_T row holding its segment rate (min(j, n_knots-1)).
+//   point_dt: per point, t_i - seg_begin_i precomputed scalar.
+//   q_T:      n_points rows of W doubles; q_T[i*W + w] =
+//             exp_pd(-(lambda_base + rate * point_dt)) -- element-wise the
+//             identical IEEE expression integrated_hazard_prefix +
+//             survival_column evaluate, so each scenario's column is
+//             bit-identical to a one-scenario tabulation at the same level.
+//
+// sweep_leg_sums_block contract (one grid x one W-wide scenario group):
+//
+//   dts:      the grid's n_points accrual intervals (TimePoint::dt).
+//   discount: the grid's n_points shared discount column (broadcast -- a
+//             hazard sweep never moves D).
+//   q_T:      n_points rows of W doubles, the grid's slice of the group's
+//             survival columns (scenario-minor, sweep_survival_block's
+//             layout).
+//   annuity_out / payoff_out: W doubles each. Per lane, the kernel runs
+//             reduce_leg_sums' exact serial accumulation -- q_prev starts
+//             at 1, dq = q_prev - q, premium += (d*q)*dt,
+//             accrual += ((0.5*d)*dq)*dt, payoff += d*dq, all plain
+//             mul/add -- then annuity = premium + accrual
+//             (checked_grid_sums' add). Bit-identical per lane to the
+//             scalar walk, so grouping/sharding never moves a sum.
 #if defined(CDSFLOW_HAVE_AVX2)
 namespace cdsflow::cds::simd::detail_avx2 {
 void survival_column(const PrefixView& prefix, const double* ts,
@@ -84,6 +125,15 @@ void combine_spreads(const double* recovery, std::size_t rec_stride,
                      const double* payoff, std::size_t n, double* spread_out,
                      std::size_t out_stride);
 void exp_columns(const double* xs, std::size_t n, double* out);
+void sweep_survival_block(const double* rates_T, std::size_t n_knots,
+                          const double* knot_dt, double* lambda_T,
+                          const double* point_dt,
+                          const std::int64_t* base_row,
+                          const std::int64_t* rate_row, std::size_t n_points,
+                          double* q_T);
+void sweep_leg_sums_block(const double* dts, const double* discount,
+                          const double* q_T, std::size_t n_points,
+                          double* annuity_out, double* payoff_out);
 }  // namespace cdsflow::cds::simd::detail_avx2
 #endif
 
@@ -98,5 +148,14 @@ void combine_spreads(const double* recovery, std::size_t rec_stride,
                      const double* payoff, std::size_t n, double* spread_out,
                      std::size_t out_stride);
 void exp_columns(const double* xs, std::size_t n, double* out);
+void sweep_survival_block(const double* rates_T, std::size_t n_knots,
+                          const double* knot_dt, double* lambda_T,
+                          const double* point_dt,
+                          const std::int64_t* base_row,
+                          const std::int64_t* rate_row, std::size_t n_points,
+                          double* q_T);
+void sweep_leg_sums_block(const double* dts, const double* discount,
+                          const double* q_T, std::size_t n_points,
+                          double* annuity_out, double* payoff_out);
 }  // namespace cdsflow::cds::simd::detail_avx512
 #endif

@@ -441,4 +441,61 @@ void exp_columns(const double* xs, std::size_t n, double* out) {
   }
 }
 
+void sweep_survival_block(const double* rates_T, std::size_t n_knots,
+                          const double* knot_dt, double* lambda_T,
+                          const double* point_dt,
+                          const std::int64_t* base_row,
+                          const std::int64_t* rate_row, std::size_t n_points,
+                          double* q_T) {
+  // Prefix chain, one add per knot for W scenarios at once. Plain mul +
+  // add, never contracted -- make_hazard_prefix's exact accumulation per
+  // lane (knot_dt carries the same scalar subtraction bits).
+  VecD acc = loadu(lambda_T);  // row 0, pre-zeroed by the dispatcher
+  for (std::size_t j = 0; j < n_knots; ++j) {
+    acc = add(acc, mul(loadu(rates_T + j * kW), set1(knot_dt[j])));
+    storeu(lambda_T + (j + 1) * kW, acc);
+  }
+  // Per schedule point: base + rate * dt is integrated_hazard_prefix's
+  // expression with the branch structure resolved into precomputed row
+  // indices (shared across every scenario -- the knot times never move in
+  // a hazard sweep), then the same negate + exp_pd as survival_column.
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const VecD base =
+        loadu(lambda_T + static_cast<std::size_t>(base_row[i]) * kW);
+    const VecD rate =
+        loadu(rates_T + static_cast<std::size_t>(rate_row[i]) * kW);
+    const VecD lam = add(base, mul(rate, set1(point_dt[i])));
+    storeu(q_T + i * kW, exp_pd(negate(lam)));
+  }
+}
+
+void sweep_leg_sums_block(const double* dts, const double* discount,
+                          const double* q_T, std::size_t n_points,
+                          double* annuity_out, double* payoff_out) {
+  // reduce_leg_sums per lane: serial walk over the grid's points with W
+  // scenarios abreast. D and dt are scenario-invariant (broadcast); the
+  // per-point terms are leg_terms_from_discount's expressions in its
+  // association order, plain mul/add, never contracted -- so every lane
+  // reproduces the scalar reduction bit for bit.
+  const VecD half = set1(0.5);
+  VecD premium = set1(0.0);
+  VecD accrual = set1(0.0);
+  VecD payoff = set1(0.0);
+  VecD q_prev = set1(1.0);  // Q(0)
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const VecD d = set1(discount[i]);
+    const VecD dt = set1(dts[i]);
+    const VecD q = loadu(q_T + i * kW);
+    const VecD dq = sub(q_prev, q);
+    premium = add(premium, mul(mul(d, q), dt));
+    accrual = add(accrual, mul(mul(mul(half, d), dq), dt));
+    payoff = add(payoff, mul(d, dq));
+    q_prev = q;
+  }
+  // checked_grid_sums' annuity add; the positivity check stays with the
+  // caller (per lane, with the scalar diagnostic).
+  storeu(annuity_out, add(premium, accrual));
+  storeu(payoff_out, payoff);
+}
+
 }  // namespace cdsflow::cds::simd::CDSFLOW_SIMD_NS

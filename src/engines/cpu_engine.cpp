@@ -16,8 +16,10 @@ CpuEngine::CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
                      CpuEngineConfig config)
     : pricer_(std::move(interest), std::move(hazard)),
       threads_(config.threads),
-      batch_(config.batch_kernel || config.vector_kernel),
-      vector_(config.vector_kernel),
+      batch_(config.batch_kernel || config.vector_kernel ||
+             config.sweep_kernel),
+      vector_(config.vector_kernel || config.sweep_kernel),
+      sweep_(config.sweep_kernel),
       risk_(config.risk_mode) {
   if (threads_ == 0) {
     threads_ = std::max(1u, std::thread::hardware_concurrency());
@@ -42,7 +44,8 @@ CpuEngine::CpuEngine(cds::TermStructure interest, cds::TermStructure hazard,
 }
 
 std::string CpuEngine::name() const {
-  std::string base = vector_ ? "cpu-vec" : batch_ ? "cpu-batch" : "cpu";
+  std::string base =
+      sweep_ ? "cpu-sweep" : vector_ ? "cpu-vec" : batch_ ? "cpu-batch" : "cpu";
   if (risk_) base += "-risk";
   return threads_ == 1 ? base : (base + "-mt" + std::to_string(threads_));
 }
@@ -50,7 +53,8 @@ std::string CpuEngine::name() const {
 std::string CpuEngine::description() const {
   std::string kernel = "scalar reference kernel";
   if (vector_) {
-    kernel = std::string("SIMD batch kernel (") +
+    kernel = std::string(sweep_ ? "scenario-sweep SIMD kernel ("
+                                : "SIMD batch kernel (") +
              cds::simd::to_string(kernel_level_) + ", " +
              std::to_string(cds::simd::lanes(kernel_level_)) + " lane(s))";
   } else if (batch_) {

@@ -59,6 +59,13 @@ struct CpuEngineConfig {
   /// SIMD support -- or under CDSFLOW_SIMD=scalar / -DCDSFLOW_DISABLE_SIMD
   /// -- this degrades to exactly the batch kernel, bit for bit.
   bool vector_kernel = false;
+  /// Registry name "cpu-sweep[...]": the scenario-sweep family
+  /// (cds::SweepPricer / runtime::SweepRuntime). For a plain price() call a
+  /// sweep engine is the vector kernel, bit for bit -- one scenario on the
+  /// base curves IS the batch tabulation -- so the flag only changes the
+  /// name and lets the registry/planner construct, round-trip and probe
+  /// sweep candidates through the standard CPU grammar.
+  bool sweep_kernel = false;
   /// Compute per-option sensitivities (CS01/IR01/Rec01/JTD, plus the CS01
   /// ladder when ladder_edges is set) instead of spreads alone. With the
   /// scalar kernel this loops compute_sensitivities/cs01_ladder per option
@@ -86,6 +93,7 @@ class CpuEngine final : public Engine {
   unsigned threads() const { return threads_; }
   bool batch_kernel() const { return batch_; }
   bool vector_kernel() const { return vector_; }
+  bool sweep_kernel() const { return sweep_; }
   /// The SIMD tier the vector kernel actually runs at (kScalar unless
   /// vector_kernel(); post hardware/CDSFLOW_SIMD clamp).
   cds::simd::Level kernel_level() const { return kernel_level_; }
@@ -122,6 +130,7 @@ class CpuEngine final : public Engine {
   unsigned threads_;
   bool batch_ = false;
   bool vector_ = false;
+  bool sweep_ = false;
   bool risk_ = false;
   cds::simd::Level kernel_level_ = cds::simd::Level::kScalar;
 };

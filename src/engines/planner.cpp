@@ -10,7 +10,9 @@
 #include "engines/registry.hpp"
 #include "fpga/device.hpp"
 #include "runtime/shard.hpp"
+#include "runtime/sweep_runtime.hpp"
 #include "workload/options.hpp"
+#include "workload/scenario.hpp"
 
 namespace cdsflow::engine {
 
@@ -161,6 +163,54 @@ std::vector<BackendCandidate> enumerate_backends(
     threads = {1u};
     if (hw > 1) threads.push_back(hw);
   }
+
+  // Scenario-sweep planning: the probe's n axis is the scenario count (one
+  // fixed book, varying scenario sets), so the candidates are measured here
+  // on SweepRuntime and the option-axis candidates below are skipped --
+  // mixing the two axes in one candidate set would compare incomparable
+  // workloads. Everything downstream (affine fit, plan_runtime's worker x
+  // shard_size expansion) is unchanged: "cpu-sweep" parses as a
+  // single-threaded CPU name, so it scales with runtime worker lanes
+  // exactly like "cpu-vec" does on the option axis.
+  if (config.sweep_mode) {
+    CDSFLOW_EXPECT(config.sweep_probe_options > 0,
+                   "sweep probes need a non-empty book");
+    workload::PortfolioSpec book_spec;
+    book_spec.count = config.sweep_probe_options;
+    book_spec.seed = 20211109;  // fixed: candidates must see identical work
+    const auto book = workload::make_portfolio(book_spec);
+    std::vector<workload::ScenarioSet> probe_sets;
+    probe_sets.reserve(sizes.size());
+    for (const std::size_t size : sizes) {
+      probe_sets.push_back(workload::mc_hazard_scenarios(hazard, size));
+    }
+    for (const unsigned t : threads) {
+      const std::string name = cpu_engine_name(
+          /*batch_kernel=*/false, /*vector_kernel=*/false,
+          /*sweep_kernel=*/true, /*risk_mode=*/false, t);
+      runtime::SweepRuntimeConfig rt_config;
+      rt_config.workers = t;
+      rt_config.level = cds::simd::active_level();
+      runtime::SweepRuntime sweep_runtime(interest, hazard, book, rt_config);
+      std::vector<ProbeMeasurement> measurements;
+      measurements.reserve(sizes.size());
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const cds::ScenarioMatrix matrix = probe_sets[i].matrix();
+        for (unsigned w = 0; w < config.probe_warmup_runs; ++w) {
+          (void)sweep_runtime.run(matrix);  // discarded
+        }
+        double best = std::numeric_limits<double>::infinity();
+        for (unsigned r = 0; r < std::max(1u, config.probe_repeats); ++r) {
+          best = std::min(best, sweep_runtime.run(matrix).wall_seconds);
+        }
+        measurements.push_back({sizes[i], best});
+      }
+      candidates.push_back(fit_backend_model(name, config.cpu_power.watts(t),
+                                             std::move(measurements)));
+    }
+    return candidates;
+  }
+
   for (const unsigned t : threads) {
     std::vector<std::string> names;
     names.push_back(cpu_engine_name(false, config.risk_mode, t));

@@ -145,6 +145,21 @@ struct PlannerConfig {
   /// skip the simulated candidates (they only price). Risk details (bump,
   /// ladder edges) ride in `cpu`.
   bool risk_mode = false;
+  /// Plan the scenario-sweep workload instead of the batch-pricing one:
+  /// enumerate_backends() probes "cpu-sweep[-mtN]" candidates only (a
+  /// runtime::SweepRuntime over a fixed `sweep_probe_options` book, timed
+  /// at each probe size with the warmup + best-of-N protocol), and the
+  /// probe's n axis is the *scenario count* -- probe_sizes, n_options and
+  /// every downstream projection then count scenarios, not options. The
+  /// same affine fit and the unchanged plan_runtime() expansion apply:
+  /// "cpu-sweep" parses as a single-threaded CPU name, so the worker x
+  /// shard_size sweep enumerates scenario-axis sharding plans with zero
+  /// sweep-specific planning logic.
+  bool sweep_mode = false;
+  /// Book size of the sweep probes. The book is held fixed across the
+  /// probe (it is the sweep's amortised setup, the fitted intercept);
+  /// only the scenario count varies.
+  std::size_t sweep_probe_options = 256;
   /// Forwarded to every CPU candidate (and into the planned RuntimeConfig):
   /// risk bump size, ladder edges. batch_kernel/risk_mode/threads are
   /// overridden by each candidate's registry name.

@@ -28,8 +28,9 @@ bool parse_suffix_uint(const std::string& s, const std::string& prefix,
 }  // namespace
 
 bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config) {
-  // CPU family, assembled as "cpu[-batch|-vec][-risk][-mt[N]]": strip the
-  // optional kernel and mode tokens, then parse the thread suffix.
+  // CPU family, assembled as "cpu[-batch|-vec|-sweep][-risk][-mt[N]]":
+  // strip the optional kernel and mode tokens, then parse the thread
+  // suffix.
   CpuEngineConfig cfg = config;
   std::string cpu_name = name;
   const auto strip_token = [&cpu_name](const std::string& prefix) {
@@ -41,6 +42,8 @@ bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config) {
     cfg.batch_kernel = true;
   } else if (strip_token("cpu-vec")) {
     cfg.vector_kernel = true;  // implies batch semantics in CpuEngine
+  } else if (strip_token("cpu-sweep")) {
+    cfg.sweep_kernel = true;  // implies vector semantics in CpuEngine
   }
   if (strip_token("cpu-risk")) cfg.risk_mode = true;
   unsigned n = 0;
@@ -58,9 +61,12 @@ bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config) {
 }
 
 std::string cpu_engine_name(bool batch_kernel, bool vector_kernel,
-                            bool risk_mode, unsigned threads) {
+                            bool sweep_kernel, bool risk_mode,
+                            unsigned threads) {
   std::string name = "cpu";
-  if (vector_kernel) {
+  if (sweep_kernel) {
+    name += "-sweep";
+  } else if (vector_kernel) {
     name += "-vec";
   } else if (batch_kernel) {
     name += "-batch";
@@ -74,10 +80,16 @@ std::string cpu_engine_name(bool batch_kernel, bool vector_kernel,
   return name;
 }
 
+std::string cpu_engine_name(bool batch_kernel, bool vector_kernel,
+                            bool risk_mode, unsigned threads) {
+  return cpu_engine_name(batch_kernel, vector_kernel, /*sweep_kernel=*/false,
+                         risk_mode, threads);
+}
+
 std::string cpu_engine_name(bool batch_kernel, bool risk_mode,
                             unsigned threads) {
-  return cpu_engine_name(batch_kernel, /*vector_kernel=*/false, risk_mode,
-                         threads);
+  return cpu_engine_name(batch_kernel, /*vector_kernel=*/false,
+                         /*sweep_kernel=*/false, risk_mode, threads);
 }
 
 std::unique_ptr<Engine> make_engine(const std::string& name,
@@ -127,14 +139,14 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
     }
   }
   throw Error("unknown engine name '" + name +
-              "'; known: cpu[-batch|-vec][-risk][-mt[N]], xilinx-baseline, "
-              "dataflow, dataflow-interoption, vectorised, multi-N, "
-              "cluster-MxN");
+              "'; known: cpu[-batch|-vec|-sweep][-risk][-mt[N]], "
+              "xilinx-baseline, dataflow, dataflow-interoption, vectorised, "
+              "multi-N, cluster-MxN");
 }
 
 std::vector<std::string> engine_names() {
   return {"cpu",      "cpu-mt",      "cpu-batch", "cpu-batch-mt",
-          "cpu-vec",  "cpu-vec-mt",
+          "cpu-vec",  "cpu-vec-mt",  "cpu-sweep", "cpu-sweep-mt",
           "cpu-risk", "cpu-batch-risk", "cpu-vec-risk",
           "xilinx-baseline", "dataflow", "dataflow-interoption",
           "vectorised", "multi-5"};

@@ -20,6 +20,11 @@
 ///                           (BatchPricer::price_with_sensitivities)
 ///   "cpu-batch-risk-mt[<N>]"  batched risk kernel on all / N threads
 ///   "cpu-vec-risk[-mt[<N>]]"  batched Greeks on the vector kernels
+///   "cpu-sweep[-mt[<N>]]"   scenario-sweep family (cds::SweepPricer /
+///                           runtime::SweepRuntime): the planner probes and
+///                           plans these with the scenario count as the
+///                           workload axis; for a plain price() call the
+///                           engine is "cpu-vec" bit for bit
 ///   "xilinx-baseline"       Vitis library model
 ///   "dataflow"              optimised dataflow, restart per option
 ///   "dataflow-interoption"  free-running dataflow
@@ -27,9 +32,10 @@
 ///   "multi-<N>"             N vectorised engines (e.g. "multi-5")
 ///   "cluster-<M>x<N>"       M cards of N vectorised engines each
 ///
-/// The CPU family name is assembled as "cpu[-batch|-vec][-risk][-mt[N]]":
-/// the optional "-batch" token selects the fast-path kernel, "-vec" the
-/// same kernel on the SIMD lanes, "-risk" switches the run to
+/// The CPU family name is assembled as
+/// "cpu[-batch|-vec|-sweep][-risk][-mt[N]]": the optional "-batch" token
+/// selects the fast-path kernel, "-vec" the same kernel on the SIMD lanes,
+/// "-sweep" the scenario-sweep family, "-risk" switches the run to
 /// sensitivities, "-mt[N]" sets the thread count. Risk-mode details (bump
 /// size, ladder edges) ride in the CpuEngineConfig argument.
 ///
@@ -60,20 +66,27 @@ std::unique_ptr<Engine> make_engine(const std::string& name,
                                     const FpgaEngineConfig& fpga_config = {},
                                     const CpuEngineConfig& cpu_config = {});
 
-/// Parses a "cpu[-batch|-vec][-risk][-mt[N]]" family name into `config`
-/// (batch_kernel / vector_kernel / risk_mode / threads; other fields are
-/// left untouched). Returns false -- leaving `config` unmodified -- when
+/// Parses a "cpu[-batch|-vec|-sweep][-risk][-mt[N]]" family name into
+/// `config` (batch_kernel / vector_kernel / sweep_kernel / risk_mode /
+/// threads; other fields are left untouched). Returns false -- leaving `config` unmodified -- when
 /// `name` is not a CPU-family name. The one home of the CPU name grammar:
 /// make_engine uses it, and the streaming runtime reuses it so
 /// `cdsflow_cli stream` accepts the same engine names (risk mode included)
 /// as the batch commands.
 bool parse_cpu_engine_name(const std::string& name, CpuEngineConfig& config);
 
-/// Assembles the "cpu[-batch|-vec][-risk][-mt[N]]" family name for the
-/// given kernel/mode/thread count -- the inverse of parse_cpu_engine_name
-/// (threads == 1 omits the -mt token, threads == 0 means all hardware
-/// threads, "-mt"; vector_kernel wins over batch_kernel, as in
-/// CpuEngine::name). The planner uses it to build its CPU candidate names.
+/// Assembles the "cpu[-batch|-vec|-sweep][-risk][-mt[N]]" family name for
+/// the given kernel/mode/thread count -- the inverse of
+/// parse_cpu_engine_name (threads == 1 omits the -mt token, threads == 0
+/// means all hardware threads, "-mt"; sweep_kernel wins over vector_kernel
+/// wins over batch_kernel, as in CpuEngine::name). The planner uses it to
+/// build its CPU candidate names.
+std::string cpu_engine_name(bool batch_kernel, bool vector_kernel,
+                            bool sweep_kernel, bool risk_mode,
+                            unsigned threads);
+
+/// Pre-sweep-kernel spelling: the 5-argument form with sweep_kernel =
+/// false.
 std::string cpu_engine_name(bool batch_kernel, bool vector_kernel,
                             bool risk_mode, unsigned threads);
 

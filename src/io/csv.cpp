@@ -185,6 +185,16 @@ void write_stream_batches_csv(const std::string& path,
   }
 }
 
+void write_sweep_aggregates_csv(const std::string& path,
+                                const std::vector<SweepAggregateRow>& rows) {
+  auto out = open_for_write(path);
+  out << "scenario,min_spread_bps,max_spread_bps\n";
+  for (const auto& r : rows) {
+    out << r.scenario << ',' << r.min_spread_bps << ',' << r.max_spread_bps
+        << '\n';
+  }
+}
+
 std::vector<cds::SpreadResult> read_results_csv(const std::string& path) {
   const auto rows = read_rows(path, "id,spread_bps");
   std::vector<cds::SpreadResult> results;

@@ -10,6 +10,8 @@
 ///   quotes:     tenor_years,spread_bps
 ///   stream:     batch,events,lane,pricing_seconds,max_latency_us,
 ///               deadline_misses (per micro-batch trace of a streaming run)
+///   sweep:      scenario,min_spread_bps,max_spread_bps (per-scenario
+///               aggregates of a scenario sweep, in scenario order)
 ///
 /// Readers validate structure eagerly (header, field counts, numeric
 /// parses, curve monotonicity / option ranges) and report the offending
@@ -67,6 +69,18 @@ struct StreamBatchRow {
 };
 void write_stream_batches_csv(const std::string& path,
                               const std::vector<StreamBatchRow>& rows);
+
+// --- scenario-sweep aggregates ------------------------------------------------
+/// One row per scenario: index plus the book's min/max par spread under
+/// that scenario. A plain row struct so io stays independent of the cds
+/// sweep layer; the CLI converts cds::ScenarioAggregate records into these.
+struct SweepAggregateRow {
+  std::size_t scenario = 0;
+  double min_spread_bps = 0.0;
+  double max_spread_bps = 0.0;
+};
+void write_sweep_aggregates_csv(const std::string& path,
+                                const std::vector<SweepAggregateRow>& rows);
 
 // --- spread quotes (bootstrapping input) ----------------------------------------
 void write_quotes_csv(const std::string& path,

@@ -1,5 +1,10 @@
 #include "workload/scenario.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
 #include "workload/curves.hpp"
 #include "workload/options.hpp"
 
@@ -59,7 +64,13 @@ Scenario stressed_scenario(std::size_t n_options, std::uint64_t seed) {
   interest.base_rate = 0.045;
   interest.shape = CurveShape::kStressed;
   interest.seed = 17;
-  CurveSpec hazard = interest;
+  // Built explicitly rather than copied from the interest spec: the hazard
+  // curve's geometry is its own contract, not an accident of whatever the
+  // interest spec happens to hold (a copy silently re-shapes the hazard
+  // curve whenever someone tunes the interest spec above).
+  CurveSpec hazard;
+  hazard.points = 1024;
+  hazard.span_years = 30.0;
   hazard.base_rate = 0.09;
   hazard.shape = CurveShape::kStressed;
   hazard.seed = 19;
@@ -76,6 +87,190 @@ Scenario stressed_scenario(std::size_t n_options, std::uint64_t seed) {
   spec.seed = seed;
   s.options = make_portfolio(spec);
   return s;
+}
+
+namespace {
+
+/// Hazard rates must stay positive for the scenarios to be priceable (the
+/// annuity check fires otherwise, exactly as it would for a degenerate
+/// market curve); interest rates may go negative, so only hazard rows are
+/// floored.
+constexpr double kMinHazardRate = 1e-8;
+constexpr double kBasisPoint = 1e-4;
+
+std::vector<double> copy_times(const cds::TermStructure& curve) {
+  return curve.times();
+}
+
+}  // namespace
+
+cds::ScenarioMatrix ScenarioSet::matrix() const {
+  cds::ScenarioMatrix m;
+  m.kind = kind;
+  m.count = count;
+  m.hazard_values = hazard_values;
+  m.rate_values = rate_values;
+  return m;
+}
+
+cds::TermStructure ScenarioSet::hazard_curve(std::size_t s) const {
+  CDSFLOW_EXPECT(s < count && !hazard_times.empty(),
+                 "scenario set has no hazard row for this index");
+  const std::size_t n = hazard_times.size();
+  return cds::TermStructure(
+      hazard_times, std::vector<double>(hazard_values.begin() + s * n,
+                                        hazard_values.begin() + (s + 1) * n));
+}
+
+cds::TermStructure ScenarioSet::rate_curve(std::size_t s) const {
+  CDSFLOW_EXPECT(s < count && !rate_times.empty(),
+                 "scenario set has no rate row for this index");
+  const std::size_t n = rate_times.size();
+  return cds::TermStructure(
+      rate_times, std::vector<double>(rate_values.begin() + s * n,
+                                      rate_values.begin() + (s + 1) * n));
+}
+
+ScenarioSet parallel_stress_scenarios(const cds::TermStructure& hazard,
+                                      std::size_t count, double max_shock_bp) {
+  CDSFLOW_EXPECT(count >= 1, "scenario set needs at least one scenario");
+  ScenarioSet set;
+  set.name = "parallel-stress";
+  set.kind = cds::ScenarioKind::kHazard;
+  set.count = count;
+  set.hazard_times = copy_times(hazard);
+  const std::vector<double>& base = hazard.values();
+  const std::size_t n = base.size();
+  set.hazard_values.resize(count * n);
+  for (std::size_t s = 0; s < count; ++s) {
+    // Evenly spaced ladder over [-max, +max]; a single scenario sits at 0.
+    const double frac =
+        count == 1 ? 0.0
+                   : 2.0 * static_cast<double>(s) /
+                             static_cast<double>(count - 1) -
+                         1.0;
+    const double shock = frac * max_shock_bp * kBasisPoint;
+    for (std::size_t j = 0; j < n; ++j) {
+      set.hazard_values[s * n + j] = std::max(base[j] + shock, kMinHazardRate);
+    }
+  }
+  return set;
+}
+
+ScenarioSet bucketed_stress_scenarios(const cds::TermStructure& hazard,
+                                      std::size_t buckets, double shock_bp) {
+  CDSFLOW_EXPECT(buckets >= 1 && buckets <= hazard.size(),
+                 "bucket count must be in [1, knots]");
+  ScenarioSet set;
+  set.name = "bucketed-stress";
+  set.kind = cds::ScenarioKind::kHazard;
+  set.count = 2 * buckets;
+  set.hazard_times = copy_times(hazard);
+  const std::vector<double>& base = hazard.values();
+  const std::size_t n = base.size();
+  const double shock = shock_bp * kBasisPoint;
+  set.hazard_values.resize(set.count * n);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * n / buckets;
+    const std::size_t hi = (b + 1) * n / buckets;
+    for (unsigned dir = 0; dir < 2; ++dir) {
+      const std::size_t s = 2 * b + dir;
+      const double signed_shock = dir == 0 ? shock : -shock;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double bump = (j >= lo && j < hi) ? signed_shock : 0.0;
+        set.hazard_values[s * n + j] =
+            std::max(base[j] + bump, kMinHazardRate);
+      }
+    }
+  }
+  return set;
+}
+
+ScenarioSet replay_scenarios(const cds::TermStructure& interest,
+                             std::size_t count, double step_bp,
+                             std::uint64_t seed) {
+  CDSFLOW_EXPECT(count >= 1, "scenario set needs at least one scenario");
+  ScenarioSet set;
+  set.name = "replay";
+  set.kind = cds::ScenarioKind::kRate;
+  set.count = count;
+  set.rate_times = copy_times(interest);
+  const std::size_t n = interest.size();
+  set.rate_values.resize(count * n);
+  // A curve *sequence*: each state walks from the previous one, scenario
+  // s's innovations drawn from an independent child stream so the matrix
+  // is a pure function of (curve, count, step_bp, seed).
+  const Rng master(seed);
+  std::vector<double> state = interest.values();
+  for (std::size_t s = 0; s < count; ++s) {
+    Rng rng = master.split(s);
+    for (std::size_t j = 0; j < n; ++j) {
+      state[j] += rng.normal(0.0, step_bp * kBasisPoint);
+      set.rate_values[s * n + j] = state[j];
+    }
+  }
+  return set;
+}
+
+ScenarioSet mc_hazard_scenarios(const cds::TermStructure& hazard,
+                                std::size_t count, double vol,
+                                std::uint64_t seed) {
+  CDSFLOW_EXPECT(count >= 1, "scenario set needs at least one scenario");
+  ScenarioSet set;
+  set.name = "mc-hazard";
+  set.kind = cds::ScenarioKind::kHazard;
+  set.count = count;
+  set.hazard_times = copy_times(hazard);
+  const std::vector<double>& base = hazard.values();
+  const std::size_t n = base.size();
+  set.hazard_values.resize(count * n);
+  const Rng master(seed);
+  for (std::size_t s = 0; s < count; ++s) {
+    // Each path owns an independent child stream: rows do not depend on
+    // each other, so any sharding of the *generation* (were it ever
+    // parallelised) or of the sweep reproduces identical bits.
+    Rng rng = master.split(s);
+    for (std::size_t j = 0; j < n; ++j) {
+      set.hazard_values[s * n + j] =
+          std::max(base[j] * std::exp(vol * rng.normal()), kMinHazardRate);
+    }
+  }
+  return set;
+}
+
+ScenarioSet joint_stress_scenarios(const cds::TermStructure& interest,
+                                   const cds::TermStructure& hazard,
+                                   std::size_t count, double max_shock_bp) {
+  CDSFLOW_EXPECT(count >= 1, "scenario set needs at least one scenario");
+  ScenarioSet set;
+  set.name = "joint-stress";
+  set.kind = cds::ScenarioKind::kJoint;
+  set.count = count;
+  set.hazard_times = copy_times(hazard);
+  set.rate_times = copy_times(interest);
+  const std::vector<double>& hz = hazard.values();
+  const std::vector<double>& ir = interest.values();
+  const std::size_t nh = hz.size();
+  const std::size_t nr = ir.size();
+  set.hazard_values.resize(count * nh);
+  set.rate_values.resize(count * nr);
+  for (std::size_t s = 0; s < count; ++s) {
+    const double frac =
+        count == 1 ? 0.0
+                   : 2.0 * static_cast<double>(s) /
+                             static_cast<double>(count - 1) -
+                         1.0;
+    const double shock = frac * max_shock_bp * kBasisPoint;
+    for (std::size_t j = 0; j < nh; ++j) {
+      set.hazard_values[s * nh + j] = std::max(hz[j] + shock, kMinHazardRate);
+    }
+    // Credit stress co-moves rates the other way at a fraction of the
+    // credit shock (flight-to-quality direction).
+    for (std::size_t j = 0; j < nr; ++j) {
+      set.rate_values[s * nr + j] = ir[j] - 0.25 * shock;
+    }
+  }
+  return set;
 }
 
 }  // namespace cdsflow::workload

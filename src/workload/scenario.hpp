@@ -1,9 +1,20 @@
 /// \file scenario.hpp
-/// Named end-to-end workloads: curves + portfolio + description.
+/// Named end-to-end workloads: curves + portfolio + description -- plus
+/// generated *scenario sets* for the sweep engine (one book x N scenarios).
 ///
 /// `paper_scenario` is the workload every table/figure bench runs: 1024
 /// interest and 1024 hazard rates (paper Sec. II-B) with the calibrated
 /// option mix. Other scenarios feed the examples and property tests.
+///
+/// A `ScenarioSet` is N perturbed copies of a base curve's knot *values*
+/// on the base curve's fixed knot times, stored scenario-major (row s =
+/// scenario s) -- exactly the `cds::ScenarioMatrix` layout the sweep
+/// pricer consumes. Generation is bit-deterministic: every generator is a
+/// pure function of (base curve, parameters, seed), scenario s's random
+/// draws come from `Rng(seed).split(s)` where randomness is involved, and
+/// generation always runs on the calling thread -- so the same seed yields
+/// the identical matrix regardless of run, platform or how many workers
+/// later shard the sweep (tested in test_workload).
 
 #pragma once
 
@@ -12,6 +23,7 @@
 #include <vector>
 
 #include "cds/curve.hpp"
+#include "cds/sweep_pricer.hpp"
 #include "cds/types.hpp"
 
 namespace cdsflow::workload {
@@ -36,5 +48,66 @@ Scenario smoke_scenario(std::size_t n_options = 16, std::uint64_t seed = 7);
 /// frequencies including monthly).
 Scenario stressed_scenario(std::size_t n_options = 256,
                            std::uint64_t seed = 1234);
+
+// --- scenario sets (the sweep engine's N axis) -----------------------------
+
+/// N scenarios over fixed base knots, scenario-major. Owns its storage;
+/// matrix() is the borrowed view the sweep pricer takes (valid while the
+/// set is alive and unmodified).
+struct ScenarioSet {
+  std::string name;
+  cds::ScenarioKind kind = cds::ScenarioKind::kHazard;
+  std::size_t count = 0;
+  /// Base knot times, copied from the source curves (empty when the kind
+  /// does not move that curve).
+  std::vector<double> hazard_times;
+  std::vector<double> rate_times;
+  /// count x knots row-major values (empty when the kind does not move
+  /// that curve).
+  std::vector<double> hazard_values;
+  std::vector<double> rate_values;
+
+  cds::ScenarioMatrix matrix() const;
+  /// Materialises scenario s's curve(s) -- the naive comparator's input.
+  cds::TermStructure hazard_curve(std::size_t s) const;
+  cds::TermStructure rate_curve(std::size_t s) const;
+};
+
+/// Parallel stress ladder: `count` hazard scenarios shifting every knot by
+/// an evenly spaced shock in [-max_shock_bp, +max_shock_bp] basis points
+/// (scenario 0 the most negative, the last the most positive; rates are
+/// floored at a small positive value so every scenario stays priceable).
+ScenarioSet parallel_stress_scenarios(const cds::TermStructure& hazard,
+                                      std::size_t count, double max_shock_bp);
+
+/// Bucketed stress grid: the knot index range split into `buckets`
+/// contiguous buckets, each shocked up and down by `shock_bp` basis points
+/// in turn -- 2 * buckets hazard scenarios (up before down, front bucket
+/// first), the sweep-scale analogue of the CS01 ladder's bumped curves.
+ScenarioSet bucketed_stress_scenarios(const cds::TermStructure& hazard,
+                                      std::size_t buckets, double shock_bp);
+
+/// Historical-replay stand-in: a sequence of `count` interest-curve states
+/// following a deterministic per-knot random walk from the base curve
+/// (scenario s's steps drawn from Rng(seed).split(s), walk accumulated in
+/// scenario order). Rate scenarios: the D column re-tabulates, Q is shared.
+ScenarioSet replay_scenarios(const cds::TermStructure& interest,
+                             std::size_t count, double step_bp = 2.0,
+                             std::uint64_t seed = 97);
+
+/// Deterministic Monte-Carlo hazard paths: each scenario applies an
+/// independent multiplicative lognormal shock exp(vol * z_j) per knot,
+/// z drawn from Rng(seed).split(s) -- scenarios are independent of each
+/// other, so any subset or ordering reproduces the same rows.
+ScenarioSet mc_hazard_scenarios(const cds::TermStructure& hazard,
+                                std::size_t count, double vol = 0.25,
+                                std::uint64_t seed = 4242);
+
+/// Joint stress ladder: like parallel_stress_scenarios but shifting both
+/// curves (hazard by the ladder shock, interest by a quarter of it) --
+/// both columns re-tabulate per scenario.
+ScenarioSet joint_stress_scenarios(const cds::TermStructure& interest,
+                                   const cds::TermStructure& hazard,
+                                   std::size_t count, double max_shock_bp);
 
 }  // namespace cdsflow::workload

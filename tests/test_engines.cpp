@@ -90,6 +90,41 @@ TEST(Registry, CpuEngineNameRoundTripsThroughParse) {
   EXPECT_EQ(cpu_engine_name(true, true, 8), "cpu-batch-risk-mt8");
 }
 
+TEST(Registry, SweepEngineNameRoundTripsThroughParse) {
+  for (const unsigned threads : {0u, 1u, 2u, 24u}) {
+    const std::string name =
+        cpu_engine_name(/*batch_kernel=*/false, /*vector_kernel=*/false,
+                        /*sweep_kernel=*/true, /*risk_mode=*/false, threads);
+    CpuEngineConfig config;
+    ASSERT_TRUE(parse_cpu_engine_name(name, config)) << name;
+    EXPECT_TRUE(config.sweep_kernel) << name;
+    EXPECT_FALSE(config.batch_kernel) << name;
+    EXPECT_FALSE(config.vector_kernel) << name;
+    EXPECT_EQ(config.threads, threads) << name;
+  }
+  EXPECT_EQ(cpu_engine_name(false, false, true, false, 1), "cpu-sweep");
+  EXPECT_EQ(cpu_engine_name(false, false, true, false, 0), "cpu-sweep-mt");
+  EXPECT_EQ(cpu_engine_name(false, false, true, false, 8), "cpu-sweep-mt8");
+}
+
+TEST(Registry, SweepEngineConstructsAndPricesLikeVec) {
+  // For a plain price() call the sweep engine IS the vector kernel: one
+  // scenario on the base curves is exactly the batch tabulation. The
+  // registry must construct it, report the sweep name, and reproduce
+  // cpu-vec bit for bit.
+  const auto s = workload::smoke_scenario(24);
+  const auto sweep =
+      engine::make_engine("cpu-sweep", s.interest, s.hazard);
+  EXPECT_EQ(sweep->name(), "cpu-sweep");
+  const auto vec = engine::make_engine("cpu-vec", s.interest, s.hazard);
+  const auto a = sweep->price(s.options);
+  const auto b = vec->price(s.options);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].spread_bps, b.results[i].spread_bps) << i;
+  }
+}
+
 // --- Xilinx baseline -------------------------------------------------------------
 
 TEST_F(EnginesFixture, BaselineMatchesGoldenExactly) {

@@ -402,6 +402,55 @@ TEST(Planner, EnumerateRiskModeProbesRiskEnginesOnly) {
   EXPECT_EQ(candidates[1].engine_name, "cpu-batch-risk");
 }
 
+TEST(Planner, EnumerateSweepModeProbesSweepCandidatesOnly) {
+  const auto scenario = workload::smoke_scenario(4);
+  PlannerConfig config;
+  config.probe_sizes = {16, 48};  // scenario counts, not option counts
+  config.probe_warmup_runs = 1;
+  config.probe_repeats = 1;
+  config.cpu_thread_counts = {1, 2};
+  config.sweep_mode = true;
+  config.sweep_probe_options = 32;
+  const auto candidates =
+      enumerate_backends(scenario.interest, scenario.hazard, config);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].engine_name, "cpu-sweep");
+  EXPECT_EQ(candidates[1].engine_name, "cpu-sweep-mt2");
+  for (const auto& c : candidates) {
+    EXPECT_GT(c.options_per_second, 0.0) << c.engine_name;  // scenarios/s
+    EXPECT_GE(c.setup_seconds, 0.0) << c.engine_name;
+    ASSERT_EQ(c.probes.size(), 2u) << c.engine_name;
+    EXPECT_EQ(c.probes[0].n_options, 16u);  // n axis = scenario count
+    EXPECT_EQ(c.probes[1].n_options, 48u);
+    EXPECT_GT(c.probes[0].seconds, 0.0);
+  }
+}
+
+TEST(Planner, PlanRuntimeExpandsSweepCandidatesUnchanged) {
+  // "cpu-sweep" parses as a single-threaded CPU family name, so the
+  // standard plan_runtime expansion sweeps workers x shard_size over the
+  // scenario axis with zero sweep-specific planning logic.
+  const std::vector<BackendCandidate> candidates = {
+      make_candidate("cpu-sweep", 60.0, 50'000.0, 1e-3)};
+  BatchRequirements req;
+  req.n_options = 100'000;  // scenarios, in sweep mode
+  req.deadline_seconds = 10.0;
+  PlannerConfig config;
+  config.sweep_mode = true;
+  config.worker_counts = {1, 4};
+  const auto entries = plan_runtime(candidates, req, config);
+  ASSERT_FALSE(entries.empty());
+  bool saw_multi_worker = false;
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.config.engine, "cpu-sweep");
+    saw_multi_worker = saw_multi_worker || e.config.workers == 4;
+  }
+  EXPECT_TRUE(saw_multi_worker);
+  const auto best = best_runtime_plan(entries);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_TRUE(best->meets_deadline);
+}
+
 TEST(Planner, EnumerateRejectsTinyProbe) {
   const auto scenario = workload::smoke_scenario(4);
   PlannerConfig config;

@@ -212,5 +212,106 @@ TEST(Scenario, SeedChangesOptionsNotCurves) {
   EXPECT_NE(a.options[0].maturity_years, b.options[0].maturity_years);
 }
 
+TEST(Scenario, StressedHazardSpecIsIndependentOfInterestSpec) {
+  // The hazard curve is built from its own explicit CurveSpec, not a copy
+  // of the interest spec: both are stressed-shape (inverted), but the
+  // hazard sits at the elevated 9% base with its own seed, so the two
+  // curves must differ everywhere rather than being a level-shifted clone.
+  const auto s = stressed_scenario(8);
+  EXPECT_EQ(s.interest.size(), s.hazard.size());
+  EXPECT_GT(s.hazard.value(0), 2.0 * s.interest.value(0));
+  const double gap0 = s.hazard.value(0) - s.interest.value(0);
+  const double gap_mid = s.hazard.value(s.hazard.size() / 2) -
+                         s.interest.value(s.interest.size() / 2);
+  EXPECT_NE(gap0, gap_mid);  // different seeds: not a parallel shift
+}
+
+// --- scenario sets ---------------------------------------------------------------
+
+TEST(ScenarioSets, GeneratorsAreBitDeterministic) {
+  const auto interest = paper_interest_curve(64);
+  const auto hazard = paper_hazard_curve(64);
+  const auto expect_same = [](const ScenarioSet& a, const ScenarioSet& b) {
+    ASSERT_EQ(a.count, b.count);
+    ASSERT_EQ(a.hazard_values.size(), b.hazard_values.size());
+    ASSERT_EQ(a.rate_values.size(), b.rate_values.size());
+    for (std::size_t i = 0; i < a.hazard_values.size(); ++i) {
+      EXPECT_EQ(a.hazard_values[i], b.hazard_values[i]) << i;
+    }
+    for (std::size_t i = 0; i < a.rate_values.size(); ++i) {
+      EXPECT_EQ(a.rate_values[i], b.rate_values[i]) << i;
+    }
+  };
+  expect_same(parallel_stress_scenarios(hazard, 9, 100.0),
+              parallel_stress_scenarios(hazard, 9, 100.0));
+  expect_same(bucketed_stress_scenarios(hazard, 4, 25.0),
+              bucketed_stress_scenarios(hazard, 4, 25.0));
+  expect_same(replay_scenarios(interest, 7, 2.0, 11),
+              replay_scenarios(interest, 7, 2.0, 11));
+  expect_same(mc_hazard_scenarios(hazard, 7, 0.25, 11),
+              mc_hazard_scenarios(hazard, 7, 0.25, 11));
+  expect_same(joint_stress_scenarios(interest, hazard, 7, 50.0),
+              joint_stress_scenarios(interest, hazard, 7, 50.0));
+}
+
+TEST(ScenarioSets, McRowsAreIndependentOfCount) {
+  // Each path draws from Rng(seed).split(s): generating more scenarios
+  // must not change the earlier rows.
+  const auto hazard = paper_hazard_curve(32);
+  const auto small = mc_hazard_scenarios(hazard, 3, 0.25, 5);
+  const auto big = mc_hazard_scenarios(hazard, 12, 0.25, 5);
+  for (std::size_t i = 0; i < small.hazard_values.size(); ++i) {
+    EXPECT_EQ(small.hazard_values[i], big.hazard_values[i]) << i;
+  }
+}
+
+TEST(ScenarioSets, ShapesAndKinds) {
+  const auto interest = paper_interest_curve(32);
+  const auto hazard = paper_hazard_curve(48);
+
+  const auto ladder = parallel_stress_scenarios(hazard, 5, 100.0);
+  EXPECT_EQ(ladder.kind, cds::ScenarioKind::kHazard);
+  EXPECT_EQ(ladder.hazard_values.size(), 5u * 48u);
+  EXPECT_TRUE(ladder.rate_values.empty());
+  // Middle rung of an odd ladder is the unshocked base curve.
+  for (std::size_t j = 0; j < 48; ++j) {
+    EXPECT_EQ(ladder.hazard_values[2 * 48 + j], hazard.value(j)) << j;
+  }
+
+  const auto buckets = bucketed_stress_scenarios(hazard, 6, 25.0);
+  EXPECT_EQ(buckets.count, 12u);
+
+  const auto replay = replay_scenarios(interest, 4);
+  EXPECT_EQ(replay.kind, cds::ScenarioKind::kRate);
+  EXPECT_EQ(replay.rate_values.size(), 4u * 32u);
+  EXPECT_TRUE(replay.hazard_values.empty());
+
+  const auto joint = joint_stress_scenarios(interest, hazard, 4, 50.0);
+  EXPECT_EQ(joint.kind, cds::ScenarioKind::kJoint);
+  EXPECT_EQ(joint.hazard_values.size(), 4u * 48u);
+  EXPECT_EQ(joint.rate_values.size(), 4u * 32u);
+
+  // Row materialisation round-trips the stored values.
+  const auto curve = joint.hazard_curve(2);
+  for (std::size_t j = 0; j < 48; ++j) {
+    EXPECT_EQ(curve.value(j), joint.hazard_values[2 * 48 + j]);
+  }
+
+  EXPECT_THROW(parallel_stress_scenarios(hazard, 0, 10.0), Error);
+  EXPECT_THROW(bucketed_stress_scenarios(hazard, 0, 10.0), Error);
+  EXPECT_THROW(bucketed_stress_scenarios(hazard, 49, 10.0), Error);
+  EXPECT_THROW(replay.hazard_curve(0), Error);
+  EXPECT_THROW(joint.rate_curve(4), Error);
+}
+
+TEST(ScenarioSets, HazardValuesStayPositive) {
+  const auto hazard = paper_hazard_curve(32);
+  // A shock far below the curve level floors at the minimum positive rate.
+  const auto set = parallel_stress_scenarios(hazard, 3, 1e6);
+  for (std::size_t j = 0; j < 32; ++j) {
+    EXPECT_GT(set.hazard_values[j], 0.0) << j;  // scenario 0: -1e6 bp
+  }
+}
+
 }  // namespace
 }  // namespace cdsflow::workload

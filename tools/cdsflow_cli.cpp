@@ -58,6 +58,24 @@
 /// the modelled/wall throughput split. An engine name carrying "-risk"
 /// streams per-option Greeks instead of spreads alone.
 ///
+///   cdsflow_cli sweep [--scenarios N] [--kind hazard|mc|rate|joint]
+///                     [--shock-bp B] [--count N] [--seed S]
+///                     [--tenors 1,3,5,7,10] [--workers N] [--shard-size S]
+///                     [--curve-interest f.csv] [--curve-hazard f.csv]
+///                     [--portfolio book.csv] [--out aggregates.csv]
+///
+/// `sweep` prices ONE book under `--scenarios` perturbed market states on
+/// the scenario-sweep engine (cds/sweep_pricer.hpp): the book is
+/// deduplicated and its grids tabulated once, then each scenario
+/// re-tabulates only the column its kind moves (hazard kinds the survival
+/// column, "rate" the discount column, "joint" both). --kind selects the
+/// generator: "hazard" a parallel stress ladder over +-`--shock-bp` basis
+/// points, "mc" deterministic lognormal Monte-Carlo hazard paths, "rate" a
+/// historical-replay random walk of the interest curve, "joint" the
+/// two-sided stress ladder. --workers shards the scenario axis across
+/// SweepPricer replicas (results bit-identical for any worker/shard
+/// split); --out writes the per-scenario min/max spread aggregates as CSV.
+///
 ///   cdsflow_cli bootstrap --quotes quotes.csv [--out hazard.csv]
 ///   cdsflow_cli engines
 ///   cdsflow_cli device [--engines N] [--lanes L]
@@ -81,9 +99,11 @@
 #include "io/csv.hpp"
 #include "runtime/portfolio_runtime.hpp"
 #include "runtime/stream_runtime.hpp"
+#include "runtime/sweep_runtime.hpp"
 #include "workload/curves.hpp"
 #include "workload/feed.hpp"
 #include "workload/options.hpp"
+#include "workload/scenario.hpp"
 
 namespace {
 
@@ -528,6 +548,102 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+int cmd_sweep(const Args& args) {
+  const auto [interest, hazard] = load_curves(args);
+
+  std::vector<cds::CdsOption> book;
+  if (args.get("portfolio")) {
+    book = io::read_portfolio_csv(*args.get("portfolio"));
+  } else {
+    workload::PortfolioSpec spec;
+    spec.count = static_cast<std::size_t>(args.get_long_or("count", 4096));
+    spec.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 42));
+    if (args.get("tenors")) {
+      // Standard-tenor quoting: few unique schedules, maximal dedup -- the
+      // book shape the sweep amortises best.
+      spec.maturity_tenor_grid = parse_edge_list(*args.get("tenors"),
+                                                 "--tenors");
+    }
+    book = workload::make_portfolio(spec);
+  }
+
+  const long n_scenarios = args.get_long_or("scenarios", 4096);
+  CDSFLOW_EXPECT(n_scenarios > 0, "--scenarios must be > 0");
+  const double shock_bp = args.get_double_or("shock-bp", 100.0);
+  CDSFLOW_EXPECT(shock_bp > 0.0, "--shock-bp must be > 0");
+  const std::string kind = args.get_or("kind", "hazard");
+  workload::ScenarioSet set;
+  if (kind == "hazard") {
+    set = workload::parallel_stress_scenarios(
+        hazard, static_cast<std::size_t>(n_scenarios), shock_bp);
+  } else if (kind == "mc") {
+    set = workload::mc_hazard_scenarios(
+        hazard, static_cast<std::size_t>(n_scenarios));
+  } else if (kind == "rate") {
+    set = workload::replay_scenarios(interest,
+                                     static_cast<std::size_t>(n_scenarios));
+  } else if (kind == "joint") {
+    set = workload::joint_stress_scenarios(
+        interest, hazard, static_cast<std::size_t>(n_scenarios), shock_bp);
+  } else {
+    throw Error("--kind must be hazard, mc, rate or joint (got '" + kind +
+                "')");
+  }
+
+  runtime::SweepRuntimeConfig cfg;
+  const long workers = args.get_long_or("workers", 1);
+  CDSFLOW_EXPECT(workers >= 0, "--workers must be >= 0 (0 = all cores)");
+  cfg.workers = static_cast<unsigned>(workers);
+  const long shard_size = args.get_long_or("shard-size", 0);
+  CDSFLOW_EXPECT(shard_size >= 0, "--shard-size must be >= 0 (0 = auto)");
+  cfg.shard_size = static_cast<std::size_t>(shard_size);
+  cfg.level = cds::simd::active_level();
+
+  runtime::SweepRuntime rt(interest, hazard, book, cfg);
+  const auto run = rt.run(set.matrix());
+
+  std::cout << "scenario sweep: " << set.name << " (" << to_string(set.kind)
+            << "), " << run.stats.scenarios << " scenario(s) x "
+            << run.stats.options << " option(s) on "
+            << run.stats.unique_schedules << " unique schedule(s) ("
+            << run.stats.grid_points << " grid point(s))\n"
+            << "runtime: " << run.lanes << " lane(s), " << run.shards.size()
+            << " shard(s) of <= " << run.shard_size << " scenario(s), SIMD "
+            << cds::simd::to_string(cfg.level) << "\n"
+            << "columns: " << run.stats.retabulated_columns
+            << " re-tabulated, " << run.stats.shared_columns << " shared ("
+            << fixed(run.stats.shared_column_rate() * 100.0, 1)
+            << "% shared)\n"
+            << "modelled throughput: "
+            << with_thousands(run.modelled_scenarios_per_second, 2)
+            << " scenarios/s\nwall throughput: "
+            << with_thousands(run.wall_scenarios_per_second, 2)
+            << " scenarios/s\n";
+
+  if (args.get("out")) {
+    std::vector<io::SweepAggregateRow> rows;
+    rows.reserve(run.aggregates.size());
+    for (std::size_t s = 0; s < run.aggregates.size(); ++s) {
+      rows.push_back({s, run.aggregates[s].min_spread_bps,
+                      run.aggregates[s].max_spread_bps});
+    }
+    io::write_sweep_aggregates_csv(*args.get("out"), rows);
+    std::cout << "aggregates written to " << *args.get("out") << '\n';
+  } else {
+    for (std::size_t s = 0;
+         s < std::min<std::size_t>(5, run.aggregates.size()); ++s) {
+      std::cout << "  scenario " << s << ": spread ["
+                << fixed(run.aggregates[s].min_spread_bps, 2) << ", "
+                << fixed(run.aggregates[s].max_spread_bps, 2) << "] bps\n";
+    }
+    if (run.aggregates.size() > 5) {
+      std::cout << "  ... (" << run.aggregates.size() - 5
+                << " more; use --out to save)\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_bootstrap(const Args& args) {
   CDSFLOW_EXPECT(args.get("quotes").has_value(),
                  "bootstrap requires --quotes quotes.csv");
@@ -560,7 +676,7 @@ int cmd_engines() {
     std::cout << "  " << pad_right(name, 22) << engine->description()
               << '\n';
   }
-  std::cout << "parameterised forms: cpu[-batch|-vec][-risk]-mt<N>, "
+  std::cout << "parameterised forms: cpu[-batch|-vec|-sweep][-risk]-mt<N>, "
                "multi-<N>\n";
   return 0;
 }
@@ -578,8 +694,8 @@ int cmd_device(const Args& args) {
 }
 
 int usage() {
-  std::cerr << "usage: cdsflow_cli <price|risk|stream|bootstrap|engines|"
-               "device> [--flag value ...]\n"
+  std::cerr << "usage: cdsflow_cli <price|risk|stream|sweep|bootstrap|"
+               "engines|device> [--flag value ...]\n"
                "see the file header of tools/cdsflow_cli.cpp for details\n";
   return 1;
 }
@@ -594,6 +710,7 @@ int main(int argc, char** argv) {
     if (command == "price") return cmd_price(args);
     if (command == "risk") return cmd_risk(args);
     if (command == "stream") return cmd_stream(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "bootstrap") return cmd_bootstrap(args);
     if (command == "engines") return cmd_engines();
     if (command == "device") return cmd_device(args);
