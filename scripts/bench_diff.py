@@ -53,6 +53,13 @@ METRICS = {
         ("single_thread_speedup", True),
         ("sweep_scenarios_per_second", True),
     ],
+    # Multi-tenant pricing service over a loopback socket: end-to-end
+    # request throughput and the service-clock latency percentiles.
+    "BENCH_service.json": [
+        ("requests_per_second", True),
+        ("p50_request_us", False),
+        ("p99_request_us", False),
+    ],
 }
 
 WARN_THRESHOLD = 0.10  # flag drops beyond 10%

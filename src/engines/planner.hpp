@@ -42,12 +42,14 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cds/curve.hpp"
+#include "common/error.hpp"
 #include "engines/cpu_engine.hpp"
 #include "fpga/power.hpp"
 #include "fpga/resource.hpp"
@@ -238,5 +240,59 @@ std::vector<RuntimePlanEntry> plan_runtime(
 /// plugs straight into runtime::PortfolioRuntime.
 std::optional<RuntimePlanEntry> best_runtime_plan(
     const std::vector<RuntimePlanEntry>& entries);
+
+/// Incremental completion-time projection over a fixed lane pool -- the
+/// planner's list schedule (runtime::list_schedule_makespan) exported as an
+/// online decision procedure for admission control.
+///
+/// book(arrival, task) assigns the task to the earliest-free lane (lowest
+/// index on ties, exactly the offline schedule's tie-break) and returns the
+/// projected completion time max(arrival, lane_free) + task_seconds. When
+/// every arrival is 0 the sequence of book() calls reproduces
+/// list_schedule_makespan over the same task list verbatim: makespan() ==
+/// the offline value, same lane assignments. project() answers "when would
+/// this finish?" without committing capacity, so admission can decide to
+/// shed *before* booking.
+///
+/// Times are seconds on an arbitrary caller-chosen epoch (the service uses
+/// seconds since server start). Purely arithmetic -- no clock, no threads --
+/// so admission transcripts replay deterministically in tests.
+class CompletionProjector {
+ public:
+  explicit CompletionProjector(unsigned lanes) : lane_free_(lanes, 0.0) {
+    CDSFLOW_EXPECT(lanes > 0, "completion projector needs at least one lane");
+  }
+
+  /// Projected completion were the task booked now; commits nothing.
+  double project(double arrival_seconds, double task_seconds) const {
+    const std::size_t lane = earliest_lane();
+    return std::max(arrival_seconds, lane_free_[lane]) + task_seconds;
+  }
+
+  /// Books the task on the earliest-free lane; returns its completion time.
+  double book(double arrival_seconds, double task_seconds) {
+    const std::size_t lane = earliest_lane();
+    lane_free_[lane] =
+        std::max(arrival_seconds, lane_free_[lane]) + task_seconds;
+    return lane_free_[lane];
+  }
+
+  /// Latest lane-free time across the pool. With all arrivals at 0 this is
+  /// exactly runtime::list_schedule_makespan of the booked tasks.
+  double makespan() const {
+    return *std::max_element(lane_free_.begin(), lane_free_.end());
+  }
+
+  unsigned lanes() const { return static_cast<unsigned>(lane_free_.size()); }
+
+ private:
+  std::size_t earliest_lane() const {
+    return static_cast<std::size_t>(
+        std::min_element(lane_free_.begin(), lane_free_.end()) -
+        lane_free_.begin());
+  }
+
+  std::vector<double> lane_free_;
+};
 
 }  // namespace cdsflow::engine

@@ -2,9 +2,11 @@
 
 #include <charconv>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 
 namespace cdsflow::io {
 
@@ -192,6 +194,29 @@ void write_sweep_aggregates_csv(const std::string& path,
   for (const auto& r : rows) {
     out << r.scenario << ',' << r.min_spread_bps << ',' << r.max_spread_bps
         << '\n';
+  }
+}
+
+std::vector<LatencyCdfRow> latency_cdf_rows(std::uint32_t tenant,
+                                            std::vector<double> latency_us) {
+  static constexpr double kPercentiles[] = {1.0,  5.0,  10.0, 25.0,
+                                            50.0, 75.0, 90.0, 95.0,
+                                            99.0, 99.9, 100.0};
+  std::vector<LatencyCdfRow> rows;
+  if (latency_us.empty()) return rows;
+  rows.reserve(std::size(kPercentiles));
+  for (const double p : kPercentiles) {
+    rows.push_back({tenant, p, percentile(latency_us, p)});
+  }
+  return rows;
+}
+
+void write_latency_cdf_csv(const std::string& path,
+                           const std::vector<LatencyCdfRow>& rows) {
+  auto out = open_for_write(path);
+  out << "tenant,percentile,latency_us\n";
+  for (const auto& r : rows) {
+    out << r.tenant << ',' << r.percentile << ',' << r.latency_us << '\n';
   }
 }
 

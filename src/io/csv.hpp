@@ -82,6 +82,22 @@ struct SweepAggregateRow {
 void write_sweep_aggregates_csv(const std::string& path,
                                 const std::vector<SweepAggregateRow>& rows);
 
+// --- per-tenant latency CDF ---------------------------------------------------
+/// One row per (tenant, percentile): the tenant's ingest-to-response latency
+/// CDF from the pricing service, microseconds. A plain row struct so io
+/// stays independent of the service layer; latency_cdf_rows() converts a
+/// tenant's raw latency samples into rows at the standard percentile grid
+/// (1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9, 100).
+struct LatencyCdfRow {
+  std::uint32_t tenant = 0;
+  double percentile = 0.0;
+  double latency_us = 0.0;
+};
+std::vector<LatencyCdfRow> latency_cdf_rows(std::uint32_t tenant,
+                                            std::vector<double> latency_us);
+void write_latency_cdf_csv(const std::string& path,
+                           const std::vector<LatencyCdfRow>& rows);
+
 // --- spread quotes (bootstrapping input) ----------------------------------------
 void write_quotes_csv(const std::string& path,
                       const std::vector<cds::SpreadQuote>& quotes);

@@ -1,0 +1,137 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cdsflow::net {
+
+Client Client::connect_unix(const std::string& path) {
+  CDSFLOW_EXPECT(path.size() < sizeof(sockaddr_un{}.sun_path),
+                 "unix socket path too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  CDSFLOW_EXPECT(fd >= 0, "socket(AF_UNIX) failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    CDSFLOW_EXPECT(false, "connect(" + path + ") failed: " +
+                              std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CDSFLOW_EXPECT(fd >= 0, "socket(AF_INET) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  CDSFLOW_EXPECT(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                 "invalid IPv4 address '" + host + "'");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    CDSFLOW_EXPECT(false, "connect(" + host + ":" + std::to_string(port) +
+                              ") failed: " + std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+void Client::send(const std::vector<std::uint8_t>& bytes) {
+  CDSFLOW_EXPECT(fd_ >= 0, "client is not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    CDSFLOW_EXPECT(n > 0,
+                   std::string("send failed: ") + std::strerror(errno));
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame Client::read_frame() {
+  CDSFLOW_EXPECT(fd_ >= 0, "client is not connected");
+  for (;;) {
+    if (auto frame = reader_.next()) return std::move(*frame);
+    CDSFLOW_EXPECT(!reader_.failed(),
+                   "malformed frame from server: " + reader_.error());
+    std::uint8_t chunk[65536];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    CDSFLOW_EXPECT(n >= 0, std::string("recv failed: ") +
+                               std::strerror(errno));
+    CDSFLOW_EXPECT(n > 0, "server closed the connection");
+    CDSFLOW_EXPECT(reader_.feed(chunk, static_cast<std::size_t>(n)),
+                   "malformed frame from server: " + reader_.error());
+  }
+}
+
+std::optional<Frame> Client::read_frame_for(std::uint64_t timeout_us) {
+  CDSFLOW_EXPECT(fd_ >= 0, "client is not connected");
+  for (;;) {
+    if (auto frame = reader_.next()) return frame;
+    CDSFLOW_EXPECT(!reader_.failed(),
+                   "malformed frame from server: " + reader_.error());
+    pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>((timeout_us + 999) / 1000);  // round up, >= 1ms
+    const int rc = ::poll(&pfd, 1, std::max(1, timeout_ms));
+    if (rc == 0) return std::nullopt;
+    CDSFLOW_EXPECT(rc > 0 || errno == EINTR,
+                   std::string("poll failed: ") + std::strerror(errno));
+    if (rc < 0) continue;
+    std::uint8_t chunk[65536];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    CDSFLOW_EXPECT(n >= 0, std::string("recv failed: ") +
+                               std::strerror(errno));
+    CDSFLOW_EXPECT(n > 0, "server closed the connection");
+    CDSFLOW_EXPECT(reader_.feed(chunk, static_cast<std::size_t>(n)),
+                   "malformed frame from server: " + reader_.error());
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace cdsflow::net

@@ -1,0 +1,56 @@
+/// \file client.hpp
+/// Blocking client for the pricing service wire protocol -- the replay
+/// tool's, tests' and bench's side of the socket.
+///
+/// Writes are full-frame sends; reads run a FrameReader over recv() so the
+/// client tolerates arbitrary kernel segmentation. Requests may be
+/// pipelined (many sends before the first read): the server always drains
+/// its read side, so a blocking client cannot deadlock it.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/codec.hpp"
+
+namespace cdsflow::net {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends the whole buffer (blocking). Throws cdsflow::Error on a broken
+  /// connection.
+  void send(const std::vector<std::uint8_t>& bytes);
+
+  /// Blocks until the next complete frame. Throws cdsflow::Error when the
+  /// server closes the connection or the inbound stream is malformed.
+  Frame read_frame();
+
+  /// Like read_frame() but gives up after `timeout_us` without a complete
+  /// frame (nullopt). A server-side close still throws.
+  std::optional<Frame> read_frame_for(std::uint64_t timeout_us);
+
+  /// Half-closes the write side (the server sees EOF after its last read).
+  void shutdown_write();
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace cdsflow::net

@@ -1,0 +1,406 @@
+#include "net/codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cdsflow::net {
+namespace {
+
+// Wire row sizes (see the layout table in codec.hpp).
+constexpr std::size_t kQuotePayloadBytes = 12;
+constexpr std::size_t kOptionRowBytes = 28;
+constexpr std::size_t kPriceRowBytes = 12;
+constexpr std::size_t kRiskRowBytes = 44;
+constexpr std::size_t kResultPreambleBytes = 8;
+constexpr std::size_t kRejectPreambleBytes = 4;
+
+// All wire integers are little-endian regardless of host order; doubles
+// travel as their IEEE-754 bit pattern in a little-endian u64.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{p[i]} << (8 * i);
+  }
+  return v;
+}
+
+std::int32_t get_i32(const std::uint8_t* p) {
+  return static_cast<std::int32_t>(get_u32(p));
+}
+
+double get_f64(const std::uint8_t* p) {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+void put_header(std::vector<std::uint8_t>& out, FrameType type,
+                std::uint32_t tenant, std::uint32_t request,
+                std::uint32_t payload_bytes) {
+  put_u32(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // reserved flags
+  put_u32(out, tenant);
+  put_u32(out, request);
+  put_u32(out, payload_bytes);
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kQuoteUpdate:
+      return "quote-update";
+    case FrameType::kPriceRequest:
+      return "price-request";
+    case FrameType::kRiskRequest:
+      return "risk-request";
+    case FrameType::kResult:
+      return "result";
+    case FrameType::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kMalformed:
+      return "malformed";
+    case RejectReason::kOverload:
+      return "overload";
+    case RejectReason::kUnknownTenant:
+      return "unknown-tenant";
+    case RejectReason::kWrongMode:
+      return "wrong-mode";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_quote_update(std::uint32_t tenant,
+                                              std::uint32_t knot,
+                                              double rate) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + kQuotePayloadBytes);
+  put_header(out, FrameType::kQuoteUpdate, tenant, 0,
+             kQuotePayloadBytes);
+  put_u32(out, knot);
+  put_f64(out, rate);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_price_request(
+    std::uint32_t tenant, std::uint32_t request,
+    const std::vector<cds::CdsOption>& options, bool risk) {
+  CDSFLOW_EXPECT(!options.empty(), "price request needs at least one option");
+  CDSFLOW_EXPECT(options.size() <= kMaxOptionsPerRequest,
+                 "price request exceeds kMaxOptionsPerRequest");
+  const std::size_t payload = 4 + kOptionRowBytes * options.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload);
+  put_header(out, risk ? FrameType::kRiskRequest : FrameType::kPriceRequest,
+             tenant, request, static_cast<std::uint32_t>(payload));
+  put_u32(out, static_cast<std::uint32_t>(options.size()));
+  for (const auto& o : options) {
+    put_i32(out, o.id);
+    put_f64(out, o.maturity_years);
+    put_f64(out, o.payment_frequency);
+    put_f64(out, o.recovery_rate);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_result(
+    std::uint32_t tenant, std::uint32_t request, std::uint8_t status,
+    const std::vector<cds::SpreadResult>& results,
+    const std::vector<cds::Sensitivities>& greeks) {
+  const bool risk = !greeks.empty();
+  CDSFLOW_EXPECT(results.size() <= kMaxOptionsPerRequest,
+                 "result exceeds kMaxOptionsPerRequest");
+  CDSFLOW_EXPECT(!risk || greeks.size() == results.size(),
+                 "risk result needs one Sensitivities row per result");
+  const std::size_t row = risk ? kRiskRowBytes : kPriceRowBytes;
+  const std::size_t payload = kResultPreambleBytes + row * results.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload);
+  put_header(out, FrameType::kResult, tenant, request,
+             static_cast<std::uint32_t>(payload));
+  out.push_back(status);
+  out.push_back(risk ? 1 : 0);
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(results.size()));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    put_i32(out, results[i].id);
+    put_f64(out, results[i].spread_bps);
+    if (risk) {
+      put_f64(out, greeks[i].cs01);
+      put_f64(out, greeks[i].ir01);
+      put_f64(out, greeks[i].rec01);
+      put_f64(out, greeks[i].jtd);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reject(std::uint32_t tenant,
+                                        std::uint32_t request,
+                                        RejectReason reason,
+                                        const std::string& detail) {
+  CDSFLOW_EXPECT(detail.size() <= kMaxRejectDetailBytes,
+                 "reject detail exceeds kMaxRejectDetailBytes");
+  const std::size_t payload = kRejectPreambleBytes + detail.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload);
+  put_header(out, FrameType::kReject, tenant, request,
+             static_cast<std::uint32_t>(payload));
+  out.push_back(static_cast<std::uint8_t>(reason));
+  out.push_back(0);  // reserved
+  put_u16(out, static_cast<std::uint16_t>(detail.size()));
+  out.insert(out.end(), detail.begin(), detail.end());
+  return out;
+}
+
+void FrameReader::poison(std::string why) {
+  failed_ = true;
+  error_ = std::move(why);
+  buffer_.clear();
+}
+
+bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed_) {
+    return false;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+
+  // Decode every complete frame sitting in the buffer. Validation is
+  // progressive: each header field is checked as soon as its bytes arrive,
+  // so a stream that can no longer begin a valid frame poisons immediately
+  // -- a peer pushing garbage and then waiting would otherwise never
+  // complete a header and never learn it is being rejected. An absurd
+  // payload_bytes is likewise caught before it can force buffering.
+  while (!failed_) {
+    const std::uint8_t* h = buffer_.data();
+    const std::size_t have = buffer_.size();
+    static constexpr std::uint8_t kMagicBytes[4] = {
+        static_cast<std::uint8_t>(kWireMagic),
+        static_cast<std::uint8_t>(kWireMagic >> 8),
+        static_cast<std::uint8_t>(kWireMagic >> 16),
+        static_cast<std::uint8_t>(kWireMagic >> 24)};
+    for (std::size_t i = 0; i < std::min<std::size_t>(have, 4); ++i) {
+      if (h[i] != kMagicBytes[i]) {
+        poison("bad magic");
+        break;
+      }
+    }
+    if (failed_) {
+      break;
+    }
+    if (have >= 5 && h[4] != kWireVersion) {
+      poison("unsupported wire version " + std::to_string(int{h[4]}));
+      break;
+    }
+    if (have >= 6) {
+      const std::uint8_t raw = h[5];
+      if (raw < static_cast<std::uint8_t>(FrameType::kQuoteUpdate) ||
+          raw > static_cast<std::uint8_t>(FrameType::kReject)) {
+        poison("unknown frame type " + std::to_string(int{raw}));
+        break;
+      }
+    }
+    if (have >= 8 && get_u16(h + 6) != 0) {
+      poison("reserved header flags set");
+      break;
+    }
+    if (have < kHeaderBytes) {
+      break;
+    }
+    const std::uint8_t raw_type = h[5];
+    const std::uint32_t payload_bytes = get_u32(h + 16);
+    if (payload_bytes > kMaxPayloadBytes) {
+      poison("payload length " + std::to_string(payload_bytes) +
+             " exceeds kMaxPayloadBytes");
+      break;
+    }
+    if (buffer_.size() < kHeaderBytes + payload_bytes) {
+      break;  // wait for more bytes
+    }
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(raw_type);
+    frame.tenant = get_u32(h + 8);
+    frame.request = get_u32(h + 12);
+    const std::uint8_t* p = h + kHeaderBytes;
+
+    switch (frame.type) {
+      case FrameType::kQuoteUpdate: {
+        if (payload_bytes != kQuotePayloadBytes) {
+          poison("quote-update payload must be 12 bytes");
+          break;
+        }
+        frame.knot = get_u32(p);
+        frame.rate = get_f64(p + 4);
+        break;
+      }
+      case FrameType::kPriceRequest:
+      case FrameType::kRiskRequest: {
+        if (payload_bytes < 4) {
+          poison("request payload shorter than its count field");
+          break;
+        }
+        const std::uint32_t count = get_u32(p);
+        if (count == 0 || count > kMaxOptionsPerRequest) {
+          poison("request option count " + std::to_string(count) +
+                 " outside [1, kMaxOptionsPerRequest]");
+          break;
+        }
+        if (payload_bytes != 4 + kOptionRowBytes * count) {
+          poison("request payload length does not match its option count");
+          break;
+        }
+        frame.options.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint8_t* row = p + 4 + kOptionRowBytes * i;
+          frame.options[i].id = get_i32(row);
+          frame.options[i].maturity_years = get_f64(row + 4);
+          frame.options[i].payment_frequency = get_f64(row + 12);
+          frame.options[i].recovery_rate = get_f64(row + 20);
+        }
+        break;
+      }
+      case FrameType::kResult: {
+        if (payload_bytes < kResultPreambleBytes) {
+          poison("result payload shorter than its preamble");
+          break;
+        }
+        frame.status = p[0];
+        if (frame.status != kResultOnTime && frame.status != kResultDeferred) {
+          poison("unknown result status byte");
+          break;
+        }
+        if (p[1] > 1) {
+          poison("unknown result kind byte");
+          break;
+        }
+        frame.risk = p[1] == 1;
+        if (get_u16(p + 2) != 0) {
+          poison("reserved result bytes set");
+          break;
+        }
+        const std::uint32_t count = get_u32(p + 4);
+        if (count > kMaxOptionsPerRequest) {
+          poison("result row count exceeds kMaxOptionsPerRequest");
+          break;
+        }
+        const std::size_t row = frame.risk ? kRiskRowBytes : kPriceRowBytes;
+        if (payload_bytes != kResultPreambleBytes + row * count) {
+          poison("result payload length does not match its row count");
+          break;
+        }
+        frame.results.resize(count);
+        if (frame.risk) {
+          frame.greeks.resize(count);
+        }
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint8_t* r = p + kResultPreambleBytes + row * i;
+          frame.results[i].id = get_i32(r);
+          frame.results[i].spread_bps = get_f64(r + 4);
+          if (frame.risk) {
+            frame.greeks[i].spread_bps = frame.results[i].spread_bps;
+            frame.greeks[i].cs01 = get_f64(r + 12);
+            frame.greeks[i].ir01 = get_f64(r + 20);
+            frame.greeks[i].rec01 = get_f64(r + 28);
+            frame.greeks[i].jtd = get_f64(r + 36);
+          }
+        }
+        break;
+      }
+      case FrameType::kReject: {
+        if (payload_bytes < kRejectPreambleBytes) {
+          poison("reject payload shorter than its preamble");
+          break;
+        }
+        const std::uint8_t raw_reason = p[0];
+        if (raw_reason < static_cast<std::uint8_t>(RejectReason::kMalformed) ||
+            raw_reason > static_cast<std::uint8_t>(RejectReason::kWrongMode)) {
+          poison("unknown reject reason " + std::to_string(int{raw_reason}));
+          break;
+        }
+        frame.reason = static_cast<RejectReason>(raw_reason);
+        if (p[1] != 0) {
+          poison("reserved reject byte set");
+          break;
+        }
+        const std::uint16_t detail_len = get_u16(p + 2);
+        if (detail_len > kMaxRejectDetailBytes) {
+          poison("reject detail exceeds kMaxRejectDetailBytes");
+          break;
+        }
+        if (payload_bytes != kRejectPreambleBytes + detail_len) {
+          poison("reject payload length does not match its detail length");
+          break;
+        }
+        frame.detail.assign(reinterpret_cast<const char*>(p + 4), detail_len);
+        break;
+      }
+    }
+    if (failed_) {
+      break;
+    }
+
+    ready_.push_back(std::move(frame));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                        kHeaderBytes + payload_bytes));
+  }
+  return !failed_;
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (ready_next_ >= ready_.size()) {
+    ready_.clear();
+    ready_next_ = 0;
+    return std::nullopt;
+  }
+  Frame frame = std::move(ready_[ready_next_]);
+  ++ready_next_;
+  return frame;
+}
+
+}  // namespace cdsflow::net

@@ -1,0 +1,170 @@
+/// \file codec.hpp
+/// Wire codec of the multi-tenant pricing service: length-prefixed compact
+/// binary frames, the first trust boundary in the system that untrusted
+/// bytes cross.
+///
+/// Every frame is a fixed 20-byte header followed by a typed payload:
+///
+///   offset  size  field
+///        0     4  magic          0x43445357 ("CDSW", little-endian u32)
+///        4     1  version        kWireVersion (reject everything else)
+///        5     1  type           FrameType
+///        6     2  reserved       must be 0
+///        8     4  tenant         tenant id (registry key; 0 is invalid)
+///       12     4  request        request id (echoed in responses; 0 for
+///                                fire-and-forget quote updates)
+///       16     4  payload_bytes  length of the payload that follows
+///
+/// Payloads (all integers little-endian, doubles as IEEE-754 bit patterns):
+///
+///   kQuoteUpdate   u32 knot, f64 rate                          (12 bytes)
+///   kPriceRequest  u32 count, count x { i32 id, f64 maturity,
+///   kRiskRequest     f64 frequency, f64 recovery }      (4 + 28 * count)
+///   kResult        u8 status (0 on-time, 1 deferred), u8 kind
+///                  (0 price, 1 risk), u16 reserved, u32 count,
+///                  count x price row { i32 id, f64 spread }  or
+///                  count x risk row  { i32 id, f64 spread, f64 cs01,
+///                    f64 ir01, f64 rec01, f64 jtd }
+///   kReject        u8 reason (RejectReason), u8 reserved,
+///                  u16 detail_len, detail_len bytes of UTF-8 detail
+///
+/// Every length field has an explicit bound checked *before* any
+/// allocation: payload_bytes <= kMaxPayloadBytes as soon as the header is
+/// complete, count <= kMaxOptionsPerRequest, detail_len <=
+/// kMaxRejectDetailBytes, and the payload size must equal the size its
+/// count implies exactly (no trailing bytes). The decoder is incremental
+/// (FrameReader): bytes may arrive in arbitrary splits across poll()
+/// wakeups, including one byte at a time. A malformed stream poisons the
+/// reader -- after the first framing error nothing behind it can be
+/// trusted, so the connection must be torn down (the server sends a
+/// kMalformed reject first).
+///
+/// The codec is structural only: it checks shape and bounds, not pricing
+/// semantics (option ranges, finite doubles, known tenants) -- those are
+/// service-layer admission/validation concerns (src/service/service.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cds/risk.hpp"
+#include "cds/types.hpp"
+
+namespace cdsflow::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x43445357u;  // "CDSW"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+
+/// Hard upper bounds on every wire length field.
+inline constexpr std::size_t kMaxOptionsPerRequest = 4096;
+inline constexpr std::size_t kMaxRejectDetailBytes = 256;
+/// Largest legal payload: a risk-mode result at kMaxOptionsPerRequest rows
+/// (8-byte result preamble + 44-byte risk rows).
+inline constexpr std::size_t kMaxPayloadBytes = 8 + 44 * kMaxOptionsPerRequest;
+
+enum class FrameType : std::uint8_t {
+  kQuoteUpdate = 1,   ///< hazard curve knot moved (fire-and-forget)
+  kPriceRequest = 2,  ///< price a micro-batch of options
+  kRiskRequest = 3,   ///< price + per-option Greeks
+  kResult = 4,        ///< response to an admitted request
+  kReject = 5,        ///< machine-readable refusal
+};
+
+/// Machine-readable reject reasons (the wire contract; never renumber).
+enum class RejectReason : std::uint8_t {
+  kMalformed = 1,      ///< frame or payload failed structural validation
+  kOverload = 2,       ///< admission control shed the request
+  kUnknownTenant = 3,  ///< tenant id not in the registry
+  kWrongMode = 4,      ///< risk request to a price tenant or vice versa
+};
+
+const char* to_string(FrameType type);
+const char* to_string(RejectReason reason);
+
+/// Result status byte: whether admission met the deadline class or admitted
+/// the request late (deferred).
+inline constexpr std::uint8_t kResultOnTime = 0;
+inline constexpr std::uint8_t kResultDeferred = 1;
+
+/// One decoded frame. Which fields are meaningful depends on `type` (flat
+/// struct rather than a variant so handling code stays simple).
+struct Frame {
+  FrameType type = FrameType::kQuoteUpdate;
+  std::uint32_t tenant = 0;
+  std::uint32_t request = 0;
+
+  // kQuoteUpdate
+  std::uint32_t knot = 0;
+  double rate = 0.0;
+
+  // kPriceRequest / kRiskRequest
+  std::vector<cds::CdsOption> options;
+
+  // kResult
+  std::uint8_t status = kResultOnTime;
+  bool risk = false;
+  std::vector<cds::SpreadResult> results;
+  std::vector<cds::Sensitivities> greeks;  ///< parallel to results when risk
+
+  // kReject
+  RejectReason reason = RejectReason::kMalformed;
+  std::string detail;
+};
+
+// --- encoders ---------------------------------------------------------------
+// Each returns header + payload, ready to write to the socket. Throws
+// cdsflow::Error when a bound would be violated (count, detail length) --
+// the encoder enforces the same limits the decoder rejects.
+std::vector<std::uint8_t> encode_quote_update(std::uint32_t tenant,
+                                              std::uint32_t knot, double rate);
+std::vector<std::uint8_t> encode_price_request(
+    std::uint32_t tenant, std::uint32_t request,
+    const std::vector<cds::CdsOption>& options, bool risk = false);
+std::vector<std::uint8_t> encode_result(
+    std::uint32_t tenant, std::uint32_t request, std::uint8_t status,
+    const std::vector<cds::SpreadResult>& results,
+    const std::vector<cds::Sensitivities>& greeks = {});
+std::vector<std::uint8_t> encode_reject(std::uint32_t tenant,
+                                        std::uint32_t request,
+                                        RejectReason reason,
+                                        const std::string& detail = "");
+
+/// Incremental frame decoder for one connection's byte stream.
+///
+/// feed() accepts arbitrary chunks (any split, including byte-at-a-time);
+/// next() hands back completed frames in stream order. The first framing
+/// violation poisons the reader: failed() turns true, error() explains,
+/// further feed() calls return false and discard their bytes, and next()
+/// returns frames decoded *before* the poison point only. Memory is bounded
+/// by kMaxPayloadBytes + feed chunk size: an oversized payload_bytes is
+/// rejected as soon as the header completes, before any payload buffering.
+class FrameReader {
+ public:
+  FrameReader() = default;
+
+  /// Appends raw bytes. Returns false when the reader is poisoned.
+  bool feed(const std::uint8_t* data, std::size_t n);
+
+  /// Next completed frame in stream order, if any.
+  std::optional<Frame> next();
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet decoded (diagnostics).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  void poison(std::string why);
+
+  std::vector<std::uint8_t> buffer_;
+  std::vector<Frame> ready_;
+  std::size_t ready_next_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace cdsflow::net

@@ -1,0 +1,235 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cdsflow::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CDSFLOW_EXPECT(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                 "fcntl(O_NONBLOCK) failed");
+}
+
+}  // namespace
+
+void ServerHandler::on_malformed(Server&, int, const std::string&) {}
+void ServerHandler::on_tick(Server&) {}
+void ServerHandler::on_disconnect(int) {}
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  int pipe_fds[2];
+  CDSFLOW_EXPECT(::pipe(pipe_fds) == 0, "self-pipe creation failed");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+
+  if (!config_.unix_path.empty()) {
+    CDSFLOW_EXPECT(config_.unix_path.size() < sizeof(sockaddr_un{}.sun_path),
+                   "unix socket path too long");
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    CDSFLOW_EXPECT(listen_fd_ >= 0, "socket(AF_UNIX) failed");
+    ::unlink(config_.unix_path.c_str());  // stale socket from a prior run
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    CDSFLOW_EXPECT(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "bind(" + config_.unix_path + ") failed: " +
+                       std::strerror(errno));
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    CDSFLOW_EXPECT(listen_fd_ >= 0, "socket(AF_INET) failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(config_.tcp_port);
+    CDSFLOW_EXPECT(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "bind(port " + std::to_string(config_.tcp_port) +
+                       ") failed: " + std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    CDSFLOW_EXPECT(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                                 &len) == 0,
+                   "getsockname failed");
+    tcp_port_ = ntohs(bound.sin_port);
+  }
+  CDSFLOW_EXPECT(::listen(listen_fd_, config_.backlog) == 0,
+                 std::string("listen failed: ") + std::strerror(errno));
+  set_nonblocking(listen_fd_);
+}
+
+Server::~Server() {
+  for (const auto& [fd, conn] : connections_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+}
+
+void Server::stop() {
+  const char byte = 0;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const auto n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void Server::send(int conn, const std::vector<std::uint8_t>& bytes) {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) return;
+  it->second.outbound.insert(it->second.outbound.end(), bytes.begin(),
+                             bytes.end());
+}
+
+void Server::close_connection(int conn) {
+  const auto it = connections_.find(conn);
+  if (it != connections_.end()) it->second.closing = true;
+}
+
+void Server::accept_ready(ServerHandler&) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN: backlog drained
+    set_nonblocking(fd);
+    connections_.emplace(fd, Connection{});
+  }
+}
+
+bool Server::read_ready(ServerHandler& handler, int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return false;
+  std::uint8_t chunk[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      Connection& conn = it->second;
+      if (!conn.reader.feed(chunk, static_cast<std::size_t>(n))) {
+        handler.on_malformed(*this, fd, conn.reader.error());
+        conn.closing = true;
+        return true;  // flushed + closed by the caller's POLLOUT handling
+      }
+      // Hand over every frame completed by this chunk. The handler may
+      // send() or close_connection(), both loop-thread-safe here.
+      while (auto frame = conn.reader.next()) {
+        handler.on_frame(*this, fd, std::move(*frame));
+        it = connections_.find(fd);
+        if (it == connections_.end()) return false;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    teardown(handler, fd, true);  // peer closed (n == 0) or hard error
+    return false;
+  }
+}
+
+bool Server::flush(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return false;
+  Connection& conn = it->second;
+  while (conn.outbound_offset < conn.outbound.size()) {
+    const ssize_t n = ::send(fd, conn.outbound.data() + conn.outbound_offset,
+                             conn.outbound.size() - conn.outbound_offset,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbound_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // hard write error: caller tears down
+  }
+  conn.outbound.clear();
+  conn.outbound_offset = 0;
+  return true;
+}
+
+void Server::teardown(ServerHandler& handler, int fd, bool notify) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::close(fd);
+  connections_.erase(it);
+  if (notify) handler.on_disconnect(fd);
+}
+
+void Server::run(ServerHandler& handler) {
+  stopping_ = false;
+  const int timeout_ms =
+      std::max(1, static_cast<int>(config_.tick_us / 1000));
+  std::vector<pollfd> fds;
+  std::vector<int> dead;
+  while (!stopping_) {
+    fds.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : connections_) {
+      short events = POLLIN;
+      if (conn.outbound_offset < conn.outbound.size() || conn.closing) {
+        events |= POLLOUT;
+      }
+      fds.push_back({fd, events, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0) {
+      CDSFLOW_EXPECT(errno == EINTR,
+                     std::string("poll failed: ") + std::strerror(errno));
+      continue;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+      stopping_ = true;
+    }
+    if ((fds[1].revents & POLLIN) != 0) accept_ready(handler);
+
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      const short revents = fds[i].revents;
+      if (revents == 0) continue;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        teardown(handler, fd, true);
+        continue;
+      }
+      if ((revents & POLLIN) != 0 && !read_ready(handler, fd)) continue;
+      if ((revents & (POLLOUT | POLLHUP)) != 0 && !flush(fd)) {
+        teardown(handler, fd, true);
+        continue;
+      }
+      if ((revents & POLLHUP) != 0 && connections_.count(fd) != 0 &&
+          connections_[fd].outbound.empty()) {
+        teardown(handler, fd, true);
+      }
+    }
+
+    // Close-after-flush connections: one immediate flush attempt so
+    // reject-then-close does not wait a poll round-trip, then tear down
+    // once (or because) the buffer is done.
+    dead.clear();
+    for (auto& [fd, conn] : connections_) {
+      if (!conn.closing) continue;
+      if (!flush(fd) || conn.outbound.empty()) dead.push_back(fd);
+    }
+    for (const int fd : dead) teardown(handler, fd, true);
+
+    handler.on_tick(*this);
+  }
+}
+
+}  // namespace cdsflow::net

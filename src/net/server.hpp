@@ -1,0 +1,118 @@
+/// \file server.hpp
+/// Single-threaded poll() event-loop socket server for the pricing service.
+///
+/// One thread, one poll() loop, no per-connection threads: the listener, a
+/// self-pipe (for a thread-safe stop()) and every live connection share one
+/// pollfd set. Each connection owns a net::FrameReader, so bytes may arrive
+/// in arbitrary splits; completed frames are handed to the ServerHandler in
+/// stream order. All handler callbacks run on the loop thread -- handler
+/// state needs no locks, and Server::send()/close_connection() are loop-
+/// thread-only by the same token (stop() is the one thread-safe entry
+/// point). Writes are buffered per connection and flushed via POLLOUT, so a
+/// slow reader never blocks the loop.
+///
+/// A poisoned reader (net/codec.hpp) is a protocol violation: the handler
+/// gets on_malformed() -- typically answering with an encoded kMalformed
+/// reject -- and the connection is torn down after its outbound buffer
+/// drains. Nothing after the first framing error is ever parsed.
+///
+/// Transports: a unix-domain socket (path; used by tests and the bench --
+/// no port collisions) or TCP on loopback/any (port 0 picks an ephemeral
+/// port, readable via tcp_port()). The socket is bound and listening when
+/// the constructor returns, so clients may connect before run() starts.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/codec.hpp"
+
+namespace cdsflow::net {
+
+struct ServerConfig {
+  /// Non-empty: serve on this unix-domain socket path (unlinked first).
+  std::string unix_path;
+  /// Used when unix_path is empty: TCP port to bind (0 = ephemeral).
+  std::uint16_t tcp_port = 0;
+  int backlog = 16;
+  /// poll() timeout; on_tick() fires at least this often even when idle
+  /// (the service uses the tick to harvest completed micro-batches).
+  std::uint64_t tick_us = 500;
+};
+
+class Server;
+
+/// Event callbacks, all invoked on the loop thread inside run().
+class ServerHandler {
+ public:
+  virtual ~ServerHandler() = default;
+  /// A completed, structurally-valid frame from connection `conn`.
+  virtual void on_frame(Server& server, int conn, Frame frame) = 0;
+  /// The connection's stream is poisoned (`error` from the FrameReader).
+  /// The server closes the connection after this returns (outbound bytes,
+  /// e.g. a reject sent here, are flushed first).
+  virtual void on_malformed(Server& server, int conn,
+                            const std::string& error);
+  /// Fires once per loop iteration (after I/O, at least every tick_us).
+  virtual void on_tick(Server& server);
+  /// The peer disconnected or the connection was torn down.
+  virtual void on_disconnect(int conn);
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws cdsflow::Error on any socket failure.
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Runs the event loop on the calling thread until stop().
+  void run(ServerHandler& handler);
+
+  /// Thread-safe: wakes the loop and makes run() return (idempotent).
+  void stop();
+
+  /// Queues bytes to `conn` (loop thread only, i.e. from handler
+  /// callbacks). Unknown connection ids are ignored (the peer may have
+  /// disconnected between frame and response).
+  void send(int conn, const std::vector<std::uint8_t>& bytes);
+
+  /// Flushes `conn`'s outbound buffer, then closes it (loop thread only).
+  void close_connection(int conn);
+
+  /// Bound TCP port (the ephemeral one when config.tcp_port was 0);
+  /// 0 for unix-domain servers.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return config_.unix_path; }
+  std::size_t connections() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    FrameReader reader;
+    std::vector<std::uint8_t> outbound;
+    std::size_t outbound_offset = 0;
+    /// Close once the outbound buffer drains (reject-then-close path).
+    bool closing = false;
+  };
+
+  void accept_ready(ServerHandler& handler);
+  /// Returns false when the connection was torn down.
+  bool read_ready(ServerHandler& handler, int fd);
+  bool flush(int fd);
+  void teardown(ServerHandler& handler, int fd, bool notify);
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   // self-pipe: stop() writes, the loop drains
+  int wake_write_fd_ = -1;
+  std::uint16_t tcp_port_ = 0;
+  std::map<int, Connection> connections_;
+  bool stopping_ = false;
+};
+
+}  // namespace cdsflow::net

@@ -31,6 +31,21 @@ std::vector<BatchResult> BatchCollector::take() {
   return std::move(results_);
 }
 
+std::vector<BatchResult> BatchCollector::peek_ready(std::size_t begin) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // results_ is small and unsorted (lanes complete out of order); walk the
+  // contiguous index run from `begin` with a linear probe per step.
+  std::vector<BatchResult> ready;
+  for (std::size_t want = begin;; ++want) {
+    const auto it =
+        std::find_if(results_.begin(), results_.end(),
+                     [want](const BatchResult& r) { return r.index == want; });
+    if (it == results_.end()) break;
+    ready.push_back(*it);
+  }
+  return ready;
+}
+
 std::size_t BatchCollector::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return results_.size();
@@ -307,6 +322,12 @@ StreamReport StreamRuntime::finish() {
         static_cast<double>(report.batches.size()) / report.wall_seconds;
   }
   return report;
+}
+
+std::vector<stream_detail::BatchResult> StreamRuntime::poll_batches() {
+  auto ready = collector_.peek_ready(next_polled_batch_);
+  next_polled_batch_ += ready.size();
+  return ready;
 }
 
 StreamReport StreamRuntime::play(

@@ -160,6 +160,11 @@ class BatchCollector {
   /// Hands back all batches sorted by index; asserts they are the
   /// contiguous range 0..n-1 (no batch lost, none duplicated).
   std::vector<BatchResult> take();
+  /// Copies the contiguous completed prefix starting at batch index `begin`
+  /// (stops at the first gap) without removing anything -- the incremental
+  /// counterpart of take() for callers that need results while the stream
+  /// is still live. take()'s contiguity assertion is unaffected.
+  std::vector<BatchResult> peek_ready(std::size_t begin) const;
   std::size_t count() const;
 
  private:
@@ -199,6 +204,16 @@ class StreamRuntime {
   /// -- then finish()es.
   StreamReport play(const std::vector<workload::QuoteFeedEvent>& feed);
 
+  /// Session hook for live consumers (the pricing service): hands back the
+  /// micro-batches completed since the previous poll_batches() call, in
+  /// batch-index (= event ingest) order, while the stream stays open.
+  /// Copies -- finish() still returns the full merged report afterwards.
+  /// Because batches are returned only once their whole contiguous prefix
+  /// is complete, concatenating the polled results reproduces the merged
+  /// event-order result stream incrementally (same determinism guarantee as
+  /// finish(), see file header). Call from one consumer thread.
+  std::vector<stream_detail::BatchResult> poll_batches();
+
   unsigned lanes() const { return lanes_; }
   bool risk_mode() const { return pricer_config_.risk_mode; }
   std::size_t ladder_buckets() const;
@@ -231,6 +246,10 @@ class StreamRuntime {
   std::exception_ptr failure_;
   bool first_ingest_set_ = false;
   StreamClock::time_point first_ingest_{};
+
+  /// First batch index the next poll_batches() call will hand back
+  /// (consumer-thread state, see poll_batches()).
+  std::size_t next_polled_batch_ = 0;
 
   bool finished_ = false;
 };

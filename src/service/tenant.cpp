@@ -1,0 +1,193 @@
+#include "service/tenant.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "cds/stream_pricer.hpp"
+#include "common/error.hpp"
+#include "engines/registry.hpp"
+#include "net/codec.hpp"
+#include "workload/options.hpp"
+
+namespace cdsflow::service {
+
+engine::BackendCandidate calibrate_stream_fit(
+    const cds::TermStructure& interest, const cds::TermStructure& hazard,
+    const runtime::StreamConfig& stream,
+    const std::vector<std::size_t>& probe_sizes) {
+  CDSFLOW_EXPECT(!probe_sizes.empty(), "calibration needs probe sizes");
+
+  engine::CpuEngineConfig cpu;
+  CDSFLOW_EXPECT(engine::parse_cpu_engine_name(stream.engine, cpu),
+                 "calibration needs a CPU-family engine name");
+  cds::StreamPricerConfig pricer_config;
+  pricer_config.risk_mode = cpu.risk_mode;
+  pricer_config.risk_bump = stream.risk_bump;
+  pricer_config.ladder_edges = stream.ladder_edges;
+  if (cpu.vector_kernel) {
+    pricer_config.kernel_level = cds::simd::active_level();
+  }
+
+  // The planner's probe protocol (one warmup, best of two timed repeats)
+  // against the exact pricer a tenant lane will run. A fresh pricer per
+  // size keeps the grid-cache state comparable to a lane's cold start --
+  // the fit's setup term is precisely that cost.
+  std::vector<engine::ProbeMeasurement> probes;
+  for (const std::size_t size : probe_sizes) {
+    workload::PortfolioSpec book;
+    book.count = size;
+    book.seed = 7;
+    const auto options = workload::make_portfolio(book);
+    std::vector<cds::SpreadResult> out(options.size());
+    std::vector<cds::Sensitivities> greeks;
+    std::vector<double> ladder;
+
+    double best = 0.0;
+    for (unsigned repeat = 0; repeat < 3; ++repeat) {
+      cds::StreamPricer pricer(interest, hazard, pricer_config);
+      if (pricer_config.risk_mode) {
+        greeks.resize(options.size());
+        ladder.resize(options.size() * pricer.ladder_buckets());
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      if (pricer_config.risk_mode) {
+        pricer.price_with_sensitivities(options, out, greeks, ladder);
+      } else {
+        pricer.price(options, out);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double seconds = std::chrono::duration<double>(t1 - t0).count();
+      if (repeat == 0) continue;  // discarded warmup
+      best = (best == 0.0) ? seconds : std::min(best, seconds);
+    }
+    probes.push_back({size, std::max(best, 1e-9)});
+  }
+  return engine::fit_backend_model(stream.engine, 1.0, std::move(probes));
+}
+
+TenantSession::TenantSession(TenantSpec spec,
+                             const cds::TermStructure& interest,
+                             const cds::TermStructure& hazard)
+    : spec_(std::move(spec)),
+      hazard_knots_(hazard.size()),
+      runtime_(interest, hazard, spec_.stream),
+      admission_(spec_.fit, runtime_.lanes()) {
+  CDSFLOW_EXPECT(spec_.id != 0, "tenant id 0 is reserved on the wire");
+}
+
+bool TenantSession::push_quote(std::uint32_t knot, double rate,
+                               std::string* error) {
+  // Semantic validation the codec deliberately leaves to the service: the
+  // runtime's dispatcher applies updates on its own thread, so a bad knot
+  // must be refused here, not discovered as a lane failure later.
+  if (knot >= hazard_knots_) {
+    if (error != nullptr) {
+      *error = "hazard knot " + std::to_string(knot) + " out of range (curve " +
+               "has " + std::to_string(hazard_knots_) + " knots)";
+    }
+    return false;
+  }
+  if (!std::isfinite(rate) || rate <= 0.0) {
+    if (error != nullptr) *error = "hazard rate must be finite and positive";
+    return false;
+  }
+  runtime_.push_hazard_quote(knot, rate);
+  return true;
+}
+
+AdmissionDecision TenantSession::submit(
+    int conn, std::uint32_t request,
+    const std::vector<cds::CdsOption>& options, double now_seconds) {
+  CDSFLOW_EXPECT(!drained_, "tenant session already drained");
+  const AdmissionDecision decision = admission_.decide(
+      spec_.id, request, options.size(), now_seconds, spec_.deadline);
+  if (decision == AdmissionDecision::kShed) return decision;
+
+  // Admitted work enters the event stream atomically in frame order; the
+  // runtime's ordered merge then guarantees the request owns a contiguous
+  // result span (see file header).
+  Pending pending;
+  pending.conn = conn;
+  pending.request = request;
+  pending.n_options = options.size();
+  pending.status = decision == AdmissionDecision::kDefer
+                       ? net::kResultDeferred
+                       : net::kResultOnTime;
+  pending.arrival_seconds = now_seconds;
+  for (const auto& option : options) runtime_.push(option);
+  pending_.push_back(pending);
+  return decision;
+}
+
+std::vector<TenantSession::Completed> TenantSession::complete_ready(
+    double now_seconds) {
+  std::vector<Completed> done;
+  while (!pending_.empty() &&
+         buffered_results_.size() >= pending_.front().n_options) {
+    const Pending& pending = pending_.front();
+    Completed completed;
+    completed.conn = pending.conn;
+    completed.request = pending.request;
+    completed.status = pending.status;
+    completed.risk = risk();
+    const auto end =
+        buffered_results_.begin() +
+        static_cast<std::ptrdiff_t>(pending.n_options);
+    completed.results.assign(buffered_results_.begin(), end);
+    buffered_results_.erase(buffered_results_.begin(), end);
+    if (risk()) {
+      const auto gend = buffered_greeks_.begin() +
+                        static_cast<std::ptrdiff_t>(pending.n_options);
+      completed.greeks.assign(buffered_greeks_.begin(), gend);
+      buffered_greeks_.erase(buffered_greeks_.begin(), gend);
+    }
+    completed.latency_us = (now_seconds - pending.arrival_seconds) * 1e6;
+    latency_us_.push_back(completed.latency_us);
+    consumed_events_ += pending.n_options;
+    pending_.pop_front();
+    done.push_back(std::move(completed));
+  }
+  return done;
+}
+
+std::vector<TenantSession::Completed> TenantSession::poll(double now_seconds) {
+  CDSFLOW_EXPECT(!drained_, "tenant session already drained");
+  for (auto& batch : runtime_.poll_batches()) {
+    buffered_results_.insert(buffered_results_.end(), batch.results.begin(),
+                             batch.results.end());
+    if (risk()) {
+      buffered_greeks_.insert(buffered_greeks_.end(),
+                              batch.sensitivities.begin(),
+                              batch.sensitivities.end());
+    }
+  }
+  return complete_ready(now_seconds);
+}
+
+std::vector<TenantSession::Completed> TenantSession::drain(
+    double now_seconds) {
+  CDSFLOW_EXPECT(!drained_, "tenant session already drained");
+  drained_ = true;
+  const runtime::StreamReport report = runtime_.finish();
+  // The collector kept every batch (poll_batches only copies), so the
+  // merged report re-derives the full ordered stream; everything past what
+  // has been sliced into responses is still owed to pending requests.
+  CDSFLOW_ASSERT(report.run.results.size() >= consumed_events_,
+                 "drained stream shorter than consumed prefix");
+  buffered_results_.assign(
+      report.run.results.begin() +
+          static_cast<std::ptrdiff_t>(consumed_events_),
+      report.run.results.end());
+  if (risk()) {
+    buffered_greeks_.assign(
+        report.run.sensitivities.begin() +
+            static_cast<std::ptrdiff_t>(consumed_events_),
+        report.run.sensitivities.end());
+  }
+  auto done = complete_ready(now_seconds);
+  CDSFLOW_ASSERT(pending_.empty(),
+                 "drained session left requests without results");
+  return done;
+}
+
+}  // namespace cdsflow::service

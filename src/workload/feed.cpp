@@ -30,15 +30,26 @@ std::vector<QuoteFeedEvent> make_quote_feed(const QuoteFeedSpec& spec,
   const std::size_t n_options = spec.events - n_updates;
   CDSFLOW_EXPECT(n_options > 0, "feed must contain at least one option event");
 
+  // Split-tree stream derivation: seed -> (tenant branch) -> role leaves.
+  // Each tenant gets its own branch of the root stream and the three role
+  // streams (book, arrivals, updates) are leaves of that branch, so two
+  // tenants on the same seed share no stream state at all -- the split
+  // contract of common/rng.hpp, as opposed to seed arithmetic, whose
+  // splitmix64-adjacent seeds yield correlated expanded states. Tenant 0
+  // takes the root branch itself, reproducing the pre-tenant feeds
+  // bit-for-bit.
+  const Rng root = spec.tenant == 0
+                       ? Rng(spec.seed)
+                       : Rng(spec.seed).split(0x74656E61000000ULL + spec.tenant);
   PortfolioSpec book = spec.book;
   book.count = n_options;
-  book.seed = Rng(spec.seed).split(1).next_u64();
+  book.seed = root.split(1).next_u64();
   const auto options = make_portfolio(book);
 
   // Independent child streams so adding a consumer never perturbs the
   // others (common/rng.hpp): arrivals, update knots, update sizes.
-  Rng arrival_rng = Rng(spec.seed).split(2);
-  Rng update_rng = Rng(spec.seed).split(3);
+  Rng arrival_rng = root.split(2);
+  Rng update_rng = root.split(3);
 
   std::vector<QuoteFeedEvent> feed;
   feed.reserve(spec.events);

@@ -38,6 +38,15 @@ struct QuoteFeedSpec {
   /// spec's own count is ignored).
   PortfolioSpec book;
   std::uint64_t seed = 42;
+  /// Tenant stream selector: feeds drawn from the same `seed` but distinct
+  /// `tenant` values are independent streams (distinct split-tree branches
+  /// of the seed's root Rng -- see make_quote_feed). Deriving per-tenant
+  /// seeds by arithmetic on `seed` instead (seed + t, seed ^ t, ...) is NOT
+  /// safe: Rng's constructor expands the seed through a splitmix64 chain,
+  /// so nearby seeds share most of their expanded state words and the
+  /// resulting books/arrivals are visibly correlated. 0 (the default)
+  /// reproduces the pre-tenant feeds bit-for-bit.
+  std::uint32_t tenant = 0;
 
   void validate() const;
 };

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "io/csv.hpp"
@@ -162,6 +165,50 @@ TEST(CsvQuotes, SkipsBlankLines) {
 TEST(CsvWrite, UnwritablePathFails) {
   EXPECT_THROW(write_results_csv("/nonexistent_dir/out.csv", {{0, 1.0}}),
                Error);
+}
+
+TEST(LatencyCdf, RowsCoverFixedPercentileLadderPerTenant) {
+  // 1..100 us: percentile(p) by linear interpolation is analytic.
+  std::vector<double> latency_us(100);
+  for (std::size_t i = 0; i < latency_us.size(); ++i) {
+    latency_us[i] = static_cast<double>(i + 1);
+  }
+  const auto rows = latency_cdf_rows(7, latency_us);
+  ASSERT_EQ(rows.size(), 11u);
+  for (const auto& row : rows) EXPECT_EQ(row.tenant, 7u);
+  // Ladder is sorted and the CDF is monotone.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].percentile, rows[i - 1].percentile);
+    EXPECT_GE(rows[i].latency_us, rows[i - 1].latency_us);
+  }
+  EXPECT_EQ(rows.front().percentile, 1.0);
+  EXPECT_EQ(rows.back().percentile, 100.0);
+  EXPECT_EQ(rows.back().latency_us, 100.0);
+  // Median of 1..100 interpolates halfway between the 50th and 51st values.
+  const auto p50 = std::find_if(rows.begin(), rows.end(), [](const auto& r) {
+    return r.percentile == 50.0;
+  });
+  ASSERT_NE(p50, rows.end());
+  EXPECT_DOUBLE_EQ(p50->latency_us, 50.5);
+
+  EXPECT_TRUE(latency_cdf_rows(7, {}).empty());
+}
+
+TEST(LatencyCdf, WriterEmitsOneLinePerRowWithHeader) {
+  const std::vector<LatencyCdfRow> rows = {
+      {1, 50.0, 12.5}, {1, 99.0, 80.25}, {2, 50.0, 7.0}};
+  TempFile file("latency_cdf");
+  write_latency_cdf_csv(file.path(), rows);
+  std::ifstream in(file.path());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "tenant,percentile,latency_us");
+  std::vector<std::string> body;
+  while (std::getline(in, line)) body.push_back(line);
+  ASSERT_EQ(body.size(), rows.size());
+  EXPECT_EQ(body[0], "1,50,12.5");
+  EXPECT_EQ(body[1], "1,99,80.25");
+  EXPECT_EQ(body[2], "2,50,7");
 }
 
 }  // namespace

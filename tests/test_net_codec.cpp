@@ -1,0 +1,440 @@
+/// \file test_net_codec.cpp
+/// Fuzz + property tests for the service wire codec -- the trust boundary.
+///
+/// Properties: every frame type round-trips bit-exactly through
+/// encode->FrameReader under arbitrary stream splits (byte-at-a-time
+/// included); every entry of a malformed corpus (truncated/oversized
+/// lengths, bad magic/version/type, reserved bits, count mismatches)
+/// cleanly poisons the reader -- no crash, no hang, no frame invented --
+/// and nothing behind the poison point is ever surfaced. A seeded
+/// random-bytes and bit-flip fuzz runs the same invariants over thousands
+/// of adversarial streams; the suite runs under the ASan/UBSan and TSan CI
+/// lanes, so "cleanly" is memory-clean, not just exception-clean.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/codec.hpp"
+
+namespace cdsflow {
+namespace {
+
+using net::Frame;
+using net::FrameReader;
+using net::FrameType;
+using net::RejectReason;
+
+std::vector<cds::CdsOption> random_options(Rng& rng, std::size_t count) {
+  std::vector<cds::CdsOption> options(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    options[i].id = static_cast<std::int32_t>(rng.uniform_int(-1000, 100000));
+    options[i].maturity_years = rng.uniform(0.25, 30.0);
+    options[i].payment_frequency = rng.uniform(0.25, 1.0);
+    options[i].recovery_rate = rng.uniform(0.0, 0.9);
+  }
+  return options;
+}
+
+std::vector<cds::SpreadResult> random_results(Rng& rng, std::size_t count) {
+  std::vector<cds::SpreadResult> results(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    results[i].id = static_cast<std::int32_t>(rng.uniform_int(0, 1 << 20));
+    results[i].spread_bps = rng.uniform(-500.0, 5000.0);
+  }
+  return results;
+}
+
+std::vector<cds::Sensitivities> random_greeks(
+    Rng& rng, const std::vector<cds::SpreadResult>& results) {
+  std::vector<cds::Sensitivities> greeks(results.size());
+  for (std::size_t i = 0; i < greeks.size(); ++i) {
+    greeks[i].spread_bps = results[i].spread_bps;
+    greeks[i].cs01 = rng.uniform(-10.0, 10.0);
+    greeks[i].ir01 = rng.uniform(-10.0, 10.0);
+    greeks[i].rec01 = rng.uniform(-10.0, 10.0);
+    greeks[i].jtd = rng.uniform(-1e6, 1e6);
+  }
+  return greeks;
+}
+
+/// Feeds `bytes` to a reader in `chunk`-sized pieces and collects frames.
+std::vector<Frame> decode_chunked(const std::vector<std::uint8_t>& bytes,
+                                  std::size_t chunk, FrameReader& reader) {
+  std::vector<Frame> frames;
+  for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, bytes.size() - off);
+    reader.feed(bytes.data() + off, n);
+    while (auto frame = reader.next()) frames.push_back(std::move(*frame));
+  }
+  while (auto frame = reader.next()) frames.push_back(std::move(*frame));
+  return frames;
+}
+
+void expect_bit_equal(const std::vector<cds::SpreadResult>& a,
+                      const std::vector<cds::SpreadResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].spread_bps),
+              std::bit_cast<std::uint64_t>(b[i].spread_bps));
+  }
+}
+
+// --- round-trip properties --------------------------------------------------
+
+TEST(NetCodec, QuoteUpdateRoundTripsUnderAllSplits) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto tenant = static_cast<std::uint32_t>(rng.uniform_int(1, 1000));
+    const auto knot = static_cast<std::uint32_t>(rng.uniform_int(0, 63));
+    const double rate = rng.uniform(1e-6, 0.5);
+    const auto bytes = net::encode_quote_update(tenant, knot, rate);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    bytes.size()}) {
+      FrameReader reader;
+      const auto frames = decode_chunked(bytes, chunk, reader);
+      ASSERT_FALSE(reader.failed()) << reader.error();
+      ASSERT_EQ(frames.size(), 1u);
+      EXPECT_EQ(frames[0].type, FrameType::kQuoteUpdate);
+      EXPECT_EQ(frames[0].tenant, tenant);
+      EXPECT_EQ(frames[0].knot, knot);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].rate),
+                std::bit_cast<std::uint64_t>(rate));
+    }
+  }
+}
+
+TEST(NetCodec, PriceAndRiskRequestsRoundTripRandomPayloads) {
+  Rng rng(202);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    const auto options = random_options(rng, count);
+    const bool risk = trial % 2 == 1;
+    const auto bytes = net::encode_price_request(9, 1000 + trial, options,
+                                                 risk);
+    FrameReader reader;
+    const auto frames = decode_chunked(bytes, 13, reader);
+    ASSERT_FALSE(reader.failed()) << reader.error();
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type,
+              risk ? FrameType::kRiskRequest : FrameType::kPriceRequest);
+    EXPECT_EQ(frames[0].request, static_cast<std::uint32_t>(1000 + trial));
+    ASSERT_EQ(frames[0].options.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(frames[0].options[i].id, options[i].id);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].options[i].maturity_years),
+                std::bit_cast<std::uint64_t>(options[i].maturity_years));
+      EXPECT_EQ(
+          std::bit_cast<std::uint64_t>(frames[0].options[i].payment_frequency),
+          std::bit_cast<std::uint64_t>(options[i].payment_frequency));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].options[i].recovery_rate),
+                std::bit_cast<std::uint64_t>(options[i].recovery_rate));
+    }
+  }
+}
+
+TEST(NetCodec, ResultFramesRoundTripPriceAndRiskKinds) {
+  Rng rng(303);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    const auto results = random_results(rng, count);
+    const bool risk = trial % 2 == 0 && count > 0;
+    const auto greeks =
+        risk ? random_greeks(rng, results) : std::vector<cds::Sensitivities>{};
+    const std::uint8_t status =
+        trial % 3 == 0 ? net::kResultDeferred : net::kResultOnTime;
+    const auto bytes = net::encode_result(3, 77 + trial, status, results,
+                                          greeks);
+    FrameReader reader;
+    const auto frames = decode_chunked(bytes, 1, reader);  // worst-case split
+    ASSERT_FALSE(reader.failed()) << reader.error();
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, FrameType::kResult);
+    EXPECT_EQ(frames[0].status, status);
+    EXPECT_EQ(frames[0].risk, risk);
+    expect_bit_equal(frames[0].results, results);
+    if (risk) {
+      ASSERT_EQ(frames[0].greeks.size(), greeks.size());
+      for (std::size_t i = 0; i < greeks.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].greeks[i].cs01),
+                  std::bit_cast<std::uint64_t>(greeks[i].cs01));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].greeks[i].jtd),
+                  std::bit_cast<std::uint64_t>(greeks[i].jtd));
+      }
+    }
+  }
+}
+
+TEST(NetCodec, RejectFramesRoundTripEveryReason) {
+  for (const auto reason :
+       {RejectReason::kMalformed, RejectReason::kOverload,
+        RejectReason::kUnknownTenant, RejectReason::kWrongMode}) {
+    const auto bytes =
+        net::encode_reject(4, 9, reason, "why: " + std::string(50, 'x'));
+    FrameReader reader;
+    const auto frames = decode_chunked(bytes, 3, reader);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, FrameType::kReject);
+    EXPECT_EQ(frames[0].reason, reason);
+    EXPECT_EQ(frames[0].detail, "why: " + std::string(50, 'x'));
+  }
+}
+
+TEST(NetCodec, BackToBackFramesDecodeInOrderAcrossRandomSplits) {
+  Rng rng(404);
+  std::vector<std::uint8_t> stream;
+  std::vector<std::uint32_t> request_ids;
+  for (int i = 0; i < 20; ++i) {
+    const auto options =
+        random_options(rng, static_cast<std::size_t>(rng.uniform_int(1, 40)));
+    const auto id = static_cast<std::uint32_t>(i + 1);
+    request_ids.push_back(id);
+    const auto bytes = net::encode_price_request(1, id, options);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  // Random chunking independent of frame boundaries.
+  FrameReader reader;
+  std::vector<Frame> frames;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    const auto chunk = static_cast<std::size_t>(rng.uniform_int(1, 97));
+    const std::size_t n = std::min(chunk, stream.size() - off);
+    ASSERT_TRUE(reader.feed(stream.data() + off, n));
+    off += n;
+    while (auto frame = reader.next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(frames.size(), request_ids.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].request, request_ids[i]);
+  }
+}
+
+// --- encoder bounds ---------------------------------------------------------
+
+TEST(NetCodec, EncodersEnforceTheSameBoundsTheDecoderRejects) {
+  Rng rng(505);
+  auto too_many = random_options(rng, net::kMaxOptionsPerRequest + 1);
+  EXPECT_THROW(net::encode_price_request(1, 1, too_many), Error);
+  EXPECT_THROW(net::encode_price_request(1, 1, {}), Error);
+  EXPECT_THROW(net::encode_reject(1, 1, RejectReason::kOverload,
+                                  std::string(net::kMaxRejectDetailBytes + 1,
+                                              'a')),
+               Error);
+}
+
+// --- malformed corpus -------------------------------------------------------
+
+struct Malformation {
+  const char* name;
+  /// Mutates a valid frame (or fabricates an invalid one).
+  std::vector<std::uint8_t> (*build)();
+};
+
+std::vector<std::uint8_t> valid_request() {
+  std::vector<cds::CdsOption> options(3);
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    options[i].id = static_cast<std::int32_t>(i);
+    options[i].maturity_years = 5.0;
+    options[i].payment_frequency = 0.25;
+    options[i].recovery_rate = 0.4;
+  }
+  return net::encode_price_request(7, 42, options);
+}
+
+void put_le32(std::vector<std::uint8_t>& b, std::size_t off,
+              std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+const Malformation kMalformedCorpus[] = {
+    {"bad magic",
+     [] {
+       auto b = valid_request();
+       b[0] ^= 0xFF;
+       return b;
+     }},
+    {"bad version",
+     [] {
+       auto b = valid_request();
+       b[4] = 99;
+       return b;
+     }},
+    {"unknown frame type",
+     [] {
+       auto b = valid_request();
+       b[5] = 200;
+       return b;
+     }},
+    {"reserved header flags set",
+     [] {
+       auto b = valid_request();
+       b[6] = 1;
+       return b;
+     }},
+    {"oversized payload length",
+     [] {
+       auto b = valid_request();
+       put_le32(b, 16, static_cast<std::uint32_t>(net::kMaxPayloadBytes + 1));
+       return b;
+     }},
+    {"payload length below its count field",
+     [] {
+       auto b = valid_request();
+       put_le32(b, 16, 2);
+       b.resize(net::kHeaderBytes + 2);
+       return b;
+     }},
+    {"zero option count",
+     [] {
+       auto b = valid_request();
+       put_le32(b, net::kHeaderBytes, 0);
+       return b;
+     }},
+    {"count does not match payload size",
+     [] {
+       auto b = valid_request();
+       put_le32(b, net::kHeaderBytes, 2);  // payload sized for 3
+       return b;
+     }},
+    {"count above kMaxOptionsPerRequest",
+     [] {
+       auto b = valid_request();
+       put_le32(b, net::kHeaderBytes,
+                static_cast<std::uint32_t>(net::kMaxOptionsPerRequest + 1));
+       return b;
+     }},
+    {"quote-update payload wrong size",
+     [] {
+       auto b = net::encode_quote_update(1, 5, 0.02);
+       put_le32(b, 16, 11);
+       b.resize(net::kHeaderBytes + 11);
+       return b;
+     }},
+    {"unknown result status",
+     [] {
+       auto b = net::encode_result(1, 1, net::kResultOnTime, {});
+       b[net::kHeaderBytes] = 9;
+       return b;
+     }},
+    {"unknown reject reason",
+     [] {
+       auto b = net::encode_reject(1, 1, RejectReason::kMalformed, "x");
+       b[net::kHeaderBytes] = 0;
+       return b;
+     }},
+    {"reject detail length mismatch",
+     [] {
+       auto b = net::encode_reject(1, 1, RejectReason::kOverload, "abc");
+       b[net::kHeaderBytes + 2] = 200;  // detail_len > remaining payload
+       return b;
+     }},
+};
+
+TEST(NetCodec, MalformedCorpusCleanlyPoisonsUnderEverySplit) {
+  for (const auto& malformation : kMalformedCorpus) {
+    const auto bytes = malformation.build();
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{5}, bytes.size()}) {
+      FrameReader reader;
+      const auto frames = decode_chunked(bytes, chunk, reader);
+      EXPECT_TRUE(reader.failed())
+          << malformation.name << " (chunk " << chunk << ") not rejected";
+      EXPECT_TRUE(frames.empty())
+          << malformation.name << " produced a frame from malformed input";
+      EXPECT_FALSE(reader.error().empty()) << malformation.name;
+      // Poison is sticky: valid bytes after the fact stay untrusted.
+      const auto good = valid_request();
+      EXPECT_FALSE(reader.feed(good.data(), good.size()));
+      EXPECT_FALSE(reader.next().has_value());
+    }
+  }
+}
+
+TEST(NetCodec, TruncatedHeaderOrPayloadNeverCompletesButNeverPoisons) {
+  const auto bytes = valid_request();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameReader reader;
+    ASSERT_TRUE(reader.feed(bytes.data(), cut));
+    EXPECT_FALSE(reader.failed());
+    EXPECT_FALSE(reader.next().has_value())
+        << "frame completed from a " << cut << "-byte prefix";
+    // The remainder completes it -- a split read is not an error.
+    ASSERT_TRUE(reader.feed(bytes.data() + cut, bytes.size() - cut));
+    EXPECT_TRUE(reader.next().has_value());
+  }
+}
+
+TEST(NetCodec, FramesBeforeThePoisonPointSurviveFramesAfterDoNot) {
+  auto good = valid_request();
+  auto bad = valid_request();
+  bad[0] ^= 0xFF;
+  std::vector<std::uint8_t> stream = good;
+  stream.insert(stream.end(), bad.begin(), bad.end());
+  stream.insert(stream.end(), good.begin(), good.end());
+
+  FrameReader reader;
+  reader.feed(stream.data(), stream.size());
+  EXPECT_TRUE(reader.failed());
+  std::size_t frames = 0;
+  while (reader.next()) ++frames;
+  EXPECT_EQ(frames, 1u) << "only the pre-poison frame may surface";
+}
+
+// --- fuzz -------------------------------------------------------------------
+
+TEST(NetCodec, RandomByteStreamsNeverCrashOrHang) {
+  Rng rng(606);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    while (reader.next()) {
+    }
+    // Bounded buffering even when the stream is garbage that happens to
+    // parse as an incomplete frame.
+    EXPECT_LE(reader.buffered_bytes(),
+              net::kMaxPayloadBytes + net::kHeaderBytes);
+  }
+}
+
+TEST(NetCodec, BitFlippedValidFramesNeverCrashAndNeverMisdecodeSilently) {
+  Rng rng(707);
+  const auto baseline = valid_request();
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = baseline;
+    const auto flips = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    for (std::size_t f = 0; f < flips; ++f) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, bytes.size() - 1));
+      bytes[pos] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    std::size_t frames = 0;
+    while (reader.next()) ++frames;
+    if (reader.failed()) {
+      EXPECT_FALSE(reader.error().empty());
+    } else {
+      // Flips confined to the body decode as *some* structurally-valid
+      // frame; there must never be more than the one frame that was sent.
+      EXPECT_LE(frames, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdsflow

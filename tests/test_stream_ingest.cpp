@@ -278,6 +278,82 @@ std::vector<cds::SpreadResult> replay_serially(
   return results;
 }
 
+// --- per-tenant feed independence -------------------------------------------
+
+/// Collapses a feed into a comparable fingerprint: the exact doubles that the
+/// generator draws (arrivals, option fields, update rates). Bit equality of
+/// fingerprints means bit equality of feeds.
+std::vector<double> feed_fingerprint(
+    const std::vector<workload::QuoteFeedEvent>& feed) {
+  std::vector<double> fp;
+  for (const auto& event : feed) {
+    fp.push_back(event.offset_seconds);
+    if (event.kind == workload::QuoteFeedEvent::Kind::kOption) {
+      fp.push_back(event.option.maturity_years);
+      fp.push_back(event.option.recovery_rate);
+    } else {
+      fp.push_back(static_cast<double>(event.knot));
+      fp.push_back(event.rate);
+    }
+  }
+  return fp;
+}
+
+workload::QuoteFeedSpec tenant_feed_spec(std::uint64_t seed,
+                                         std::uint32_t tenant) {
+  auto spec = small_feed_spec(96, 8);
+  spec.seed = seed;
+  spec.tenant = tenant;
+  spec.rate_hz = 1000.0;  // exercise the arrival stream too
+  return spec;
+}
+
+TEST(QuoteFeed, TenantZeroReproducesTheLegacyStreamBitForBit) {
+  const auto hazard = test_hazard();
+  auto legacy = small_feed_spec(96, 8);
+  legacy.rate_hz = 1000.0;
+  legacy.seed = 7;
+  // tenant is defaulted to 0 in `legacy`; setting it explicitly must not
+  // perturb a single drawn bit.
+  EXPECT_EQ(feed_fingerprint(workload::make_quote_feed(legacy, hazard)),
+            feed_fingerprint(
+                workload::make_quote_feed(tenant_feed_spec(7, 0), hazard)));
+}
+
+TEST(QuoteFeed, TenantStreamsAreDeterministicAndPairwiseDistinct) {
+  const auto hazard = test_hazard();
+  std::vector<std::vector<double>> prints;
+  for (const std::uint32_t tenant : {0u, 1u, 2u, 3u, 4u}) {
+    const auto spec = tenant_feed_spec(7, tenant);
+    const auto a = feed_fingerprint(workload::make_quote_feed(spec, hazard));
+    const auto b = feed_fingerprint(workload::make_quote_feed(spec, hazard));
+    EXPECT_EQ(a, b) << "tenant " << tenant << " feed must be reproducible";
+    prints.push_back(a);
+  }
+  for (std::size_t i = 0; i < prints.size(); ++i) {
+    for (std::size_t j = i + 1; j < prints.size(); ++j) {
+      EXPECT_NE(prints[i], prints[j])
+          << "tenants " << i << " and " << j << " share a stream";
+    }
+  }
+}
+
+TEST(QuoteFeed, TenantDerivationIsNotSeedArithmetic) {
+  // The classic bug: deriving tenant streams as seed + tenant, which makes
+  // (seed=7, tenant=2) collide with (seed=8, tenant=1) and (seed=9,
+  // tenant=0). The split-tree derivation must keep all of these distinct.
+  const auto hazard = test_hazard();
+  const auto base =
+      feed_fingerprint(workload::make_quote_feed(tenant_feed_spec(7, 2),
+                                                 hazard));
+  EXPECT_NE(base, feed_fingerprint(workload::make_quote_feed(
+                      tenant_feed_spec(8, 1), hazard)));
+  EXPECT_NE(base, feed_fingerprint(workload::make_quote_feed(
+                      tenant_feed_spec(9, 0), hazard)));
+  EXPECT_NE(base, feed_fingerprint(workload::make_quote_feed(
+                      tenant_feed_spec(5, 4), hazard)));
+}
+
 TEST(StreamRuntime, MatchesSerialReplayWithHazardUpdates) {
   const auto interest = test_interest();
   const auto hazard = test_hazard();
@@ -419,6 +495,54 @@ TEST(StreamRuntime, BadHazardUpdateSurfacesAtFinish) {
   rt.push(option_with_id(0));
   rt.push_hazard_quote(1'000'000, 0.02);  // knot out of range
   EXPECT_THROW(rt.finish(), Error);
+}
+
+TEST(StreamRuntime, PollBatchesHarvestsEachBatchExactlyOnceInOrder) {
+  const auto interest = test_interest();
+  const auto hazard = test_hazard();
+  runtime::StreamConfig cfg;
+  cfg.lanes = 2;
+  cfg.max_batch = 6;  // divides the push count: every batch flushes on full
+  cfg.max_wait_us = 100;
+  runtime::StreamRuntime rt(interest, hazard, cfg);
+
+  constexpr std::size_t kOptions = 60;
+  for (std::size_t i = 0; i < kOptions; ++i) {
+    ASSERT_TRUE(rt.push(option_with_id(static_cast<std::int32_t>(i))));
+  }
+
+  // Harvest incrementally while the lanes drain. Every poll returns only
+  // batches not seen before, and the stitched stream is the contiguous
+  // batch sequence 0..n-1.
+  std::vector<cds::SpreadResult> polled;
+  std::size_t next_index = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (polled.size() < kOptions) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "poll_batches never surfaced all batches";
+    for (const auto& batch : rt.poll_batches()) {
+      EXPECT_EQ(batch.index, next_index) << "batch replayed or skipped";
+      ++next_index;
+      polled.insert(polled.end(), batch.results.begin(), batch.results.end());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // At least one batch per max_batch window; timer flushes may add more.
+  EXPECT_GE(next_index, kOptions / cfg.max_batch);
+  // Fully harvested: an extra poll is empty, not a replay from index 0.
+  EXPECT_TRUE(rt.poll_batches().empty());
+
+  // finish() still observes the complete run -- polling copies, it does not
+  // consume the collector.
+  const auto report = rt.finish();
+  ASSERT_EQ(report.run.results.size(), kOptions);
+  ASSERT_EQ(polled.size(), kOptions);
+  for (std::size_t i = 0; i < kOptions; ++i) {
+    EXPECT_EQ(polled[i].id, report.run.results[i].id) << "at " << i;
+    EXPECT_EQ(polled[i].spread_bps, report.run.results[i].spread_bps)
+        << "at " << i;
+  }
 }
 
 TEST(StreamRuntime, RejectsNonCpuEngines) {

@@ -76,6 +76,36 @@
 /// SweepPricer replicas (results bit-identical for any worker/shard
 /// split); --out writes the per-scenario min/max spread aggregates as CSV.
 ///
+///   cdsflow_cli serve [--unix /tmp/cds.sock | --port N] [--tenants K]
+///                     [--risk-tenants R] [--engine cpu-batch] [--lanes L]
+///                     [--max-batch B] [--max-wait-us W]
+///                     [--class interactive|standard|batch]
+///                     [--ops-per-second X --setup-s S] [--stop-when-idle]
+///                     [--latency-cdf cdf.csv]
+///                     [--curve-interest f.csv] [--curve-hazard f.csv]
+///
+/// `serve` runs the multi-tenant binary pricing service (src/service/):
+/// tenants 1..K each get their own StreamRuntime (the last R in risk mode)
+/// and an admission controller that projects each request's completion
+/// through the planner's affine fit -- calibrated by probing the serving
+/// engine unless --ops-per-second/--setup-s pin it -- and admits, defers or
+/// sheds against the deadline class. --port 0 binds an ephemeral TCP port
+/// (printed); --stop-when-idle exits once all clients have come and gone
+/// (scripted runs); --latency-cdf writes per-tenant response-latency
+/// percentiles as CSV.
+///
+///   cdsflow_cli client-replay (--unix /tmp/cds.sock | --host H --port N)
+///                     [--tenant T] [--events N] [--request-size S]
+///                     [--hazard-every K] [--risk] [--seed S]
+///                     [--tenors 1,3,5,7,10] [--out results.csv]
+///                     [--curve-hazard f.csv]
+///
+/// `client-replay` replays tenant T's seeded feed against a running server:
+/// option events are grouped into price/risk requests of at most
+/// --request-size (hazard updates flush the open request, preserving event
+/// order), sent pipelined, and the responses are collected in request
+/// order. Exit code 1 if any request was rejected.
+///
 ///   cdsflow_cli bootstrap --quotes quotes.csv [--out hazard.csv]
 ///   cdsflow_cli engines
 ///   cdsflow_cli device [--engines N] [--lanes L]
@@ -83,11 +113,15 @@
 /// Exit code 0 on success, 1 on usage/validation errors (message on
 /// stderr).
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cds/bootstrap.hpp"
@@ -97,9 +131,12 @@
 #include "engines/registry.hpp"
 #include "fpga/resource.hpp"
 #include "io/csv.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "runtime/portfolio_runtime.hpp"
 #include "runtime/stream_runtime.hpp"
 #include "runtime/sweep_runtime.hpp"
+#include "service/service.hpp"
 #include "workload/curves.hpp"
 #include "workload/feed.hpp"
 #include "workload/options.hpp"
@@ -693,9 +730,253 @@ int cmd_device(const Args& args) {
   return 0;
 }
 
+/// Shared by client-replay: walk a tenant feed in order, grouping option
+/// events into requests of at most `request_size`; a hazard event flushes
+/// the open request first so the runtime sees events in exact feed order
+/// (the same slicing tests/test_service.cpp uses for its bit-identity
+/// comparison).
+struct WireStep {
+  bool quote = false;
+  std::uint32_t request = 0;  // !quote
+  std::vector<cds::CdsOption> options;
+  std::uint32_t knot = 0;  // quote
+  double rate = 0.0;
+};
+
+std::vector<WireStep> slice_feed_for_wire(
+    const std::vector<workload::QuoteFeedEvent>& feed,
+    std::size_t request_size) {
+  std::vector<WireStep> steps;
+  std::uint32_t next_request = 1;
+  WireStep open;
+  auto flush = [&] {
+    if (open.options.empty()) return;
+    open.request = next_request++;
+    steps.push_back(std::move(open));
+    open = {};
+  };
+  for (const auto& event : feed) {
+    if (event.kind == workload::QuoteFeedEvent::Kind::kHazardQuote) {
+      flush();
+      WireStep quote;
+      quote.quote = true;
+      quote.knot = static_cast<std::uint32_t>(event.knot);
+      quote.rate = event.rate;
+      steps.push_back(std::move(quote));
+    } else {
+      open.options.push_back(event.option);
+      if (open.options.size() == request_size) flush();
+    }
+  }
+  flush();
+  return steps;
+}
+
+service::DeadlineClass parse_deadline_class(const Args& args) {
+  const std::string name = args.get_or("class", "standard");
+  const auto klass = service::find_deadline_class(name);
+  CDSFLOW_EXPECT(klass.has_value(),
+                 "--class must be interactive, standard or batch, got '" +
+                     name + "'");
+  return *klass;
+}
+
+int cmd_serve(const Args& args) {
+  const auto [interest, hazard] = load_curves(args);
+
+  const long n_tenants = args.get_long_or("tenants", 2);
+  const long n_risk = args.get_long_or("risk-tenants", 0);
+  CDSFLOW_EXPECT(n_tenants >= 1, "--tenants must be >= 1");
+  CDSFLOW_EXPECT(n_risk >= 0 && n_risk <= n_tenants,
+                 "--risk-tenants must lie in [0, --tenants]");
+  const std::string engine = args.get_or("engine", "cpu-batch");
+  const auto klass = parse_deadline_class(args);
+
+  runtime::StreamConfig stream;
+  stream.engine = engine;
+  stream.lanes =
+      static_cast<unsigned>(args.get_long_or("lanes", stream.lanes));
+  stream.max_batch = static_cast<std::size_t>(
+      args.get_long_or("max-batch", static_cast<long>(stream.max_batch)));
+  stream.max_wait_us = static_cast<std::uint64_t>(
+      args.get_long_or("max-wait-us", static_cast<long>(stream.max_wait_us)));
+
+  // Admission fit: explicit flags pin a deterministic model; otherwise the
+  // serving engine is probed and fitted (the planner's probe->fit protocol).
+  engine::BackendCandidate fit;
+  const bool pinned = args.get("ops-per-second").has_value();
+  if (pinned) {
+    fit.engine_name = engine;
+    fit.watts = 1.0;
+    fit.options_per_second = args.get_double_or("ops-per-second", 0.0);
+    fit.setup_seconds = args.get_double_or("setup-s", 0.0);
+    CDSFLOW_EXPECT(fit.options_per_second > 0.0,
+                   "--ops-per-second must be positive");
+  } else {
+    fit = service::calibrate_stream_fit(interest, hazard, stream);
+  }
+
+  service::ServiceConfig config;
+  config.stop_when_idle = args.get("stop-when-idle").has_value();
+  for (long i = 1; i <= n_tenants; ++i) {
+    service::TenantSpec spec;
+    spec.id = static_cast<std::uint32_t>(i);
+    spec.name = "tenant-" + std::to_string(i);
+    spec.deadline = klass;
+    spec.stream = stream;
+    spec.fit = fit;
+    if (i > n_tenants - n_risk) {
+      spec.stream.engine = engine + "-risk";
+      if (pinned) {
+        spec.fit.engine_name = spec.stream.engine;
+      } else {
+        spec.fit = service::calibrate_stream_fit(interest, hazard,
+                                                 spec.stream);
+      }
+    }
+    config.tenants.push_back(std::move(spec));
+  }
+
+  net::ServerConfig server_config;
+  server_config.unix_path = args.get_or("unix", "");
+  server_config.tcp_port =
+      static_cast<std::uint16_t>(args.get_long_or("port", 0));
+
+  net::Server server(server_config);
+  service::PricingService pricing(config, interest, hazard);
+
+  if (!server_config.unix_path.empty()) {
+    std::cout << "listening on unix:" << server.unix_path() << '\n';
+  } else {
+    std::cout << "listening on tcp port " << server.tcp_port() << '\n';
+  }
+  for (const auto& spec : config.tenants) {
+    std::cout << "  tenant " << spec.id << " (" << spec.name << "): "
+              << spec.stream.engine << " x"
+              << (spec.stream.lanes == 0
+                      ? std::string("auto")
+                      : std::to_string(spec.stream.lanes))
+              << " lane(s), class " << spec.deadline.name << " (deadline "
+              << fixed(spec.deadline.deadline_seconds * 1e3, 1)
+              << " ms, defer ceiling "
+              << fixed(spec.deadline.defer_seconds * 1e3, 1)
+              << " ms), fit " << with_thousands(spec.fit.options_per_second, 0)
+              << " options/s + " << fixed(spec.fit.setup_seconds * 1e6, 1)
+              << " us setup\n";
+  }
+  std::cout << (config.stop_when_idle
+                    ? "serving until idle (all clients come and go)\n"
+                    : "serving until killed\n");
+
+  server.run(pricing);
+  pricing.drain_all();
+
+  const auto& stats = pricing.stats();
+  std::cout << "served " << stats.frames << " frame(s): "
+            << stats.quote_updates << " quote update(s), " << stats.requests
+            << " request(s) -> " << stats.admitted << " admitted, "
+            << stats.deferred << " deferred, " << stats.shed << " shed; "
+            << stats.responses << " response(s), "
+            << stats.rejects_malformed + stats.rejects_unknown_tenant +
+                   stats.rejects_wrong_mode + stats.shed
+            << " reject(s), " << stats.connections_poisoned
+            << " poisoned connection(s)\n";
+  if (args.get("latency-cdf")) {
+    io::write_latency_cdf_csv(*args.get("latency-cdf"),
+                              pricing.latency_rows());
+    std::cout << "latency CDF written to " << *args.get("latency-cdf")
+              << '\n';
+  }
+  return 0;
+}
+
+int cmd_client_replay(const Args& args) {
+  const auto tenant =
+      static_cast<std::uint32_t>(args.get_long_or("tenant", 1));
+  CDSFLOW_EXPECT(tenant != 0, "--tenant 0 is reserved on the wire");
+  const bool risk = args.get("risk").has_value();
+
+  workload::QuoteFeedSpec spec;
+  spec.events = static_cast<std::size_t>(args.get_long_or("events", 1024));
+  spec.hazard_update_every =
+      static_cast<std::size_t>(args.get_long_or("hazard-every", 64));
+  spec.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 42));
+  spec.tenant = tenant;
+  if (args.get("tenors")) {
+    spec.book.maturity_tenor_grid =
+        parse_edge_list(*args.get("tenors"), "--tenors");
+  }
+  const auto hazard = args.get("curve-hazard")
+                          ? io::read_curve_csv(*args.get("curve-hazard"))
+                          : workload::paper_hazard_curve();
+  const auto steps = slice_feed_for_wire(
+      workload::make_quote_feed(spec, hazard),
+      static_cast<std::size_t>(args.get_long_or("request-size", 64)));
+
+  net::Client client =
+      args.get("unix")
+          ? net::Client::connect_unix(*args.get("unix"))
+          : net::Client::connect_tcp(
+                args.get_or("host", "127.0.0.1"),
+                static_cast<std::uint16_t>(args.get_long_or("port", 0)));
+
+  // Pipelined replay: all frames out, then results in. The server responds
+  // to requests in submission order per tenant, so responses can be matched
+  // back positionally.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t n_requests = 0;
+  std::size_t n_options = 0;
+  for (const auto& step : steps) {
+    if (step.quote) {
+      client.send(net::encode_quote_update(tenant, step.knot, step.rate));
+    } else {
+      client.send(
+          net::encode_price_request(tenant, step.request, step.options, risk));
+      ++n_requests;
+      n_options += step.options.size();
+    }
+  }
+
+  std::vector<cds::SpreadResult> results;
+  results.reserve(n_options);
+  std::size_t deferred = 0;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    const net::Frame frame = client.read_frame();
+    if (frame.type == net::FrameType::kReject) {
+      ++rejected;
+      std::cout << "request " << frame.request << " rejected: "
+                << net::to_string(frame.reason)
+                << (frame.detail.empty() ? "" : " (" + frame.detail + ")")
+                << '\n';
+      continue;
+    }
+    CDSFLOW_EXPECT(frame.type == net::FrameType::kResult,
+                   "unexpected frame type from server");
+    if (frame.status == net::kResultDeferred) ++deferred;
+    results.insert(results.end(), frame.results.begin(), frame.results.end());
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  client.close();
+
+  std::cout << "tenant " << tenant << ": " << n_requests << " request(s) ("
+            << n_options << " option(s), " << (risk ? "risk" : "price")
+            << " mode), " << results.size() << " result row(s), " << deferred
+            << " deferred, " << rejected << " rejected, " << fixed(wall, 3)
+            << " s wall (" << with_thousands(n_options / std::max(wall, 1e-9), 0)
+            << " options/s end-to-end)\n";
+  if (args.get("out")) {
+    io::write_results_csv(*args.get("out"), results);
+    std::cout << "results written to " << *args.get("out") << '\n';
+  }
+  return rejected == 0 ? 0 : 1;
+}
+
 int usage() {
-  std::cerr << "usage: cdsflow_cli <price|risk|stream|sweep|bootstrap|"
-               "engines|device> [--flag value ...]\n"
+  std::cerr << "usage: cdsflow_cli <price|risk|stream|sweep|serve|"
+               "client-replay|bootstrap|engines|device> [--flag value ...]\n"
                "see the file header of tools/cdsflow_cli.cpp for details\n";
   return 1;
 }
@@ -711,6 +992,8 @@ int main(int argc, char** argv) {
     if (command == "risk") return cmd_risk(args);
     if (command == "stream") return cmd_stream(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "client-replay") return cmd_client_replay(args);
     if (command == "bootstrap") return cmd_bootstrap(args);
     if (command == "engines") return cmd_engines();
     if (command == "device") return cmd_device(args);
