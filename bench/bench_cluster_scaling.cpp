@@ -1,0 +1,223 @@
+/// \file bench_cluster_scaling.cpp
+/// Multi-process cluster scale-out over real sockets, reported as JSON.
+///
+/// Launches N in-process cluster workers (each a net::Server on its own
+/// thread wrapping a pinned-fit ClusterWorker -- the same processes-on-one-
+/// host topology scripts/cluster_smoke.sh drives with real processes) and
+/// prices one book through the ClusterCoordinator at 1 and 2 nodes. Every
+/// point is gated on bit-identity against the single-process
+/// PortfolioRuntime -- the cluster determinism contract of docs/CLUSTER.md
+/// -- and the exit code enforces it. The modelled makespan charges each
+/// node its measured engine seconds plus the link model, so 2-vs-1 scaling
+/// reflects real shard-time balance (host core contention shows up here, as
+/// it should on a 1-core CI box); a final heterogeneous point (4:1 pinned
+/// fits) records how plan_cluster() shifts shards toward the fast node.
+///
+/// Usage: bench_cluster_scaling [n_options] [engine] [out.json]
+///   defaults: 4096 cpu-batch BENCH_cluster_scaling.json
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/worker.hpp"
+#include "common/format.hpp"
+#include "net/server.hpp"
+#include "report/table.hpp"
+#include "runtime/portfolio_runtime.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace cdsflow;
+
+std::string unique_socket_path(int index) {
+  return "/tmp/cdsflow-bench-cluster-" + std::to_string(::getpid()) + "-" +
+         std::to_string(index) + ".sock";
+}
+
+/// One in-process worker node: server thread + pinned-fit ClusterWorker.
+struct WorkerNode {
+  std::string path;
+  std::unique_ptr<cluster::ClusterWorker> worker;
+  std::unique_ptr<net::Server> server;
+  std::thread thread;
+
+  WorkerNode(const workload::Scenario& scenario, const std::string& engine,
+             int index, double ops_per_second) {
+    path = unique_socket_path(index);
+    cluster::WorkerConfig config;
+    config.runtime.engine = engine;
+    config.runtime.workers = 1;
+    config.fit.options_per_second = ops_per_second;
+    config.fit.setup_seconds = 1e-4;
+    config.fit.watts = 60.0;
+    worker = std::make_unique<cluster::ClusterWorker>(
+        scenario.interest, scenario.hazard, std::move(config));
+    net::ServerConfig server_config;
+    server_config.unix_path = path;
+    server = std::make_unique<net::Server>(server_config);
+    thread = std::thread([this] { server->run(*worker); });
+  }
+
+  ~WorkerNode() {
+    server->stop();
+    thread.join();
+  }
+};
+
+cluster::NodeSpec node_spec(const std::string& path) {
+  cluster::NodeSpec spec;
+  spec.unix_path = path;
+  spec.connect_timeout_seconds = 10.0;
+  spec.measure_latency = false;  // keep the modelled figures deterministic
+  return spec;
+}
+
+bool bit_identical(const std::vector<cds::SpreadResult>& a,
+                   const std::vector<cds::SpreadResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].spread_bps != b[i].spread_bps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_options =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096;
+  const std::string engine_name = argc > 2 ? argv[2] : "cpu-batch";
+  const std::string out_path =
+      argc > 3 ? argv[3] : "BENCH_cluster_scaling.json";
+
+  const auto scenario = workload::paper_scenario(n_options, /*seed=*/7);
+  std::cout << "== Cluster scaling: " << engine_name << " workers over "
+            << n_options << " options ==\n\n";
+
+  // Single-process baseline the cluster merges must bit-match.
+  runtime::RuntimeConfig local_config;
+  local_config.engine = engine_name;
+  local_config.workers = 1;
+  runtime::PortfolioRuntime local(scenario.interest, scenario.hazard,
+                                  local_config);
+  const auto baseline = local.price(scenario.options);
+
+  report::Table table("Cluster throughput vs node count (" + engine_name +
+                      ")");
+  table.set_columns({"Nodes", "Shards", "Modelled opts/s", "Scaling",
+                     "Wall opts/s", "Resub", "Identical"});
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"cluster_scaling\",\n"
+       << "  \"engine\": \"" << engine_name << "\",\n"
+       << "  \"n_options\": " << n_options << ",\n"
+       << "  \"baseline_options_per_second\": "
+       << baseline.run.options_per_second << ",\n"
+       << "  \"points\": [";
+
+  bool all_identical = true;
+  double ops_1node = 0.0;
+  double ops_2node = 0.0;
+  bool first = true;
+  // A fixed shard size (8 shards over the book) keeps the schedule
+  // interesting: the equal-fit points balance 4/4 and the 4:1 point must
+  // visibly skew, instead of degenerating to one shard per node.
+  const std::size_t shard_size = std::max<std::size_t>(1, n_options / 8);
+  for (const std::size_t n_nodes : {std::size_t{1}, std::size_t{2}}) {
+    std::vector<std::unique_ptr<WorkerNode>> nodes;
+    cluster::CoordinatorConfig config;
+    config.shard_size = shard_size;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      nodes.push_back(std::make_unique<WorkerNode>(
+          scenario, engine_name, static_cast<int>(i), 1e6));
+      config.nodes.push_back(node_spec(nodes.back()->path));
+    }
+    cluster::ClusterCoordinator coordinator(config);
+    const auto run = coordinator.price(scenario.options);
+
+    const bool identical =
+        bit_identical(run.run.results, baseline.run.results);
+    all_identical = all_identical && identical;
+    if (n_nodes == 1) ops_1node = run.run.options_per_second;
+    if (n_nodes == 2) ops_2node = run.run.options_per_second;
+    const double scaling = run.run.options_per_second / ops_1node;
+    table.add_row({std::to_string(n_nodes),
+                   std::to_string(run.shards.size()),
+                   with_thousands(run.run.options_per_second, 0),
+                   fixed(scaling, 2) + "x",
+                   with_thousands(run.wall_options_per_second, 0),
+                   std::to_string(run.resubmissions),
+                   identical ? "yes" : "NO"});
+
+    json << (first ? "" : ",") << "\n    {\"nodes\": " << n_nodes
+         << ", \"shards\": " << run.shards.size()
+         << ", \"shard_size\": " << run.shard_size
+         << ", \"modelled_options_per_second\": "
+         << run.run.options_per_second
+         << ", \"wall_options_per_second\": " << run.wall_options_per_second
+         << ", \"scaling_vs_1_node\": " << scaling
+         << ", \"resubmissions\": " << run.resubmissions
+         << ", \"bit_identical\": " << (identical ? "true" : "false") << "}";
+    first = false;
+  }
+
+  // Heterogeneous point: 4:1 pinned fits on two nodes -- the plan must
+  // shift shards toward the fast node (docs/CLUSTER.md's planning model).
+  std::size_t hetero_fast_shards = 0;
+  std::size_t hetero_slow_shards = 0;
+  bool hetero_identical = false;
+  {
+    WorkerNode fast(scenario, engine_name, 10, 4e6);
+    WorkerNode slow(scenario, engine_name, 11, 1e6);
+    cluster::CoordinatorConfig config;
+    config.shard_size = shard_size;
+    config.nodes = {node_spec(fast.path), node_spec(slow.path)};
+    cluster::ClusterCoordinator coordinator(config);
+    const auto run = coordinator.price(scenario.options);
+    hetero_fast_shards = run.plan.shards_per_node[0];
+    hetero_slow_shards = run.plan.shards_per_node[1];
+    hetero_identical = bit_identical(run.run.results, baseline.run.results);
+    all_identical = all_identical && hetero_identical;
+    table.add_row({"2 (4:1)", std::to_string(run.shards.size()),
+                   with_thousands(run.run.options_per_second, 0),
+                   fixed(run.run.options_per_second / ops_1node, 2) + "x",
+                   with_thousands(run.wall_options_per_second, 0),
+                   std::to_string(run.resubmissions),
+                   hetero_identical ? "yes" : "NO"});
+  }
+
+  const double scaling_2v1 = ops_2node / ops_1node;
+  json << "\n  ],\n"
+       << "  \"modelled_scaling_2v1\": " << scaling_2v1 << ",\n"
+       << "  \"hetero_fast_shards\": " << hetero_fast_shards << ",\n"
+       << "  \"hetero_slow_shards\": " << hetero_slow_shards << ",\n"
+       << "  \"hetero_plan_diverges\": "
+       << (hetero_fast_shards > hetero_slow_shards ? "true" : "false")
+       << ",\n"
+       << "  \"all_bit_identical\": " << (all_identical ? "true" : "false")
+       << "\n}\n";
+
+  std::cout << table.render_text() << '\n'
+            << "modelled 2-vs-1 scaling: " << fixed(scaling_2v1, 2)
+            << "x (measured engine seconds + link charge per node)\n"
+            << "hetero (4:1) shard split: " << hetero_fast_shards << " / "
+            << hetero_slow_shards << '\n';
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "JSON written to " << out_path << '\n';
+  return all_identical ? 0 : 1;
+}

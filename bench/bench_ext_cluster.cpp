@@ -2,24 +2,77 @@
 /// Extension: multi-card scaling -- the HPC rung above the paper's single
 /// U280 (its motivating context is batch processing on HPC machines).
 ///
-/// Sweeps 1..8 cards of 5 vectorised engines each and reports throughput,
-/// scaling efficiency, modelled power (cards draw independently) and
-/// efficiency, projecting where the single-card conclusions go at rack
-/// scale.
+/// Part 1 sweeps 1..8 modelled cards of 5 vectorised engines each
+/// (engine::ClusterEngine, simulated clock) and reports throughput,
+/// scaling efficiency, modelled power and efficiency -- projecting where
+/// the single-card conclusions go at rack scale.
+///
+/// Part 2 grounds the model: the same shard plan is executed for real on a
+/// multi-process socket cluster (src/cluster) whose workers each run one
+/// modelled card ("multi-5"), and the modelled card throughput is compared
+/// against the socket cluster's modelled makespan on identical shards. The
+/// two paths must also merge bit-identically -- the ClusterEngine chunks a
+/// book exactly like the coordinator's contiguous shard plan, so any row
+/// divergence is a determinism bug, and the exit code enforces it.
 ///
 /// Usage: bench_ext_cluster [n_options]
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include <unistd.h>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/worker.hpp"
 #include "common/format.hpp"
 #include "engines/cluster.hpp"
 #include "fpga/power.hpp"
+#include "net/server.hpp"
 #include "report/table.hpp"
 #include "workload/scenario.hpp"
 
+namespace {
+
+using namespace cdsflow;
+
+/// One in-process socket worker running a single modelled card.
+struct CardWorker {
+  std::string path;
+  std::unique_ptr<cluster::ClusterWorker> worker;
+  std::unique_ptr<net::Server> server;
+  std::thread thread;
+
+  CardWorker(const workload::Scenario& scenario, int index) {
+    path = "/tmp/cdsflow-ext-cluster-" + std::to_string(::getpid()) + "-" +
+           std::to_string(index) + ".sock";
+    cluster::WorkerConfig config;
+    config.runtime.engine = "multi-5";
+    config.runtime.workers = 1;
+    // Pinned fit: plans are by card count here, not by probe noise.
+    config.fit.options_per_second = 1e6;
+    config.fit.setup_seconds = 1e-4;
+    config.fit.watts = fpga::FpgaPowerModel{}.watts(5);
+    worker = std::make_unique<cluster::ClusterWorker>(
+        scenario.interest, scenario.hazard, std::move(config));
+    net::ServerConfig server_config;
+    server_config.unix_path = path;
+    server = std::make_unique<net::Server>(server_config);
+    thread = std::thread([this] { server->run(*worker); });
+  }
+
+  ~CardWorker() {
+    server->stop();
+    thread.join();
+  }
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace cdsflow;
   const std::size_t n_options =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2048;
 
@@ -29,10 +82,12 @@ int main(int argc, char** argv) {
   std::cout << "== Extension: multi-card cluster scaling ==\n"
             << n_options << " options, 5 vectorised engines per card\n\n";
 
-  report::Table table("Cluster scaling (cards x 5 engines)");
+  report::Table table("Cluster scaling (cards x 5 engines, modelled)");
   table.set_columns({"Cards", "Options/s", "Scaling", "Efficiency",
                      "Watts (cards)", "Opts/Watt"});
   double base = 0.0;
+  std::vector<cds::SpreadResult> modelled_rows;
+  double modelled_2card_ops = 0.0;
   for (const unsigned cards : {1u, 2u, 4u, 8u}) {
     engine::ClusterConfig cfg;
     cfg.n_cards = cards;
@@ -40,6 +95,10 @@ int main(int argc, char** argv) {
     engine::ClusterEngine engine(scenario.interest, scenario.hazard, cfg);
     const auto run = engine.price(scenario.options);
     if (cards == 1) base = run.options_per_second;
+    if (cards == 2) {
+      modelled_rows = run.results;
+      modelled_2card_ops = run.options_per_second;
+    }
     const double watts =
         card_power.watts(5) * static_cast<double>(cards);
     table.add_row({std::to_string(cards),
@@ -53,6 +112,51 @@ int main(int argc, char** argv) {
   std::cout << table.render_text()
             << "\ncards scale near-linearly (independent PCIe links; only "
                "host fan-out and chunk imbalance detract), so the paper's "
-               "efficiency conclusions carry to rack scale.\n";
-  return 0;
+               "efficiency conclusions carry to rack scale.\n\n";
+
+  // --- Part 2: the 2-card row, executed for real over sockets ------------
+  // Two worker processes (in-process servers here; scripts/cluster_smoke.sh
+  // runs the same topology with real processes), each one modelled card,
+  // shard_size = ceil(n/2) so the coordinator cuts the book into the same
+  // two contiguous chunks the modelled ClusterEngine uses.
+  std::cout << "== Modelled vs real multi-process (2 cards) ==\n\n";
+  CardWorker card0(scenario, 0);
+  CardWorker card1(scenario, 1);
+  cluster::CoordinatorConfig config;
+  for (const auto* path : {&card0.path, &card1.path}) {
+    cluster::NodeSpec spec;
+    spec.unix_path = *path;
+    spec.connect_timeout_seconds = 10.0;
+    spec.measure_latency = false;
+    config.nodes.push_back(spec);
+  }
+  config.shard_size = (n_options + 1) / 2;
+  cluster::ClusterCoordinator coordinator(config);
+  const auto real = coordinator.price(scenario.options);
+
+  bool identical = real.run.results.size() == modelled_rows.size();
+  for (std::size_t i = 0; identical && i < modelled_rows.size(); ++i) {
+    identical = real.run.results[i].id == modelled_rows[i].id &&
+                real.run.results[i].spread_bps == modelled_rows[i].spread_bps;
+  }
+
+  report::Table compare("One book, two cards: modelled card vs socket "
+                        "cluster");
+  compare.set_columns({"Path", "Shards", "Opts/s (modelled)",
+                       "Opts/s (wall)", "Identical"});
+  compare.add_row({"ClusterEngine (simulated)", "2",
+                   with_thousands(modelled_2card_ops, 0), "-", "-"});
+  compare.add_row({"socket cluster (2 proc)",
+                   std::to_string(real.shards.size()),
+                   with_thousands(real.run.options_per_second, 0),
+                   with_thousands(real.wall_options_per_second, 0),
+                   identical ? "yes" : "NO"});
+  std::cout << compare.render_text()
+            << "\nmodelled/real modelled-throughput ratio: "
+            << fixed(modelled_2card_ops / real.run.options_per_second, 2)
+            << "x (the card model clocks simulated FPGA time; the socket "
+               "path charges the measured engine plus the link model)\n"
+            << "bit-identity across the two paths: "
+            << (identical ? "yes" : "NO") << '\n';
+  return identical ? 0 : 1;
 }

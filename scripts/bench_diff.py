@@ -60,6 +60,12 @@ METRICS = {
         ("p50_request_us", False),
         ("p99_request_us", False),
     ],
+    # Multi-process socket cluster (src/cluster): per-point modelled
+    # throughput plus the 2-node-vs-1-node modelled scaling ratio.
+    "BENCH_cluster_scaling.json": [
+        ("points[*].modelled_options_per_second", True),
+        ("modelled_scaling_2v1", True),
+    ],
 }
 
 WARN_THRESHOLD = 0.10  # flag drops beyond 10%

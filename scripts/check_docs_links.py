@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative markdown link and every backticked
+repo path in README.md and docs/*.md must resolve to a real file.
+
+Two classes of reference are checked:
+  * markdown links [text](target) whose target is not an http(s) URL or a
+    pure #anchor -- resolved against the doc's directory, then the repo
+    root (anchors on file targets are stripped; anchor existence is not
+    checked);
+  * backticked tokens that look like repo file paths (`src/net/codec.hpp`,
+    `scripts/cluster_smoke.sh`, `docs/CLUSTER.md`) -- resolved the same
+    way. Bare file names without a directory are skipped (too ambiguous).
+
+Usage: scripts/check_docs_links.py [repo_root]
+Exit: 0 when everything resolves, 1 otherwise (each failure is listed).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK_RE = re.compile(r"`([A-Za-z0-9_./-]+)`")
+# Extensions a backticked token must carry to be treated as a file path.
+PATH_SUFFIXES = (".md", ".hpp", ".cpp", ".h", ".c", ".py", ".sh", ".yml",
+                 ".yaml", ".json", ".csv", ".txt", ".cmake")
+
+
+def is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+def resolves(target: str, doc_dir: Path, root: Path) -> bool:
+    path = target.split("#", 1)[0]
+    if not path:
+        return True  # pure anchor
+    return (doc_dir / path).exists() or (root / path).exists()
+
+
+def check_doc(doc: Path, root: Path) -> list:
+    failures = []
+    text = doc.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if is_external(target):
+            continue
+        if not resolves(target, doc.parent, root):
+            line = text.count("\n", 0, match.start()) + 1
+            failures.append(f"{doc.relative_to(root)}:{line}: "
+                            f"broken link -> {target}")
+    for match in BACKTICK_RE.finditer(text):
+        token = match.group(1)
+        if "/" not in token or not token.endswith(PATH_SUFFIXES):
+            continue
+        if not resolves(token, doc.parent, root):
+            line = text.count("\n", 0, match.start()) + 1
+            failures.append(f"{doc.relative_to(root)}:{line}: "
+                            f"referenced path missing -> {token}")
+    return failures
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    root = root.resolve()
+    docs = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    failures = []
+    checked = 0
+    for doc in docs:
+        if not doc.exists():
+            failures.append(f"missing doc: {doc.relative_to(root)}")
+            continue
+        checked += 1
+        failures.extend(check_doc(doc, root))
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(f"checked {checked} doc(s): "
+          f"{'OK' if not failures else f'{len(failures)} failure(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Single-host multi-process cluster smoke: launch two cdsflow_cli
+# cluster-worker processes on unix-domain sockets with distinct pinned
+# fits (4:1 -- the plan must skew toward the fast worker), price one book
+# through cluster-price, and gate on the --verify bit-identity check
+# against the in-process runtime (docs/CLUSTER.md's determinism contract).
+#
+# Usage: scripts/cluster_smoke.sh <path-to-cdsflow_cli> [n_options]
+# Exit: 0 on bit-identical results, non-zero otherwise.
+set -euo pipefail
+
+CLI="${1:?usage: cluster_smoke.sh <path-to-cdsflow_cli> [n_options]}"
+N_OPTIONS="${2:-2048}"
+
+SOCK_A="/tmp/cdsflow-smoke-a-$$.sock"
+SOCK_B="/tmp/cdsflow-smoke-b-$$.sock"
+
+cleanup() {
+  # Workers exit on their own via --stop-when-idle; this reaps stragglers
+  # when cluster-price fails before ever connecting.
+  kill "${PID_A:-0}" "${PID_B:-0}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -f "$SOCK_A" "$SOCK_B"
+}
+trap cleanup EXIT
+
+"$CLI" cluster-worker --unix "$SOCK_A" --engine cpu-batch \
+  --ops-per-second 2e6 --setup-s 1e-4 --stop-when-idle &
+PID_A=$!
+"$CLI" cluster-worker --unix "$SOCK_B" --engine cpu-batch \
+  --ops-per-second 5e5 --setup-s 1e-4 --stop-when-idle &
+PID_B=$!
+
+# cluster-price retries connects until the per-node timeout, so no
+# sleep-and-poll is needed before pointing it at the worker sockets.
+"$CLI" cluster-price --nodes "unix:$SOCK_A,unix:$SOCK_B" \
+  --count "$N_OPTIONS" --verify
+
+# Propagate worker exit codes (they stop once the coordinator disconnects).
+wait "$PID_A"
+wait "$PID_B"
+echo "cluster smoke: OK"

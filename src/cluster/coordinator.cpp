@@ -1,0 +1,332 @@
+#include "cluster/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "net/codec.hpp"
+#include "runtime/shard.hpp"
+
+namespace cdsflow::cluster {
+namespace {
+
+constexpr std::uint64_t kProbeTimeoutUs = 10'000'000;
+
+net::Client connect_with_retry(const NodeSpec& spec) {
+  // ECONNREFUSED is immediate on loopback, so a worker still starting up
+  // needs a retry loop rather than a socket-level timeout.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(spec.connect_timeout_seconds));
+  std::string last_error;
+  for (;;) {
+    try {
+      return spec.unix_path.empty()
+                 ? net::Client::connect_tcp(spec.host, spec.tcp_port)
+                 : net::Client::connect_unix(spec.unix_path);
+    } catch (const Error& e) {
+      last_error = e.what();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw Error("cluster node '" + spec.label() +
+                  "': connect timed out after " +
+                  std::to_string(spec.connect_timeout_seconds) +
+                  "s: " + last_error);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(CoordinatorConfig config)
+    : config_(std::move(config)) {
+  CDSFLOW_EXPECT(!config_.nodes.empty(),
+                 "cluster coordinator needs at least one node");
+  clients_.reserve(config_.nodes.size());
+  nodes_.reserve(config_.nodes.size());
+  for (const auto& spec : config_.nodes) {
+    net::Client client = connect_with_retry(spec);
+
+    engine::ClusterNode node;
+    node.address = spec.label();
+    node.link = spec.link;
+    double min_rtt = std::numeric_limits<double>::infinity();
+    net::Frame info;
+    for (unsigned i = 0; i < std::max(1u, config_.probe_repeats); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      client.send(net::encode_node_probe(i));
+      auto reply = client.read_frame_for(kProbeTimeoutUs);
+      const auto t1 = std::chrono::steady_clock::now();
+      CDSFLOW_EXPECT(reply.has_value(),
+                     "cluster node '" + spec.label() + "': probe timed out");
+      CDSFLOW_EXPECT(
+          reply->type == net::FrameType::kNodeProbe && reply->probe_reply,
+          "cluster node '" + spec.label() + "': unexpected probe reply (" +
+              net::to_string(reply->type) + ")");
+      min_rtt = std::min(
+          min_rtt, std::chrono::duration<double>(t1 - t0).count());
+      info = std::move(*reply);
+    }
+    // The wire is structural only; the capability numbers are semantic and
+    // validated here.
+    CDSFLOW_EXPECT(std::isfinite(info.ops_per_second) &&
+                       info.ops_per_second > 0.0,
+                   "cluster node '" + spec.label() +
+                       "': non-positive reported throughput");
+    CDSFLOW_EXPECT(std::isfinite(info.setup_seconds) &&
+                       info.setup_seconds >= 0.0,
+                   "cluster node '" + spec.label() +
+                       "': negative reported setup time");
+    CDSFLOW_EXPECT(std::isfinite(info.watts) && info.watts >= 0.0,
+                   "cluster node '" + spec.label() +
+                       "': negative reported power");
+    node.fit.engine_name = info.engine;
+    node.fit.options_per_second = info.ops_per_second;
+    node.fit.setup_seconds = info.setup_seconds;
+    node.fit.watts = info.watts;
+    if (spec.measure_latency) {
+      node.link.latency_seconds = std::max(1e-9, min_rtt / 2.0);
+    }
+    clients_.push_back(std::move(client));
+    nodes_.push_back(std::move(node));
+  }
+}
+
+engine::ClusterPlanEntry ClusterCoordinator::plan(
+    std::size_t n_options) const {
+  engine::BatchRequirements requirements;
+  requirements.n_options = n_options;
+  requirements.deadline_seconds = config_.deadline_seconds;
+  std::vector<std::size_t> sizes;
+  if (config_.shard_size != 0) {
+    sizes.push_back(config_.shard_size);
+  }
+  return engine::plan_cluster(nodes_, requirements, config_.risk, sizes)
+      .front();
+}
+
+ClusterRun ClusterCoordinator::price(
+    const std::vector<cds::CdsOption>& options) {
+  ClusterRun out;
+  out.n_nodes = nodes_.size();
+  if (options.empty()) {
+    return out;
+  }
+
+  out.plan = plan(options.size());
+  out.shard_size = out.plan.shard_size;
+  const auto shards = runtime::plan_shards(options.size(), out.shard_size);
+  CDSFLOW_ASSERT(shards.size() == out.plan.n_shards,
+                 "cluster plan shard count mismatch");
+
+  struct ShardState {
+    std::vector<cds::SpreadResult> results;
+    std::vector<cds::Sensitivities> greeks;
+    double engine_seconds = 0.0;
+    std::size_t node = 0;
+    bool resubmitted = false;
+  };
+  std::vector<ShardState> done(shards.size());
+
+  // The dispatch board: per-node queues seeded from the plan, plus an
+  // orphan queue a dead node's unfinished shards fall back to. A shard
+  // counts `remaining` until some node completes it, so a node loss never
+  // loses work -- survivors drain the orphans after their own queues.
+  struct Board {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::deque<std::size_t>> queue;
+    std::deque<std::size_t> orphans;
+    std::size_t remaining = 0;
+    std::size_t live = 0;
+    std::vector<bool> dead;
+    std::string fatal;
+  } board;
+  board.queue.resize(nodes_.size());
+  board.dead.assign(nodes_.size(), false);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    board.queue[out.plan.node_of_shard[i]].push_back(i);
+  }
+  board.remaining = shards.size();
+  board.live = nodes_.size();
+
+  const auto response_timeout_us = static_cast<std::uint64_t>(
+      config_.response_timeout_seconds * 1e6);
+
+  auto drive_node = [&](std::size_t k) {
+    for (;;) {
+      std::size_t idx = 0;
+      bool from_orphans = false;
+      {
+        std::unique_lock<std::mutex> lock(board.mu);
+        board.cv.wait(lock, [&] {
+          return !board.fatal.empty() || board.remaining == 0 ||
+                 !board.queue[k].empty() || !board.orphans.empty();
+        });
+        if (!board.fatal.empty() || board.remaining == 0) {
+          return;
+        }
+        if (!board.queue[k].empty()) {
+          idx = board.queue[k].front();
+          board.queue[k].pop_front();
+        } else {
+          idx = board.orphans.front();
+          board.orphans.pop_front();
+          from_orphans = true;
+        }
+      }
+
+      const auto& shard = shards[idx];
+      const std::vector<cds::CdsOption> slice(options.begin() + shard.begin,
+                                              options.begin() + shard.end);
+      bool priced = false;
+      std::string node_failure;
+      std::string fatal;
+      try {
+        clients_[k].send(net::encode_shard_price(
+            static_cast<std::uint32_t>(idx), slice, config_.risk));
+        auto reply = clients_[k].read_frame_for(response_timeout_us);
+        if (!reply.has_value()) {
+          node_failure = "shard response timed out";
+        } else if (reply->type == net::FrameType::kShardResult) {
+          if (reply->request != idx ||
+              reply->results.size() != shard.size() ||
+              reply->risk != config_.risk) {
+            fatal = "cluster node '" + nodes_[k].address +
+                    "': shard result does not match its request";
+          } else {
+            done[idx].results = std::move(reply->results);
+            done[idx].greeks = std::move(reply->greeks);
+            done[idx].engine_seconds = reply->engine_seconds;
+            priced = true;
+          }
+        } else if (reply->type == net::FrameType::kReject) {
+          // A reject is a configuration error (wrong mode, bad options) --
+          // resubmitting elsewhere would just collect the same answer.
+          fatal = "cluster node '" + nodes_[k].address +
+                  "' rejected a shard: " + net::to_string(reply->reason) +
+                  (reply->detail.empty() ? "" : " (" + reply->detail + ")");
+        } else {
+          fatal = "cluster node '" + nodes_[k].address +
+                  "': unexpected shard reply (" +
+                  net::to_string(reply->type) + ")";
+        }
+      } catch (const Error& e) {
+        node_failure = e.what();
+      }
+
+      if (!fatal.empty()) {
+        std::lock_guard<std::mutex> lock(board.mu);
+        if (board.fatal.empty()) {
+          board.fatal = std::move(fatal);
+        }
+        board.cv.notify_all();
+        return;
+      }
+      if (priced) {
+        std::lock_guard<std::mutex> lock(board.mu);
+        done[idx].node = k;
+        done[idx].resubmitted = from_orphans;
+        if (--board.remaining == 0) {
+          board.cv.notify_all();
+        }
+        continue;
+      }
+      // This node is dead for the run: orphan the in-flight shard and the
+      // rest of its queue, then let the survivors drain them.
+      std::lock_guard<std::mutex> lock(board.mu);
+      board.orphans.push_back(idx);
+      while (!board.queue[k].empty()) {
+        board.orphans.push_back(board.queue[k].front());
+        board.queue[k].pop_front();
+      }
+      board.dead[k] = true;
+      --board.live;
+      if (board.live == 0 && board.remaining > 0 && board.fatal.empty()) {
+        board.fatal = "all cluster nodes lost with shards outstanding "
+                      "(last: node '" +
+                      nodes_[k].address + "': " + node_failure + ")";
+      }
+      board.cv.notify_all();
+      return;
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    threads.emplace_back(drive_node, k);
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (!board.fatal.empty()) {
+    throw Error(board.fatal);
+  }
+  CDSFLOW_ASSERT(board.remaining == 0, "cluster dispatch left shards undone");
+
+  // Deterministic merge in shard (= submission) order -- the exact
+  // PortfolioRuntime contract, so the merged values are bit-identical to a
+  // single-process run of the same engine.
+  out.run.results.reserve(options.size());
+  out.shards.reserve(shards.size());
+  std::vector<double> node_busy(nodes_.size(), 0.0);
+  for (const auto& shard : shards) {
+    auto& state = done[shard.index];
+    CDSFLOW_ASSERT(state.results.size() == shard.size(),
+                   "shard result count mismatch");
+    out.run.results.insert(out.run.results.end(), state.results.begin(),
+                           state.results.end());
+    if (config_.risk) {
+      CDSFLOW_ASSERT(state.greeks.size() == shard.size(),
+                     "shard sensitivity count mismatch");
+      out.run.sensitivities.insert(out.run.sensitivities.end(),
+                                   state.greeks.begin(), state.greeks.end());
+    }
+    const std::uint64_t bytes =
+        net::shard_price_frame_bytes(shard.size()) +
+        net::shard_result_frame_bytes(shard.size(), config_.risk);
+    const double link_seconds =
+        nodes_[state.node].link.seconds_for(bytes);
+    node_busy[state.node] += state.engine_seconds + link_seconds;
+    out.run.kernel_seconds += state.engine_seconds;
+    out.run.transfer_seconds += link_seconds;
+    out.run.invocations += 1;
+    if (state.resubmitted) {
+      ++out.resubmissions;
+    }
+    out.shards.push_back({shard.index, shard.begin, shard.end, state.node,
+                          state.engine_seconds, link_seconds,
+                          state.resubmitted});
+  }
+  out.run.total_seconds =
+      *std::max_element(node_busy.begin(), node_busy.end());
+  CDSFLOW_ASSERT(out.run.total_seconds > 0.0,
+                 "merged cluster run must take non-zero time");
+  out.run.options_per_second =
+      static_cast<double>(options.size()) / out.run.total_seconds;
+  out.nodes_lost = static_cast<std::size_t>(
+      std::count(board.dead.begin(), board.dead.end(), true));
+
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (out.wall_seconds > 0.0) {
+    out.wall_options_per_second =
+        static_cast<double>(options.size()) / out.wall_seconds;
+  }
+  return out;
+}
+
+}  // namespace cdsflow::cluster

@@ -1,0 +1,184 @@
+#include "cluster/worker.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "engines/registry.hpp"
+#include "fpga/power.hpp"
+#include "workload/options.hpp"
+
+namespace cdsflow::cluster {
+namespace {
+
+std::string clip_detail(const std::string& detail) {
+  return detail.size() <= net::kMaxRejectDetailBytes
+             ? detail
+             : detail.substr(0, net::kMaxRejectDetailBytes);
+}
+
+bool validate_options(const std::vector<cds::CdsOption>& options,
+                      std::string* error) {
+  for (const auto& option : options) {
+    if (!std::isfinite(option.maturity_years) ||
+        !std::isfinite(option.payment_frequency) ||
+        !std::isfinite(option.recovery_rate)) {
+      *error = "option " + std::to_string(option.id) +
+               " carries a non-finite field";
+      return false;
+    }
+    try {
+      option.validate();
+    } catch (const Error& e) {
+      *error = e.what();
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Risk mode of a registry engine name: the CPU grammar's -risk token
+/// (simulated FPGA engines only price).
+bool engine_risk_mode(const std::string& name,
+                      const engine::CpuEngineConfig& base) {
+  engine::CpuEngineConfig parsed = base;
+  if (engine::parse_cpu_engine_name(name, parsed)) {
+    return parsed.risk_mode;
+  }
+  return false;
+}
+
+}  // namespace
+
+ClusterWorker::ClusterWorker(cds::TermStructure interest,
+                             cds::TermStructure hazard, WorkerConfig config)
+    : config_(std::move(config)),
+      runtime_(std::move(interest), std::move(hazard), config_.runtime),
+      fit_(config_.fit),
+      risk_mode_(engine_risk_mode(config_.runtime.engine,
+                                  config_.runtime.cpu)) {
+  if (fit_.options_per_second > 0.0) {
+    fit_.engine_name = config_.runtime.engine;
+    if (fit_.watts <= 0.0) {
+      fit_.watts = fpga::CpuPowerModel{}.watts(runtime_.lanes());
+    }
+    return;  // pinned fit: nothing to calibrate
+  }
+  // Self-calibration: the planner's probe protocol (warmup + best-of-N per
+  // size) against the local runtime, so the reported fit prices the exact
+  // configuration shards will run on.
+  CDSFLOW_EXPECT(!config_.probe_sizes.empty(),
+                 "worker calibration needs at least one probe size");
+  std::vector<engine::ProbeMeasurement> probes;
+  probes.reserve(config_.probe_sizes.size());
+  for (const std::size_t size : config_.probe_sizes) {
+    workload::PortfolioSpec spec;
+    spec.count = size;
+    const auto book = workload::make_portfolio(spec);
+    for (unsigned i = 0; i < config_.probe_warmup_runs; ++i) {
+      (void)runtime_.price(book);  // discarded
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (unsigned i = 0; i < std::max(1u, config_.probe_repeats); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)runtime_.price(book);
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    probes.push_back({size, best});
+  }
+  const double watts = config_.fit.watts > 0.0
+                           ? config_.fit.watts
+                           : fpga::CpuPowerModel{}.watts(runtime_.lanes());
+  fit_ = engine::fit_backend_model(config_.runtime.engine, watts,
+                                   std::move(probes));
+}
+
+void ClusterWorker::on_frame(net::Server& server, int conn,
+                             net::Frame frame) {
+  saw_connection_ = true;
+  switch (frame.type) {
+    case net::FrameType::kNodeProbe: {
+      if (frame.probe_reply) {
+        break;  // a reply sent *to* a worker is a protocol violation
+      }
+      ++stats_.probes;
+      server.send(conn, net::encode_node_info(
+                            frame.request, runtime_.lanes(),
+                            fit_.options_per_second, fit_.setup_seconds,
+                            fit_.watts, config_.runtime.engine));
+      return;
+    }
+    case net::FrameType::kShardPrice: {
+      if (frame.risk != risk_mode_) {
+        ++stats_.rejects;
+        server.send(conn,
+                    net::encode_reject(
+                        0, frame.request, net::RejectReason::kWrongMode,
+                        risk_mode_ ? "worker engine runs in risk mode"
+                                   : "worker engine runs in price mode"));
+        return;
+      }
+      std::string error;
+      if (!validate_options(frame.options, &error)) {
+        ++stats_.rejects;
+        server.send(conn, net::encode_reject(0, frame.request,
+                                             net::RejectReason::kMalformed,
+                                             clip_detail(error)));
+        return;
+      }
+      if (config_.fail_after_shards > 0 &&
+          stats_.shards >= config_.fail_after_shards) {
+        // Injected mid-shard death: the coordinator sees the connection
+        // drop with this shard outstanding and must resubmit it.
+        ++stats_.injected_failures;
+        server.close_connection(conn);
+        return;
+      }
+      const auto run = runtime_.price(frame.options);
+      ++stats_.shards;
+      stats_.options += frame.options.size();
+      server.send(conn, net::encode_shard_result(
+                            frame.request, run.run.total_seconds,
+                            run.run.results, run.run.sensitivities));
+      return;
+    }
+    case net::FrameType::kQuoteUpdate:
+    case net::FrameType::kPriceRequest:
+    case net::FrameType::kRiskRequest:
+    case net::FrameType::kResult:
+    case net::FrameType::kReject:
+    case net::FrameType::kShardResult:
+      break;
+  }
+  // Anything else at a worker is a protocol violation: reject, then drop
+  // the connection (the service does the same for cluster frames).
+  ++stats_.rejects;
+  server.send(conn, net::encode_reject(
+                        0, frame.request, net::RejectReason::kMalformed,
+                        std::string("unexpected frame at a cluster worker (") +
+                            net::to_string(frame.type) + ")"));
+  server.close_connection(conn);
+}
+
+void ClusterWorker::on_malformed(net::Server& server, int conn,
+                                 const std::string& error) {
+  ++stats_.connections_poisoned;
+  // Last frame out before the server tears the connection down -- this is
+  // how a version-mismatched peer learns it is being rejected.
+  server.send(conn, net::encode_reject(0, 0, net::RejectReason::kMalformed,
+                                       clip_detail(error)));
+}
+
+void ClusterWorker::on_tick(net::Server& server) {
+  if (config_.stop_when_idle && saw_connection_ &&
+      server.connections() == 0) {
+    server.stop();
+  }
+}
+
+void ClusterWorker::on_disconnect(int /*conn*/) { saw_connection_ = true; }
+
+}  // namespace cdsflow::cluster

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "engines/registry.hpp"
 #include "fpga/device.hpp"
+#include "net/codec.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/sweep_runtime.hpp"
 #include "workload/options.hpp"
@@ -384,6 +385,107 @@ std::vector<RuntimePlanEntry> plan_runtime(
 
 std::optional<RuntimePlanEntry> best_runtime_plan(
     const std::vector<RuntimePlanEntry>& entries) {
+  if (entries.empty() || !entries.front().meets_deadline) {
+    return std::nullopt;
+  }
+  return entries.front();
+}
+
+double cluster_shard_seconds(const ClusterNode& node, std::size_t n_options,
+                             bool risk) {
+  const std::uint64_t bytes = net::shard_price_frame_bytes(n_options) +
+                              net::shard_result_frame_bytes(n_options, risk);
+  return node.fit.seconds_for(n_options) + node.link.seconds_for(bytes);
+}
+
+std::vector<ClusterPlanEntry> plan_cluster(
+    const std::vector<ClusterNode>& nodes,
+    const BatchRequirements& requirements, bool risk_mode,
+    std::vector<std::size_t> shard_sizes) {
+  CDSFLOW_EXPECT(!nodes.empty(), "cluster plan needs at least one node");
+  CDSFLOW_EXPECT(requirements.n_options > 0,
+                 "cluster plan needs a non-empty batch");
+  CDSFLOW_EXPECT(requirements.deadline_seconds > 0.0,
+                 "cluster plan needs a positive deadline");
+  for (const auto& node : nodes) {
+    CDSFLOW_EXPECT(node.fit.options_per_second > 0.0,
+                   "cluster node '" + node.address +
+                       "' has no throughput fit");
+  }
+
+  const std::size_t n = requirements.n_options;
+  const unsigned lanes = static_cast<unsigned>(nodes.size());
+  if (shard_sizes.empty()) {
+    // Same shard-size candidates as plan_runtime(), but the setup-aware
+    // size is computed per node: each node amortises its *own* setup.
+    shard_sizes.push_back(runtime::auto_shard_size(n, lanes));
+    for (const auto& node : nodes) {
+      shard_sizes.push_back(runtime::setup_aware_shard_size(
+          n, lanes, node.fit.setup_seconds, node.fit.per_option_seconds()));
+    }
+    shard_sizes.push_back(
+        std::max<std::size_t>(1, (n + nodes.size() - 1) / nodes.size()));
+  }
+  // A shard must fit in one wire frame.
+  for (std::size_t& size : shard_sizes) {
+    size = std::clamp<std::size_t>(size, 1, net::kMaxOptionsPerRequest);
+  }
+  std::sort(shard_sizes.begin(), shard_sizes.end());
+  shard_sizes.erase(std::unique(shard_sizes.begin(), shard_sizes.end()),
+                    shard_sizes.end());
+
+  std::vector<ClusterPlanEntry> entries;
+  for (const std::size_t shard_size : shard_sizes) {
+    const auto shards = runtime::plan_shards(n, shard_size);
+    ClusterPlanEntry entry;
+    entry.shard_size = shard_size;
+    entry.n_shards = shards.size();
+    entry.node_of_shard.reserve(shards.size());
+    entry.shards_per_node.assign(nodes.size(), 0);
+    // Earliest projected finish, shards in submission order, lowest node
+    // index on ties -- list_schedule_makespan generalised to per-lane
+    // costs (identical nodes reproduce it exactly).
+    std::vector<double> free_at(nodes.size(), 0.0);
+    for (const auto& shard : shards) {
+      std::size_t best = 0;
+      double best_finish = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < nodes.size(); ++k) {
+        const double finish =
+            free_at[k] + cluster_shard_seconds(nodes[k], shard.size(),
+                                               risk_mode);
+        if (finish < best_finish) {
+          best = k;
+          best_finish = finish;
+        }
+      }
+      entry.projected_joules +=
+          nodes[best].fit.watts * (best_finish - free_at[best]);
+      free_at[best] = best_finish;
+      entry.node_of_shard.push_back(best);
+      ++entry.shards_per_node[best];
+    }
+    entry.projected_seconds =
+        *std::max_element(free_at.begin(), free_at.end());
+    entry.meets_deadline =
+        entry.projected_seconds <= requirements.deadline_seconds;
+    entries.push_back(std::move(entry));
+  }
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const ClusterPlanEntry& a, const ClusterPlanEntry& b) {
+                     if (a.meets_deadline != b.meets_deadline) {
+                       return a.meets_deadline;
+                     }
+                     if (a.meets_deadline) {
+                       return a.projected_joules < b.projected_joules;
+                     }
+                     return a.projected_seconds < b.projected_seconds;
+                   });
+  return entries;
+}
+
+std::optional<ClusterPlanEntry> best_cluster_plan(
+    const std::vector<ClusterPlanEntry>& entries) {
   if (entries.empty() || !entries.front().meets_deadline) {
     return std::nullopt;
   }

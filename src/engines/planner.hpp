@@ -295,4 +295,76 @@ class CompletionProjector {
   std::vector<double> lane_free_;
 };
 
+// --- heterogeneous cluster planning -----------------------------------------
+//
+// The multi-process analogue of plan_runtime(): one lane per worker node,
+// each node with its *own* probe-calibrated affine fit (reported over the
+// wire via NODE_PROBE, see docs/PROTOCOL.md), and every shard charged its
+// serialized bytes through a link model -- exactly how the paper charges
+// PCIe transfer against on-device compute in its ablations. The schedule is
+// the same deterministic earliest-finish list schedule the in-process
+// runtime uses (runtime::list_schedule_makespan), generalised to per-lane
+// costs: with identical nodes it reduces to list_schedule_makespan verbatim
+// (same lowest-index tie-break). Full model derivation: docs/CLUSTER.md.
+
+/// Cost of moving one frame across a node's link:
+/// seconds(bytes) = latency + bytes / bandwidth.
+struct ClusterLinkModel {
+  /// One-way message latency (defaults to a loopback-socket figure; the
+  /// coordinator overwrites it with a measured probe round trip).
+  double latency_seconds = 50e-6;
+  double bytes_per_second = 1.0e9;
+
+  double seconds_for(std::uint64_t bytes) const {
+    return latency_seconds + static_cast<double>(bytes) / bytes_per_second;
+  }
+};
+
+/// One worker node as the planner sees it: where it is, how fast it prices
+/// (its own affine fit) and what its link costs.
+struct ClusterNode {
+  std::string address;
+  BackendCandidate fit;
+  ClusterLinkModel link;
+};
+
+/// Modelled cost of one shard of `n_options` on `node`: the node's affine
+/// fit plus the link charge for the serialized shard-price request and
+/// shard-result response (exact wire sizes from net/codec.hpp).
+double cluster_shard_seconds(const ClusterNode& node, std::size_t n_options,
+                             bool risk);
+
+/// One candidate cluster execution: a shard size plus the deterministic
+/// shard -> node assignment the earliest-finish schedule produces for it.
+struct ClusterPlanEntry {
+  std::size_t shard_size = 0;
+  std::size_t n_shards = 0;
+  /// Node index of each shard, in shard (= submission) order.
+  std::vector<std::size_t> node_of_shard;
+  /// Shard count per node (size = node count).
+  std::vector<std::size_t> shards_per_node;
+  /// Earliest-finish makespan over the per-node modelled shard costs.
+  double projected_seconds = 0.0;
+  /// Sum over shards of the assigned node's watts x modelled shard cost.
+  double projected_joules = 0.0;
+  bool meets_deadline = false;
+};
+
+/// Enumerates shard sizes (auto, per-node setup-aware, one-shard-per-node;
+/// or the caller's `shard_sizes`, each clamped to the wire bound
+/// net::kMaxOptionsPerRequest), assigns shards to nodes by earliest
+/// projected finish (lowest node index on ties), and returns the entries
+/// sorted deadline-meeting first (projected energy ascending), then the
+/// rest (projected time ascending) -- the plan_runtime() ranking. Throws
+/// cdsflow::Error on an empty node set, a node without a throughput fit, a
+/// zero-option batch or a non-positive deadline.
+std::vector<ClusterPlanEntry> plan_cluster(
+    const std::vector<ClusterNode>& nodes,
+    const BatchRequirements& requirements, bool risk_mode = false,
+    std::vector<std::size_t> shard_sizes = {});
+
+/// The cheapest cluster plan that meets the deadline, if any.
+std::optional<ClusterPlanEntry> best_cluster_plan(
+    const std::vector<ClusterPlanEntry>& entries);
+
 }  // namespace cdsflow::engine

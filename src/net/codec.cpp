@@ -16,6 +16,9 @@ constexpr std::size_t kPriceRowBytes = 12;
 constexpr std::size_t kRiskRowBytes = 44;
 constexpr std::size_t kResultPreambleBytes = 8;
 constexpr std::size_t kRejectPreambleBytes = 4;
+constexpr std::size_t kNodeInfoPreambleBytes = 32;
+constexpr std::size_t kShardPricePreambleBytes = 8;
+constexpr std::size_t kShardResultPreambleBytes = 16;
 
 // All wire integers are little-endian regardless of host order; doubles
 // travel as their IEEE-754 bit pattern in a little-endian u64.
@@ -96,6 +99,12 @@ const char* to_string(FrameType type) {
       return "result";
     case FrameType::kReject:
       return "reject";
+    case FrameType::kNodeProbe:
+      return "node-probe";
+    case FrameType::kShardPrice:
+      return "shard-price";
+    case FrameType::kShardResult:
+      return "shard-result";
   }
   return "unknown";
 }
@@ -197,6 +206,106 @@ std::vector<std::uint8_t> encode_reject(std::uint32_t tenant,
   return out;
 }
 
+std::vector<std::uint8_t> encode_node_probe(std::uint32_t request) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes);
+  put_header(out, FrameType::kNodeProbe, /*tenant=*/0, request,
+             /*payload_bytes=*/0);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_node_info(std::uint32_t request,
+                                           std::uint32_t lanes,
+                                           double options_per_second,
+                                           double setup_seconds, double watts,
+                                           const std::string& engine_name) {
+  CDSFLOW_EXPECT(lanes > 0, "node info needs at least one lane");
+  CDSFLOW_EXPECT(!engine_name.empty(), "node info needs an engine name");
+  CDSFLOW_EXPECT(engine_name.size() <= kMaxEngineNameBytes,
+                 "engine name exceeds kMaxEngineNameBytes");
+  const std::size_t payload = kNodeInfoPreambleBytes + engine_name.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload);
+  put_header(out, FrameType::kNodeProbe, /*tenant=*/0, request,
+             static_cast<std::uint32_t>(payload));
+  put_u32(out, lanes);
+  put_f64(out, options_per_second);
+  put_f64(out, setup_seconds);
+  put_f64(out, watts);
+  put_u16(out, static_cast<std::uint16_t>(engine_name.size()));
+  put_u16(out, 0);  // reserved
+  out.insert(out.end(), engine_name.begin(), engine_name.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_shard_price(
+    std::uint32_t shard, const std::vector<cds::CdsOption>& options,
+    bool risk) {
+  CDSFLOW_EXPECT(!options.empty(), "shard price needs at least one option");
+  CDSFLOW_EXPECT(options.size() <= kMaxOptionsPerRequest,
+                 "shard price exceeds kMaxOptionsPerRequest");
+  const std::size_t payload =
+      kShardPricePreambleBytes + kOptionRowBytes * options.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload);
+  put_header(out, FrameType::kShardPrice, /*tenant=*/0, shard,
+             static_cast<std::uint32_t>(payload));
+  out.push_back(risk ? 1 : 0);
+  out.push_back(0);  // reserved
+  put_u16(out, 0);   // reserved
+  put_u32(out, static_cast<std::uint32_t>(options.size()));
+  for (const auto& o : options) {
+    put_i32(out, o.id);
+    put_f64(out, o.maturity_years);
+    put_f64(out, o.payment_frequency);
+    put_f64(out, o.recovery_rate);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_shard_result(
+    std::uint32_t shard, double engine_seconds,
+    const std::vector<cds::SpreadResult>& results,
+    const std::vector<cds::Sensitivities>& greeks) {
+  const bool risk = !greeks.empty();
+  CDSFLOW_EXPECT(!results.empty(), "shard result needs at least one row");
+  CDSFLOW_EXPECT(results.size() <= kMaxOptionsPerRequest,
+                 "shard result exceeds kMaxOptionsPerRequest");
+  CDSFLOW_EXPECT(!risk || greeks.size() == results.size(),
+                 "risk shard result needs one Sensitivities row per result");
+  const std::size_t row = risk ? kRiskRowBytes : kPriceRowBytes;
+  const std::size_t payload = kShardResultPreambleBytes + row * results.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload);
+  put_header(out, FrameType::kShardResult, /*tenant=*/0, shard,
+             static_cast<std::uint32_t>(payload));
+  out.push_back(0);  // status: shard results are unconditional
+  out.push_back(risk ? 1 : 0);
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(results.size()));
+  put_f64(out, engine_seconds);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    put_i32(out, results[i].id);
+    put_f64(out, results[i].spread_bps);
+    if (risk) {
+      put_f64(out, greeks[i].cs01);
+      put_f64(out, greeks[i].ir01);
+      put_f64(out, greeks[i].rec01);
+      put_f64(out, greeks[i].jtd);
+    }
+  }
+  return out;
+}
+
+std::size_t shard_price_frame_bytes(std::size_t n_options) {
+  return kHeaderBytes + kShardPricePreambleBytes + kOptionRowBytes * n_options;
+}
+
+std::size_t shard_result_frame_bytes(std::size_t n_options, bool risk) {
+  return kHeaderBytes + kShardResultPreambleBytes +
+         (risk ? kRiskRowBytes : kPriceRowBytes) * n_options;
+}
+
 void FrameReader::poison(std::string why) {
   failed_ = true;
   error_ = std::move(why);
@@ -239,7 +348,7 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
     if (have >= 6) {
       const std::uint8_t raw = h[5];
       if (raw < static_cast<std::uint8_t>(FrameType::kQuoteUpdate) ||
-          raw > static_cast<std::uint8_t>(FrameType::kReject)) {
+          raw > static_cast<std::uint8_t>(FrameType::kShardResult)) {
         poison("unknown frame type " + std::to_string(int{raw}));
         break;
       }
@@ -266,6 +375,11 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
     frame.type = static_cast<FrameType>(raw_type);
     frame.tenant = get_u32(h + 8);
     frame.request = get_u32(h + 12);
+    if (raw_type >= static_cast<std::uint8_t>(FrameType::kNodeProbe) &&
+        frame.tenant != 0) {
+      poison("cluster frame carries a tenant id");
+      break;
+    }
     const std::uint8_t* p = h + kHeaderBytes;
 
     switch (frame.type) {
@@ -377,6 +491,125 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
           break;
         }
         frame.detail.assign(reinterpret_cast<const char*>(p + 4), detail_len);
+        break;
+      }
+      case FrameType::kNodeProbe: {
+        if (payload_bytes == 0) {
+          break;  // a probe request carries no payload
+        }
+        if (payload_bytes < kNodeInfoPreambleBytes) {
+          poison("node-info payload shorter than its preamble");
+          break;
+        }
+        frame.probe_reply = true;
+        frame.lanes = get_u32(p);
+        if (frame.lanes == 0) {
+          poison("node info reports zero lanes");
+          break;
+        }
+        frame.ops_per_second = get_f64(p + 4);
+        frame.setup_seconds = get_f64(p + 12);
+        frame.watts = get_f64(p + 20);
+        const std::uint16_t name_len = get_u16(p + 28);
+        if (name_len == 0 || name_len > kMaxEngineNameBytes) {
+          poison("node-info engine name length outside "
+                 "[1, kMaxEngineNameBytes]");
+          break;
+        }
+        if (get_u16(p + 30) != 0) {
+          poison("reserved node-info bytes set");
+          break;
+        }
+        if (payload_bytes != kNodeInfoPreambleBytes + name_len) {
+          poison("node-info payload length does not match its name length");
+          break;
+        }
+        frame.engine.assign(reinterpret_cast<const char*>(p + 32), name_len);
+        break;
+      }
+      case FrameType::kShardPrice: {
+        if (payload_bytes < kShardPricePreambleBytes) {
+          poison("shard-price payload shorter than its preamble");
+          break;
+        }
+        if (p[0] > 1) {
+          poison("unknown shard-price kind byte");
+          break;
+        }
+        frame.risk = p[0] == 1;
+        if (p[1] != 0 || get_u16(p + 2) != 0) {
+          poison("reserved shard-price bytes set");
+          break;
+        }
+        const std::uint32_t count = get_u32(p + 4);
+        if (count == 0 || count > kMaxOptionsPerRequest) {
+          poison("shard option count " + std::to_string(count) +
+                 " outside [1, kMaxOptionsPerRequest]");
+          break;
+        }
+        if (payload_bytes !=
+            kShardPricePreambleBytes + kOptionRowBytes * count) {
+          poison("shard-price payload length does not match its option "
+                 "count");
+          break;
+        }
+        frame.options.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint8_t* row =
+              p + kShardPricePreambleBytes + kOptionRowBytes * i;
+          frame.options[i].id = get_i32(row);
+          frame.options[i].maturity_years = get_f64(row + 4);
+          frame.options[i].payment_frequency = get_f64(row + 12);
+          frame.options[i].recovery_rate = get_f64(row + 20);
+        }
+        break;
+      }
+      case FrameType::kShardResult: {
+        if (payload_bytes < kShardResultPreambleBytes) {
+          poison("shard-result payload shorter than its preamble");
+          break;
+        }
+        if (p[0] != 0) {
+          poison("unknown shard-result status byte");
+          break;
+        }
+        if (p[1] > 1) {
+          poison("unknown shard-result kind byte");
+          break;
+        }
+        frame.risk = p[1] == 1;
+        if (get_u16(p + 2) != 0) {
+          poison("reserved shard-result bytes set");
+          break;
+        }
+        const std::uint32_t count = get_u32(p + 4);
+        if (count == 0 || count > kMaxOptionsPerRequest) {
+          poison("shard-result row count outside "
+                 "[1, kMaxOptionsPerRequest]");
+          break;
+        }
+        frame.engine_seconds = get_f64(p + 8);
+        const std::size_t row = frame.risk ? kRiskRowBytes : kPriceRowBytes;
+        if (payload_bytes != kShardResultPreambleBytes + row * count) {
+          poison("shard-result payload length does not match its row count");
+          break;
+        }
+        frame.results.resize(count);
+        if (frame.risk) {
+          frame.greeks.resize(count);
+        }
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint8_t* r = p + kShardResultPreambleBytes + row * i;
+          frame.results[i].id = get_i32(r);
+          frame.results[i].spread_bps = get_f64(r + 4);
+          if (frame.risk) {
+            frame.greeks[i].spread_bps = frame.results[i].spread_bps;
+            frame.greeks[i].cs01 = get_f64(r + 12);
+            frame.greeks[i].ir01 = get_f64(r + 20);
+            frame.greeks[i].rec01 = get_f64(r + 28);
+            frame.greeks[i].jtd = get_f64(r + 36);
+          }
+        }
         break;
       }
     }

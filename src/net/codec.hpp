@@ -1,18 +1,23 @@
 /// \file codec.hpp
-/// Wire codec of the multi-tenant pricing service: length-prefixed compact
-/// binary frames, the first trust boundary in the system that untrusted
-/// bytes cross.
+/// Wire codec of the multi-tenant pricing service and the cluster plane:
+/// length-prefixed compact binary frames, the first trust boundary in the
+/// system that untrusted bytes cross.
 ///
-/// Every frame is a fixed 20-byte header followed by a typed payload:
+/// The normative wire specification lives in docs/PROTOCOL.md; this header
+/// is its implementation. Every frame is a fixed 20-byte header followed by
+/// a typed payload:
 ///
 ///   offset  size  field
 ///        0     4  magic          0x43445357 ("CDSW", little-endian u32)
 ///        4     1  version        kWireVersion (reject everything else)
 ///        5     1  type           FrameType
 ///        6     2  reserved       must be 0
-///        8     4  tenant         tenant id (registry key; 0 is invalid)
+///        8     4  tenant         tenant id (registry key; 0 is invalid for
+///                                service frames, required 0 for cluster
+///                                frames -- the cluster plane is tenantless)
 ///       12     4  request        request id (echoed in responses; 0 for
-///                                fire-and-forget quote updates)
+///                                fire-and-forget quote updates; the shard
+///                                index for kShardPrice/kShardResult)
 ///       16     4  payload_bytes  length of the payload that follows
 ///
 /// Payloads (all integers little-endian, doubles as IEEE-754 bit patterns):
@@ -27,21 +32,31 @@
 ///                    f64 ir01, f64 rec01, f64 jtd }
 ///   kReject        u8 reason (RejectReason), u8 reserved,
 ///                  u16 detail_len, detail_len bytes of UTF-8 detail
+///   kNodeProbe     empty (a probe request), or the worker's reply:
+///                  u32 lanes, f64 options_per_second, f64 setup_seconds,
+///                  f64 watts, u16 name_len, u16 reserved,
+///                  name_len bytes of engine name           (32 + name_len)
+///   kShardPrice    u8 kind (0 price, 1 risk), u8 reserved, u16 reserved,
+///                  u32 count, count x option row as above (8 + 28 * count)
+///   kShardResult   u8 status (must be 0), u8 kind (0 price, 1 risk),
+///                  u16 reserved, u32 count, f64 engine_seconds,
+///                  count x price/risk row as above     (16 + row * count)
 ///
 /// Every length field has an explicit bound checked *before* any
 /// allocation: payload_bytes <= kMaxPayloadBytes as soon as the header is
 /// complete, count <= kMaxOptionsPerRequest, detail_len <=
-/// kMaxRejectDetailBytes, and the payload size must equal the size its
-/// count implies exactly (no trailing bytes). The decoder is incremental
-/// (FrameReader): bytes may arrive in arbitrary splits across poll()
-/// wakeups, including one byte at a time. A malformed stream poisons the
-/// reader -- after the first framing error nothing behind it can be
-/// trusted, so the connection must be torn down (the server sends a
-/// kMalformed reject first).
+/// kMaxRejectDetailBytes, name_len <= kMaxEngineNameBytes, and the payload
+/// size must equal the size its count implies exactly (no trailing bytes).
+/// The decoder is incremental (FrameReader): bytes may arrive in arbitrary
+/// splits across poll() wakeups, including one byte at a time. A malformed
+/// stream poisons the reader -- after the first framing error nothing
+/// behind it can be trusted, so the connection must be torn down (the
+/// server sends a kMalformed reject first).
 ///
 /// The codec is structural only: it checks shape and bounds, not pricing
 /// semantics (option ranges, finite doubles, known tenants) -- those are
-/// service-layer admission/validation concerns (src/service/service.hpp).
+/// service-layer admission/validation concerns (src/service/service.hpp)
+/// and cluster-worker concerns (src/cluster/worker.hpp).
 
 #pragma once
 
@@ -56,15 +71,22 @@
 namespace cdsflow::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x43445357u;  // "CDSW"
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2 added the cluster-plane frames (kNodeProbe / kShardPrice /
+/// kShardResult) and grew kMaxPayloadBytes for the shard-result preamble.
+/// Negotiation is strict equality: a decoder poisons on any other version
+/// byte (docs/PROTOCOL.md, "Version negotiation").
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 20;
 
 /// Hard upper bounds on every wire length field.
 inline constexpr std::size_t kMaxOptionsPerRequest = 4096;
 inline constexpr std::size_t kMaxRejectDetailBytes = 256;
-/// Largest legal payload: a risk-mode result at kMaxOptionsPerRequest rows
-/// (8-byte result preamble + 44-byte risk rows).
-inline constexpr std::size_t kMaxPayloadBytes = 8 + 44 * kMaxOptionsPerRequest;
+inline constexpr std::size_t kMaxEngineNameBytes = 64;
+/// Largest legal payload: a shard result in risk mode at
+/// kMaxOptionsPerRequest rows (16-byte shard-result preamble + 44-byte risk
+/// rows).
+inline constexpr std::size_t kMaxPayloadBytes =
+    16 + 44 * kMaxOptionsPerRequest;
 
 enum class FrameType : std::uint8_t {
   kQuoteUpdate = 1,   ///< hazard curve knot moved (fire-and-forget)
@@ -72,6 +94,9 @@ enum class FrameType : std::uint8_t {
   kRiskRequest = 3,   ///< price + per-option Greeks
   kResult = 4,        ///< response to an admitted request
   kReject = 5,        ///< machine-readable refusal
+  kNodeProbe = 6,     ///< coordinator<->worker capability probe
+  kShardPrice = 7,    ///< coordinator -> worker: price one shard
+  kShardResult = 8,   ///< worker -> coordinator: one shard's results
 };
 
 /// Machine-readable reject reasons (the wire contract; never renumber).
@@ -113,6 +138,20 @@ struct Frame {
   // kReject
   RejectReason reason = RejectReason::kMalformed;
   std::string detail;
+
+  // kNodeProbe: false for an (empty) probe request, true for a worker's
+  // reply, in which case the capability fields below are filled.
+  bool probe_reply = false;
+  std::uint32_t lanes = 0;
+  double ops_per_second = 0.0;
+  double setup_seconds = 0.0;
+  double watts = 0.0;
+  std::string engine;
+
+  // kShardPrice reuses `options` and `risk`; the shard index travels in the
+  // header `request` field. kShardResult reuses `results`/`greeks`/`risk`
+  // plus the worker-side engine-reported time below.
+  double engine_seconds = 0.0;
 };
 
 // --- encoders ---------------------------------------------------------------
@@ -132,6 +171,28 @@ std::vector<std::uint8_t> encode_reject(std::uint32_t tenant,
                                         std::uint32_t request,
                                         RejectReason reason,
                                         const std::string& detail = "");
+
+// Cluster-plane encoders (tenant is always 0 on the wire -- the decoder
+// rejects cluster frames carrying a tenant id).
+std::vector<std::uint8_t> encode_node_probe(std::uint32_t request = 0);
+std::vector<std::uint8_t> encode_node_info(std::uint32_t request,
+                                           std::uint32_t lanes,
+                                           double options_per_second,
+                                           double setup_seconds, double watts,
+                                           const std::string& engine_name);
+std::vector<std::uint8_t> encode_shard_price(
+    std::uint32_t shard, const std::vector<cds::CdsOption>& options,
+    bool risk = false);
+std::vector<std::uint8_t> encode_shard_result(
+    std::uint32_t shard, double engine_seconds,
+    const std::vector<cds::SpreadResult>& results,
+    const std::vector<cds::Sensitivities>& greeks = {});
+
+/// Exact on-wire size (header + payload) of a shard-price / shard-result
+/// frame for `n_options` rows -- the byte counts the cluster planner's link
+/// model charges (engines/planner.hpp, ClusterLinkModel).
+std::size_t shard_price_frame_bytes(std::size_t n_options);
+std::size_t shard_result_frame_bytes(std::size_t n_options, bool risk);
 
 /// Incremental frame decoder for one connection's byte stream.
 ///

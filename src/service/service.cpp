@@ -168,6 +168,18 @@ void PricingService::on_frame(net::Server& server, int conn,
       server.close_connection(conn);
       return;
     }
+    case net::FrameType::kNodeProbe:
+    case net::FrameType::kShardPrice:
+    case net::FrameType::kShardResult: {
+      // Cluster-plane frames belong to a cluster worker
+      // (src/cluster/worker.hpp), not the tenant-facing service.
+      send_reject(server, conn, frame.tenant, frame.request,
+                  net::RejectReason::kMalformed,
+                  std::string("cluster frame at the pricing service (") +
+                      net::to_string(frame.type) + ")");
+      server.close_connection(conn);
+      return;
+    }
   }
 }
 

@@ -215,6 +215,115 @@ TEST(NetCodec, BackToBackFramesDecodeInOrderAcrossRandomSplits) {
   }
 }
 
+// --- cluster frames (docs/PROTOCOL.md sections 6-8) -------------------------
+
+TEST(NetCodec, NodeProbeRequestAndReplyRoundTripUnderAllSplits) {
+  // Empty-payload request.
+  const auto request = net::encode_node_probe(42);
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, request.size()}) {
+    FrameReader reader;
+    const auto frames = decode_chunked(request, chunk, reader);
+    ASSERT_FALSE(reader.failed()) << reader.error();
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, FrameType::kNodeProbe);
+    EXPECT_FALSE(frames[0].probe_reply);
+    EXPECT_EQ(frames[0].tenant, 0u);
+    EXPECT_EQ(frames[0].request, 42u);
+  }
+  // Node-info reply with the full capability tuple.
+  const double ops = 1.25e6;
+  const double setup = 3.5e-4;
+  const double watts = 72.5;
+  const auto reply =
+      net::encode_node_info(42, 8, ops, setup, watts, "cpu-batch-t4");
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, reply.size()}) {
+    FrameReader reader;
+    const auto frames = decode_chunked(reply, chunk, reader);
+    ASSERT_FALSE(reader.failed()) << reader.error();
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, FrameType::kNodeProbe);
+    EXPECT_TRUE(frames[0].probe_reply);
+    EXPECT_EQ(frames[0].request, 42u);
+    EXPECT_EQ(frames[0].lanes, 8u);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].ops_per_second),
+              std::bit_cast<std::uint64_t>(ops));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].setup_seconds),
+              std::bit_cast<std::uint64_t>(setup));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].watts),
+              std::bit_cast<std::uint64_t>(watts));
+    EXPECT_EQ(frames[0].engine, "cpu-batch-t4");
+  }
+}
+
+TEST(NetCodec, ShardPriceRoundTripsBothKindsAndMatchesItsByteFormula) {
+  Rng rng(606);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    const auto options = random_options(rng, count);
+    const bool risk = trial % 2 == 1;
+    const auto shard = static_cast<std::uint32_t>(trial);
+    const auto bytes = net::encode_shard_price(shard, options, risk);
+    EXPECT_EQ(bytes.size(), net::shard_price_frame_bytes(count));
+    FrameReader reader;
+    const auto frames = decode_chunked(bytes, 13, reader);
+    ASSERT_FALSE(reader.failed()) << reader.error();
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, FrameType::kShardPrice);
+    EXPECT_EQ(frames[0].tenant, 0u);
+    EXPECT_EQ(frames[0].request, shard);
+    EXPECT_EQ(frames[0].risk, risk);
+    ASSERT_EQ(frames[0].options.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(frames[0].options[i].id, options[i].id);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].options[i].maturity_years),
+                std::bit_cast<std::uint64_t>(options[i].maturity_years));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].options[i].recovery_rate),
+                std::bit_cast<std::uint64_t>(options[i].recovery_rate));
+    }
+  }
+}
+
+TEST(NetCodec, ShardResultRoundTripsPriceAndRiskRowsBitExactly) {
+  Rng rng(707);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 200));
+    const auto results = random_results(rng, count);
+    const bool risk = trial % 2 == 0;
+    const auto greeks =
+        risk ? random_greeks(rng, results) : std::vector<cds::Sensitivities>{};
+    const double engine_seconds = rng.uniform(1e-6, 10.0);
+    const auto shard = static_cast<std::uint32_t>(trial);
+    const auto bytes =
+        net::encode_shard_result(shard, engine_seconds, results, greeks);
+    EXPECT_EQ(bytes.size(), net::shard_result_frame_bytes(count, risk));
+    FrameReader reader;
+    const auto frames = decode_chunked(bytes, 1, reader);  // worst-case split
+    ASSERT_FALSE(reader.failed()) << reader.error();
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].type, FrameType::kShardResult);
+    EXPECT_EQ(frames[0].request, shard);
+    EXPECT_EQ(frames[0].risk, risk);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].engine_seconds),
+              std::bit_cast<std::uint64_t>(engine_seconds));
+    expect_bit_equal(frames[0].results, results);
+    if (risk) {
+      ASSERT_EQ(frames[0].greeks.size(), greeks.size());
+      for (std::size_t i = 0; i < greeks.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].greeks[i].cs01),
+                  std::bit_cast<std::uint64_t>(greeks[i].cs01));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].greeks[i].ir01),
+                  std::bit_cast<std::uint64_t>(greeks[i].ir01));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].greeks[i].rec01),
+                  std::bit_cast<std::uint64_t>(greeks[i].rec01));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(frames[0].greeks[i].jtd),
+                  std::bit_cast<std::uint64_t>(greeks[i].jtd));
+      }
+    }
+  }
+}
+
 // --- encoder bounds ---------------------------------------------------------
 
 TEST(NetCodec, EncodersEnforceTheSameBoundsTheDecoderRejects) {
@@ -225,6 +334,16 @@ TEST(NetCodec, EncodersEnforceTheSameBoundsTheDecoderRejects) {
   EXPECT_THROW(net::encode_reject(1, 1, RejectReason::kOverload,
                                   std::string(net::kMaxRejectDetailBytes + 1,
                                               'a')),
+               Error);
+  EXPECT_THROW(net::encode_shard_price(1, {}), Error);
+  EXPECT_THROW(net::encode_shard_price(1, too_many), Error);
+  EXPECT_THROW(net::encode_shard_result(1, 0.1, {}), Error);
+  EXPECT_THROW(net::encode_node_info(1, 0, 1e6, 0.0, 10.0, "cpu-batch"),
+               Error);
+  EXPECT_THROW(net::encode_node_info(1, 4, 1e6, 0.0, 10.0, ""), Error);
+  EXPECT_THROW(net::encode_node_info(
+                   1, 4, 1e6, 0.0, 10.0,
+                   std::string(net::kMaxEngineNameBytes + 1, 'e')),
                Error);
 }
 
@@ -253,6 +372,26 @@ void put_le32(std::vector<std::uint8_t>& b, std::size_t off,
   b[off + 1] = static_cast<std::uint8_t>(v >> 8);
   b[off + 2] = static_cast<std::uint8_t>(v >> 16);
   b[off + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::vector<std::uint8_t> valid_shard_price() {
+  std::vector<cds::CdsOption> options(3);
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    options[i].id = static_cast<std::int32_t>(i);
+    options[i].maturity_years = 5.0;
+    options[i].payment_frequency = 0.25;
+    options[i].recovery_rate = 0.4;
+  }
+  return net::encode_shard_price(3, options);
+}
+
+std::vector<std::uint8_t> valid_shard_result() {
+  std::vector<cds::SpreadResult> results(3);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].id = static_cast<std::int32_t>(i);
+    results[i].spread_bps = 100.0 + static_cast<double>(i);
+  }
+  return net::encode_shard_result(3, 0.25, results);
 }
 
 const Malformation kMalformedCorpus[] = {
@@ -335,6 +474,86 @@ const Malformation kMalformedCorpus[] = {
      [] {
        auto b = net::encode_reject(1, 1, RejectReason::kOverload, "abc");
        b[net::kHeaderBytes + 2] = 200;  // detail_len > remaining payload
+       return b;
+     }},
+    {"cluster frame carrying a tenant id",
+     [] {
+       auto b = valid_shard_price();
+       put_le32(b, 8, 7);  // tenant field must be zero for kinds >= 6
+       return b;
+     }},
+    {"node-probe payload shorter than the node-info preamble",
+     [] {
+       auto b = net::encode_node_probe(1);
+       put_le32(b, 16, 10);
+       b.resize(net::kHeaderBytes + 10);
+       return b;
+     }},
+    {"node info reporting zero lanes",
+     [] {
+       auto b = net::encode_node_info(1, 4, 1e6, 0.0, 10.0, "cpu-batch");
+       put_le32(b, net::kHeaderBytes, 0);
+       return b;
+     }},
+    {"node-info zero engine name length",
+     [] {
+       auto b = net::encode_node_info(1, 4, 1e6, 0.0, 10.0, "cpu-batch");
+       b[net::kHeaderBytes + 28] = 0;
+       b[net::kHeaderBytes + 29] = 0;
+       return b;
+     }},
+    {"node-info name length not matching the payload",
+     [] {
+       auto b = net::encode_node_info(1, 4, 1e6, 0.0, 10.0, "cpu-batch");
+       b[net::kHeaderBytes + 28] = 64;  // name_len beyond the actual name
+       return b;
+     }},
+    {"node-info reserved bytes set",
+     [] {
+       auto b = net::encode_node_info(1, 4, 1e6, 0.0, 10.0, "cpu-batch");
+       b[net::kHeaderBytes + 30] = 1;
+       return b;
+     }},
+    {"shard-price unknown kind byte",
+     [] {
+       auto b = valid_shard_price();
+       b[net::kHeaderBytes] = 9;
+       return b;
+     }},
+    {"shard-price reserved bytes set",
+     [] {
+       auto b = valid_shard_price();
+       b[net::kHeaderBytes + 1] = 1;
+       return b;
+     }},
+    {"shard-price zero option count",
+     [] {
+       auto b = valid_shard_price();
+       put_le32(b, net::kHeaderBytes + 4, 0);
+       return b;
+     }},
+    {"shard-price count not matching the payload",
+     [] {
+       auto b = valid_shard_price();
+       put_le32(b, net::kHeaderBytes + 4, 2);  // payload sized for 3
+       return b;
+     }},
+    {"shard-result nonzero status byte",
+     [] {
+       auto b = valid_shard_result();
+       b[net::kHeaderBytes] = 9;
+       return b;
+     }},
+    {"shard-result unknown kind byte",
+     [] {
+       auto b = valid_shard_result();
+       b[net::kHeaderBytes + 1] = 7;
+       return b;
+     }},
+    {"shard-result count not matching the payload",
+     [] {
+       auto b = valid_shard_result();
+       put_le32(b, net::kHeaderBytes + 4, 1);  // payload sized for 3
        return b;
      }},
 };

@@ -106,6 +106,37 @@
 /// order), sent pipelined, and the responses are collected in request
 /// order. Exit code 1 if any request was rejected.
 ///
+///   cdsflow_cli cluster-worker (--unix /tmp/w.sock | --port N)
+///                     [--engine cpu-batch] [--workers N] [--shard-size S]
+///                     [--ops-per-second X --setup-s S] [--watts W]
+///                     [--probe-sizes 256,2048] [--stop-when-idle]
+///                     [--curve-interest f.csv] [--curve-hazard f.csv]
+///
+/// `cluster-worker` runs one node of the multi-process cluster plane
+/// (src/cluster/, docs/CLUSTER.md): a local PortfolioRuntime behind the
+/// binary wire protocol's NODE_PROBE / SHARD_PRICE / SHARD_RESULT frames
+/// (docs/PROTOCOL.md). Unless --ops-per-second/--setup-s pin it, the
+/// worker calibrates its own affine fit at --probe-sizes before serving --
+/// that fit is what the coordinator's heterogeneous planner schedules on.
+/// --stop-when-idle exits once all coordinators have come and gone.
+///
+///   cdsflow_cli cluster-price --nodes unix:/a.sock,host:port,...
+///                     [--count N] [--seed S] [--portfolio book.csv]
+///                     [--risk] [--shard-size S] [--deadline-s D]
+///                     [--connect-timeout-s T] [--bandwidth BYTES_PER_S]
+///                     [--verify] [--out results.csv]
+///                     [--curve-interest f.csv] [--curve-hazard f.csv]
+///
+/// `cluster-price` coordinates a book across running cluster workers: it
+/// probes every node (measured link latency + self-reported fit), plans
+/// shard assignments with engine::plan_cluster() (deadline-first, then
+/// energy), dispatches shards over the sockets and merges the results in
+/// submission order. All workers must run the same engine name for the
+/// merge to be bit-identical to a single-process run; --verify re-prices
+/// the book locally on that engine and exits 1 unless every row matches
+/// bit for bit (workers must then also serve the same curves this process
+/// loads). --bandwidth sets the link model's modelled bytes/second.
+///
 ///   cdsflow_cli bootstrap --quotes quotes.csv [--out hazard.csv]
 ///   cdsflow_cli engines
 ///   cdsflow_cli device [--engines N] [--lanes L]
@@ -114,6 +145,7 @@
 /// stderr).
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -125,6 +157,8 @@
 #include <vector>
 
 #include "cds/bootstrap.hpp"
+#include "cluster/coordinator.hpp"
+#include "cluster/worker.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "engines/planner.hpp"
@@ -974,9 +1008,189 @@ int cmd_client_replay(const Args& args) {
   return rejected == 0 ? 0 : 1;
 }
 
+int cmd_cluster_worker(const Args& args) {
+  const auto [interest, hazard] = load_curves(args);
+
+  cluster::WorkerConfig config;
+  config.runtime.engine = args.get_or("engine", "cpu-batch");
+  config.runtime.workers =
+      static_cast<unsigned>(args.get_long_or("workers", 1));
+  config.runtime.shard_size =
+      static_cast<std::size_t>(args.get_long_or("shard-size", 0));
+  if (args.get("ops-per-second")) {
+    config.fit.options_per_second =
+        args.get_double_or("ops-per-second", 0.0);
+    CDSFLOW_EXPECT(config.fit.options_per_second > 0.0,
+                   "--ops-per-second must be positive");
+    config.fit.setup_seconds = args.get_double_or("setup-s", 0.0);
+  }
+  config.fit.watts = args.get_double_or("watts", 0.0);
+  if (args.get("probe-sizes")) {
+    config.probe_sizes.clear();
+    for (const double v :
+         parse_edge_list(*args.get("probe-sizes"), "--probe-sizes")) {
+      CDSFLOW_EXPECT(v >= 1.0, "--probe-sizes entries must be >= 1");
+      config.probe_sizes.push_back(static_cast<std::size_t>(v));
+    }
+  }
+  config.stop_when_idle = args.get("stop-when-idle").has_value();
+
+  net::ServerConfig server_config;
+  server_config.unix_path = args.get_or("unix", "");
+  server_config.tcp_port =
+      static_cast<std::uint16_t>(args.get_long_or("port", 0));
+
+  // Server first so the socket is already listening while a cold fit
+  // calibrates -- coordinators retry their connect until then.
+  net::Server server(server_config);
+  cluster::ClusterWorker worker(interest, hazard, std::move(config));
+
+  if (!server_config.unix_path.empty()) {
+    std::cout << "cluster worker on unix:" << server.unix_path() << '\n';
+  } else {
+    std::cout << "cluster worker on tcp port " << server.tcp_port() << '\n';
+  }
+  std::cout << "  engine " << worker.fit().engine_name << " ("
+            << (worker.risk_mode() ? "risk" : "price") << " mode), fit "
+            << with_thousands(worker.fit().options_per_second, 0)
+            << " options/s + " << fixed(worker.fit().setup_seconds * 1e6, 1)
+            << " us setup, " << fixed(worker.fit().watts, 1) << " W\n";
+
+  server.run(worker);
+
+  const auto& stats = worker.stats();
+  std::cout << "served " << stats.probes << " probe(s), " << stats.shards
+            << " shard(s) (" << stats.options << " option(s)), "
+            << stats.rejects << " reject(s), " << stats.connections_poisoned
+            << " poisoned connection(s)\n";
+  return 0;
+}
+
+int cmd_cluster_price(const Args& args) {
+  const auto book = load_book(args);
+  const bool risk = args.get("risk").has_value();
+  const auto nodes_arg = args.get("nodes");
+  CDSFLOW_EXPECT(nodes_arg.has_value() && !nodes_arg->empty(),
+                 "--nodes unix:/path[,...] or host:port[,...] is required");
+
+  cluster::CoordinatorConfig config;
+  config.shard_size =
+      static_cast<std::size_t>(args.get_long_or("shard-size", 0));
+  config.deadline_seconds = args.get_double_or("deadline-s", 3600.0);
+  CDSFLOW_EXPECT(config.deadline_seconds > 0.0, "--deadline-s must be > 0");
+  config.risk = risk;
+  const double connect_timeout = args.get_double_or("connect-timeout-s", 5.0);
+  const double bandwidth = args.get_double_or("bandwidth", 1.0e9);
+  CDSFLOW_EXPECT(bandwidth > 0.0, "--bandwidth must be > 0");
+
+  std::size_t begin = 0;
+  const std::string& specs = *nodes_arg;
+  while (begin <= specs.size()) {
+    const std::size_t comma = std::min(specs.find(',', begin), specs.size());
+    const std::string field = specs.substr(begin, comma - begin);
+    CDSFLOW_EXPECT(!field.empty(), "--nodes contains an empty entry");
+    cluster::NodeSpec spec;
+    spec.connect_timeout_seconds = connect_timeout;
+    spec.link.bytes_per_second = bandwidth;
+    if (field.rfind("unix:", 0) == 0) {
+      spec.unix_path = field.substr(5);
+      CDSFLOW_EXPECT(!spec.unix_path.empty(),
+                     "--nodes unix: entry needs a path");
+    } else {
+      const std::size_t colon = field.rfind(':');
+      CDSFLOW_EXPECT(colon != std::string::npos && colon + 1 < field.size(),
+                     "--nodes entry '" + field +
+                         "' is neither unix:/path nor host:port");
+      spec.host = field.substr(0, colon);
+      spec.tcp_port = static_cast<std::uint16_t>(
+          parse_long_strict(field.substr(colon + 1), "--nodes port"));
+    }
+    config.nodes.push_back(std::move(spec));
+    begin = comma + 1;
+  }
+
+  cluster::ClusterCoordinator coordinator(std::move(config));
+  std::cout << "cluster of " << coordinator.nodes().size() << " node(s):\n";
+  for (const auto& node : coordinator.nodes()) {
+    std::cout << "  " << node.address << ": " << node.fit.engine_name
+              << ", fit " << with_thousands(node.fit.options_per_second, 0)
+              << " options/s + " << fixed(node.fit.setup_seconds * 1e6, 1)
+              << " us setup, " << fixed(node.fit.watts, 1) << " W, link "
+              << fixed(node.link.latency_seconds * 1e6, 1) << " us + "
+              << with_thousands(node.link.bytes_per_second, 0) << " B/s\n";
+  }
+
+  const auto run = coordinator.price(book);
+  std::cout << "plan: " << run.plan.n_shards << " shard(s) of "
+            << run.shard_size << " (assignment";
+  for (std::size_t k = 0; k < run.plan.shards_per_node.size(); ++k) {
+    std::cout << (k == 0 ? " " : " / ") << run.plan.shards_per_node[k];
+  }
+  std::cout << "), projected " << fixed(run.plan.projected_seconds * 1e3, 3)
+            << " ms\n";
+  std::cout << "priced " << run.run.results.size() << " option(s) ("
+            << (risk ? "risk" : "price") << " mode): modelled "
+            << with_thousands(run.run.options_per_second, 0)
+            << " options/s, wall "
+            << with_thousands(run.wall_options_per_second, 0)
+            << " options/s";
+  if (run.resubmissions > 0 || run.nodes_lost > 0) {
+    std::cout << "; " << run.nodes_lost << " node(s) lost, "
+              << run.resubmissions << " shard(s) resubmitted";
+  }
+  std::cout << '\n';
+
+  if (args.get("out")) {
+    io::write_results_csv(*args.get("out"), run.run.results);
+    std::cout << "results written to " << *args.get("out") << '\n';
+  }
+
+  if (args.get("verify")) {
+    // Re-price locally on the engine the workers report and compare every
+    // row bit for bit (assumes the workers serve the same curves).
+    const auto [interest, hazard] = load_curves(args);
+    runtime::RuntimeConfig local_config;
+    local_config.engine = coordinator.nodes().front().fit.engine_name;
+    local_config.workers = 1;
+    runtime::PortfolioRuntime local(interest, hazard, local_config);
+    const auto reference = local.price(book);
+    bool identical = reference.run.results.size() == run.run.results.size() &&
+                     reference.run.sensitivities.size() ==
+                         run.run.sensitivities.size();
+    for (std::size_t i = 0; identical && i < run.run.results.size(); ++i) {
+      identical = reference.run.results[i].id == run.run.results[i].id &&
+                  std::bit_cast<std::uint64_t>(
+                      reference.run.results[i].spread_bps) ==
+                      std::bit_cast<std::uint64_t>(
+                          run.run.results[i].spread_bps);
+    }
+    for (std::size_t i = 0; identical && i < run.run.sensitivities.size();
+         ++i) {
+      const auto& a = reference.run.sensitivities[i];
+      const auto& b = run.run.sensitivities[i];
+      identical =
+          std::bit_cast<std::uint64_t>(a.cs01) ==
+              std::bit_cast<std::uint64_t>(b.cs01) &&
+          std::bit_cast<std::uint64_t>(a.ir01) ==
+              std::bit_cast<std::uint64_t>(b.ir01) &&
+          std::bit_cast<std::uint64_t>(a.rec01) ==
+              std::bit_cast<std::uint64_t>(b.rec01) &&
+          std::bit_cast<std::uint64_t>(a.jtd) ==
+              std::bit_cast<std::uint64_t>(b.jtd);
+    }
+    std::cout << "verify vs local " << local_config.engine << ": "
+              << (identical ? "bit-identical" : "MISMATCH") << '\n';
+    if (!identical) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: cdsflow_cli <price|risk|stream|sweep|serve|"
-               "client-replay|bootstrap|engines|device> [--flag value ...]\n"
+               "client-replay|cluster-worker|cluster-price|bootstrap|"
+               "engines|device> [--flag value ...]\n"
                "see the file header of tools/cdsflow_cli.cpp for details\n";
   return 1;
 }
@@ -994,6 +1208,8 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "client-replay") return cmd_client_replay(args);
+    if (command == "cluster-worker") return cmd_cluster_worker(args);
+    if (command == "cluster-price") return cmd_cluster_price(args);
     if (command == "bootstrap") return cmd_bootstrap(args);
     if (command == "engines") return cmd_engines();
     if (command == "device") return cmd_device(args);
