@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Entry point for the cdslint source linter (implementation lives in
+tools/cdslint/cdslint.py). Registered as the `cdslint` / `cdslint_selftest`
+CTest entries and run by the CI lint job:
+
+  python3 scripts/cdslint.py <repo-root>
+  python3 scripts/cdslint.py --self-test
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools" / "cdslint"))
+
+import cdslint  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cdslint.main(sys.argv))

@@ -12,6 +12,23 @@ set -euo pipefail
 CLI="${1:?usage: cluster_smoke.sh <path-to-cdsflow_cli> [n_options]}"
 N_OPTIONS="${2:-2048}"
 
+# Build-provenance guard: a clang build must carry the Clang thread-safety
+# annotations (common/thread_annotations.hpp). If they were compiled out --
+# a header regression or a stripped -W flag -- the concurrency discipline
+# this smoke exercises is no longer machine-checked, so fail loudly rather
+# than certify the binary. GCC has no analysis; annotations are expected
+# off there.
+BUILD_INFO="$("$CLI" build-info)"
+COMPILER="$(printf '%s\n' "$BUILD_INFO" | sed -n 's/^compiler=//p')"
+ANNOTATIONS="$(printf '%s\n' "$BUILD_INFO" | sed -n 's/^thread_safety_annotations=//p')"
+if [[ "$COMPILER" == "clang" && "$ANNOTATIONS" != "on" ]]; then
+  echo "cluster smoke: FATAL: clang-built worker binary reports" >&2
+  echo "  thread_safety_annotations=$ANNOTATIONS -- the thread-safety" >&2
+  echo "  annotations were compiled out; refusing to certify it." >&2
+  exit 1
+fi
+echo "cluster smoke: $COMPILER build, thread_safety_annotations=$ANNOTATIONS"
+
 SOCK_A="/tmp/cdsflow-smoke-a-$$.sock"
 SOCK_B="/tmp/cdsflow-smoke-b-$$.sock"
 

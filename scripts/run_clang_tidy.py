@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over src/ and fail on findings NOT in the checked-in
+baseline (scripts/clang_tidy_baseline.txt).
+
+The baseline is the burn-down list: pre-existing findings are recorded
+there (file + check name, no line numbers, so ordinary edits don't churn
+it) and removed as they are fixed; anything not listed is a NEW finding
+and fails the lint job. Silencing with NOLINT instead of fixing or
+baselining is not the workflow.
+
+Usage:
+  scripts/run_clang_tidy.py --build-dir <dir> [--update-baseline]
+
+<dir> must be a CMake build tree configured with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI lint job does this). Exits 2
+with a clear message when no clang-tidy binary is on PATH -- the local
+gcc-only dev box is expected to rely on CI for this check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "scripts" / "clang_tidy_baseline.txt"
+FINDING = re.compile(r"^(/[^:]+):\d+:\d+: (?:warning|error): .* \[([\w.,-]+)\]")
+
+
+def find_tool(names):
+    for name in names:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def tidy_binary():
+    return find_tool(["clang-tidy"] + [f"clang-tidy-{v}" for v in
+                                       range(21, 13, -1)])
+
+
+def source_files(build_dir: Path):
+    commands = build_dir / "compile_commands.json"
+    if not commands.is_file():
+        sys.exit(f"run_clang_tidy: {commands} not found; configure with "
+                 "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+    files = []
+    for entry in json.loads(commands.read_text()):
+        path = Path(entry["file"]).resolve()
+        if (REPO / "src") in path.parents:
+            files.append(path)
+    return sorted(set(files))
+
+
+def run_one(tidy: str, build_dir: Path, path: Path):
+    proc = subprocess.run(
+        [tidy, "-p", str(build_dir), "--quiet", str(path)],
+        capture_output=True, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING.match(line)
+        if not m:
+            continue
+        abspath, checks = m.groups()
+        try:
+            rel = Path(abspath).resolve().relative_to(REPO).as_posix()
+        except ValueError:
+            continue  # system/third-party header
+        for check in checks.split(","):
+            findings.add((rel, check))
+    return findings, proc.stdout
+
+
+def load_baseline():
+    if not BASELINE.is_file():
+        return set()
+    entries = set()
+    for line in BASELINE.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rel, check = line.split()
+        entries.add((rel, check))
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", required=True, type=Path)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's findings")
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    tidy = tidy_binary()
+    if tidy is None:
+        print("run_clang_tidy: no clang-tidy binary on PATH; this check "
+              "runs in the CI lint job")
+        return 2
+
+    files = source_files(args.build_dir.resolve())
+    if not files:
+        sys.exit("run_clang_tidy: no src/ translation units in "
+                 "compile_commands.json")
+    print(f"run_clang_tidy: {tidy}, {len(files)} translation unit(s)")
+
+    findings = set()
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for found, _ in pool.map(
+                lambda p: run_one(tidy, args.build_dir, p), files):
+            findings |= found
+
+    if args.update_baseline:
+        lines = ["# clang-tidy burn-down baseline: pre-existing findings",
+                 "# (file + check), removed as fixed. Regenerate with",
+                 "#   scripts/run_clang_tidy.py --build-dir <dir> "
+                 "--update-baseline"]
+        lines += [f"{rel} {check}" for rel, check in sorted(findings)]
+        BASELINE.write_text("\n".join(lines) + "\n")
+        print(f"run_clang_tidy: baseline rewritten "
+              f"({len(findings)} finding(s))")
+        return 0
+
+    baseline = load_baseline()
+    new = findings - baseline
+    fixed = baseline - findings
+    for rel, check in sorted(new):
+        print(f"NEW: {rel} [{check}]")
+    if fixed:
+        print(f"run_clang_tidy: {len(fixed)} baselined finding(s) no longer "
+              "fire -- prune them from scripts/clang_tidy_baseline.txt")
+    if new:
+        print(f"run_clang_tidy: {len(new)} new finding(s); fix them or, for "
+              "a deliberate burn-down entry, --update-baseline")
+        return 1
+    print(f"run_clang_tidy: clean ({len(findings)} baselined finding(s) "
+          "still open)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

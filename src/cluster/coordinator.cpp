@@ -6,12 +6,12 @@
 #include <condition_variable>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/codec.hpp"
 #include "runtime/shard.hpp"
 
@@ -136,6 +136,10 @@ ClusterRun ClusterCoordinator::price(
     std::size_t node = 0;
     bool resubmitted = false;
   };
+  // Not board-guarded: each slot is owned by exactly one drive thread at a
+  // time (a shard is handed out under the lock, and an orphaned shard is
+  // only re-handed-out after its owner stopped touching the slot), and the
+  // merge below reads the slots after every drive thread has joined.
   std::vector<ShardState> done(shards.size());
 
   // The dispatch board: per-node queues seeded from the plan, plus an
@@ -143,14 +147,14 @@ ClusterRun ClusterCoordinator::price(
   // counts `remaining` until some node completes it, so a node loss never
   // loses work -- survivors drain the orphans after their own queues.
   struct Board {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    std::vector<std::deque<std::size_t>> queue;
-    std::deque<std::size_t> orphans;
-    std::size_t remaining = 0;
-    std::size_t live = 0;
-    std::vector<bool> dead;
-    std::string fatal;
+    std::vector<std::deque<std::size_t>> queue CDSFLOW_GUARDED_BY(mu);
+    std::deque<std::size_t> orphans CDSFLOW_GUARDED_BY(mu);
+    std::size_t remaining CDSFLOW_GUARDED_BY(mu) = 0;
+    std::size_t live CDSFLOW_GUARDED_BY(mu) = 0;
+    std::vector<bool> dead CDSFLOW_GUARDED_BY(mu);
+    std::string fatal CDSFLOW_GUARDED_BY(mu);
   } board;
   board.queue.resize(nodes_.size());
   board.dead.assign(nodes_.size(), false);
@@ -168,8 +172,8 @@ ClusterRun ClusterCoordinator::price(
       std::size_t idx = 0;
       bool from_orphans = false;
       {
-        std::unique_lock<std::mutex> lock(board.mu);
-        board.cv.wait(lock, [&] {
+        UniqueLock lock(board.mu);
+        board.cv.wait(lock.native(), [&]() CDSFLOW_REQUIRES(board.mu) {
           return !board.fatal.empty() || board.remaining == 0 ||
                  !board.queue[k].empty() || !board.orphans.empty();
         });
@@ -226,7 +230,7 @@ ClusterRun ClusterCoordinator::price(
       }
 
       if (!fatal.empty()) {
-        std::lock_guard<std::mutex> lock(board.mu);
+        MutexLock lock(board.mu);
         if (board.fatal.empty()) {
           board.fatal = std::move(fatal);
         }
@@ -234,7 +238,7 @@ ClusterRun ClusterCoordinator::price(
         return;
       }
       if (priced) {
-        std::lock_guard<std::mutex> lock(board.mu);
+        MutexLock lock(board.mu);
         done[idx].node = k;
         done[idx].resubmitted = from_orphans;
         if (--board.remaining == 0) {
@@ -244,7 +248,7 @@ ClusterRun ClusterCoordinator::price(
       }
       // This node is dead for the run: orphan the in-flight shard and the
       // rest of its queue, then let the survivors drain them.
-      std::lock_guard<std::mutex> lock(board.mu);
+      MutexLock lock(board.mu);
       board.orphans.push_back(idx);
       while (!board.queue[k].empty()) {
         board.orphans.push_back(board.queue[k].front());
@@ -273,10 +277,25 @@ ClusterRun ClusterCoordinator::price(
   }
   const auto t1 = std::chrono::steady_clock::now();
 
-  if (!board.fatal.empty()) {
-    throw Error(board.fatal);
+  // The joins above publish the drive threads' final writes, but the board
+  // stays locked for these reads anyway: the lock costs nothing after the
+  // join, keeps every board access under its capability, and lets the
+  // thread-safety analysis prove the whole dispatch instead of special-
+  // casing the post-join tail.
+  std::string fatal_message;
+  std::size_t shards_remaining = 0;
+  std::size_t nodes_dead = 0;
+  {
+    MutexLock lock(board.mu);
+    fatal_message = std::move(board.fatal);
+    shards_remaining = board.remaining;
+    nodes_dead = static_cast<std::size_t>(
+        std::count(board.dead.begin(), board.dead.end(), true));
   }
-  CDSFLOW_ASSERT(board.remaining == 0, "cluster dispatch left shards undone");
+  if (!fatal_message.empty()) {
+    throw Error(fatal_message);
+  }
+  CDSFLOW_ASSERT(shards_remaining == 0, "cluster dispatch left shards undone");
 
   // Deterministic merge in shard (= submission) order -- the exact
   // PortfolioRuntime contract, so the merged values are bit-identical to a
@@ -318,8 +337,7 @@ ClusterRun ClusterCoordinator::price(
                  "merged cluster run must take non-zero time");
   out.run.options_per_second =
       static_cast<double>(options.size()) / out.run.total_seconds;
-  out.nodes_lost = static_cast<std::size_t>(
-      std::count(board.dead.begin(), board.dead.end(), true));
+  out.nodes_lost = nodes_dead;
 
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   if (out.wall_seconds > 0.0) {

@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace cdsflow::engine {
 
@@ -151,16 +151,23 @@ PricingRun CpuEngine::price(const std::vector<cds::CdsOption>& options) {
     // parallel region or a worker thread -- that would terminate the
     // process instead of surfacing a catchable Error. Capture the first
     // one and rethrow after the join, matching the serial path's contract.
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    // The slot is locked for the final read too, not only the writes: the
+    // join does publish it, but the lock keeps the access pattern uniform
+    // and lets the thread-safety analysis prove it instead of trusting the
+    // join edge (test_engines' WorkerThreadExceptionSurfacesAsError covers
+    // this path).
+    struct ErrorSlot {
+      Mutex mu;
+      std::exception_ptr first CDSFLOW_GUARDED_BY(mu);
+    } slot;
     auto run_chunk = [&](std::ptrdiff_t c) noexcept {
       const std::size_t begin = static_cast<std::size_t>(c) * chunk;
       try {
         price_chunk(options, begin, std::min(options.size(), begin + chunk),
                     run, scratch_[static_cast<std::size_t>(c)]);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        const MutexLock lock(slot.mu);
+        if (!slot.first) slot.first = std::current_exception();
       }
     };
 #if defined(CDSFLOW_HAVE_OPENMP)
@@ -176,6 +183,11 @@ PricingRun CpuEngine::price(const std::vector<cds::CdsOption>& options) {
     }
     for (auto& w : workers) w.join();
 #endif
+    std::exception_ptr first_error;
+    {
+      const MutexLock lock(slot.mu);
+      first_error = slot.first;
+    }
     if (first_error) std::rethrow_exception(first_error);
   }
   const auto t1 = std::chrono::steady_clock::now();

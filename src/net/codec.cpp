@@ -312,6 +312,38 @@ void FrameReader::poison(std::string why) {
   buffer_.clear();
 }
 
+bool FrameReader::require_payload_at_least(std::size_t payload_bytes,
+                                           std::size_t need,
+                                           const char* frame_name) {
+  if (payload_bytes >= need) {
+    return true;
+  }
+  poison(std::string(frame_name) + " payload shorter than its fixed fields (" +
+         std::to_string(payload_bytes) + " < " + std::to_string(need) +
+         " bytes)");
+  return false;
+}
+
+bool FrameReader::require_payload_exact(std::size_t payload_bytes,
+                                        std::size_t want, const char* what) {
+  if (payload_bytes == want) {
+    return true;
+  }
+  poison(std::string(what) + " (payload is " + std::to_string(payload_bytes) +
+         " bytes, layout needs " + std::to_string(want) + ")");
+  return false;
+}
+
+bool FrameReader::require_count_between(std::uint64_t count, std::uint64_t min,
+                                        std::uint64_t max, const char* what) {
+  if (count >= min && count <= max) {
+    return true;
+  }
+  poison(std::string(what) + " " + std::to_string(count) + " outside [" +
+         std::to_string(min) + ", " + std::to_string(max) + "]");
+  return false;
+}
+
 bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
   if (failed_) {
     return false;
@@ -384,8 +416,8 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
 
     switch (frame.type) {
       case FrameType::kQuoteUpdate: {
-        if (payload_bytes != kQuotePayloadBytes) {
-          poison("quote-update payload must be 12 bytes");
+        if (!require_payload_exact(payload_bytes, kQuotePayloadBytes,
+                                   "quote-update payload must be 12 bytes")) {
           break;
         }
         frame.knot = get_u32(p);
@@ -394,18 +426,17 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
       }
       case FrameType::kPriceRequest:
       case FrameType::kRiskRequest: {
-        if (payload_bytes < 4) {
-          poison("request payload shorter than its count field");
+        if (!require_payload_at_least(payload_bytes, 4, "request")) {
           break;
         }
         const std::uint32_t count = get_u32(p);
-        if (count == 0 || count > kMaxOptionsPerRequest) {
-          poison("request option count " + std::to_string(count) +
-                 " outside [1, kMaxOptionsPerRequest]");
+        if (!require_count_between(count, 1, kMaxOptionsPerRequest,
+                                   "request option count")) {
           break;
         }
-        if (payload_bytes != 4 + kOptionRowBytes * count) {
-          poison("request payload length does not match its option count");
+        if (!require_payload_exact(
+                payload_bytes, 4 + kOptionRowBytes * count,
+                "request payload length does not match its option count")) {
           break;
         }
         frame.options.resize(count);
@@ -419,8 +450,8 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
         break;
       }
       case FrameType::kResult: {
-        if (payload_bytes < kResultPreambleBytes) {
-          poison("result payload shorter than its preamble");
+        if (!require_payload_at_least(payload_bytes, kResultPreambleBytes,
+                                      "result")) {
           break;
         }
         frame.status = p[0];
@@ -438,13 +469,14 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
           break;
         }
         const std::uint32_t count = get_u32(p + 4);
-        if (count > kMaxOptionsPerRequest) {
-          poison("result row count exceeds kMaxOptionsPerRequest");
+        if (!require_count_between(count, 0, kMaxOptionsPerRequest,
+                                   "result row count")) {
           break;
         }
         const std::size_t row = frame.risk ? kRiskRowBytes : kPriceRowBytes;
-        if (payload_bytes != kResultPreambleBytes + row * count) {
-          poison("result payload length does not match its row count");
+        if (!require_payload_exact(
+                payload_bytes, kResultPreambleBytes + row * count,
+                "result payload length does not match its row count")) {
           break;
         }
         frame.results.resize(count);
@@ -466,8 +498,8 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
         break;
       }
       case FrameType::kReject: {
-        if (payload_bytes < kRejectPreambleBytes) {
-          poison("reject payload shorter than its preamble");
+        if (!require_payload_at_least(payload_bytes, kRejectPreambleBytes,
+                                      "reject")) {
           break;
         }
         const std::uint8_t raw_reason = p[0];
@@ -482,12 +514,13 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
           break;
         }
         const std::uint16_t detail_len = get_u16(p + 2);
-        if (detail_len > kMaxRejectDetailBytes) {
-          poison("reject detail exceeds kMaxRejectDetailBytes");
+        if (!require_count_between(detail_len, 0, kMaxRejectDetailBytes,
+                                   "reject detail length")) {
           break;
         }
-        if (payload_bytes != kRejectPreambleBytes + detail_len) {
-          poison("reject payload length does not match its detail length");
+        if (!require_payload_exact(
+                payload_bytes, kRejectPreambleBytes + detail_len,
+                "reject payload length does not match its detail length")) {
           break;
         }
         frame.detail.assign(reinterpret_cast<const char*>(p + 4), detail_len);
@@ -497,8 +530,8 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
         if (payload_bytes == 0) {
           break;  // a probe request carries no payload
         }
-        if (payload_bytes < kNodeInfoPreambleBytes) {
-          poison("node-info payload shorter than its preamble");
+        if (!require_payload_at_least(payload_bytes, kNodeInfoPreambleBytes,
+                                      "node-info")) {
           break;
         }
         frame.probe_reply = true;
@@ -511,25 +544,25 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
         frame.setup_seconds = get_f64(p + 12);
         frame.watts = get_f64(p + 20);
         const std::uint16_t name_len = get_u16(p + 28);
-        if (name_len == 0 || name_len > kMaxEngineNameBytes) {
-          poison("node-info engine name length outside "
-                 "[1, kMaxEngineNameBytes]");
+        if (!require_count_between(name_len, 1, kMaxEngineNameBytes,
+                                   "node-info engine name length")) {
           break;
         }
         if (get_u16(p + 30) != 0) {
           poison("reserved node-info bytes set");
           break;
         }
-        if (payload_bytes != kNodeInfoPreambleBytes + name_len) {
-          poison("node-info payload length does not match its name length");
+        if (!require_payload_exact(
+                payload_bytes, kNodeInfoPreambleBytes + name_len,
+                "node-info payload length does not match its name length")) {
           break;
         }
         frame.engine.assign(reinterpret_cast<const char*>(p + 32), name_len);
         break;
       }
       case FrameType::kShardPrice: {
-        if (payload_bytes < kShardPricePreambleBytes) {
-          poison("shard-price payload shorter than its preamble");
+        if (!require_payload_at_least(payload_bytes, kShardPricePreambleBytes,
+                                      "shard-price")) {
           break;
         }
         if (p[0] > 1) {
@@ -542,15 +575,13 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
           break;
         }
         const std::uint32_t count = get_u32(p + 4);
-        if (count == 0 || count > kMaxOptionsPerRequest) {
-          poison("shard option count " + std::to_string(count) +
-                 " outside [1, kMaxOptionsPerRequest]");
+        if (!require_count_between(count, 1, kMaxOptionsPerRequest,
+                                   "shard option count")) {
           break;
         }
-        if (payload_bytes !=
-            kShardPricePreambleBytes + kOptionRowBytes * count) {
-          poison("shard-price payload length does not match its option "
-                 "count");
+        if (!require_payload_exact(
+                payload_bytes, kShardPricePreambleBytes + kOptionRowBytes * count,
+                "shard-price payload length does not match its option count")) {
           break;
         }
         frame.options.resize(count);
@@ -565,8 +596,8 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
         break;
       }
       case FrameType::kShardResult: {
-        if (payload_bytes < kShardResultPreambleBytes) {
-          poison("shard-result payload shorter than its preamble");
+        if (!require_payload_at_least(payload_bytes, kShardResultPreambleBytes,
+                                      "shard-result")) {
           break;
         }
         if (p[0] != 0) {
@@ -583,15 +614,15 @@ bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
           break;
         }
         const std::uint32_t count = get_u32(p + 4);
-        if (count == 0 || count > kMaxOptionsPerRequest) {
-          poison("shard-result row count outside "
-                 "[1, kMaxOptionsPerRequest]");
+        if (!require_count_between(count, 1, kMaxOptionsPerRequest,
+                                   "shard-result row count")) {
           break;
         }
         frame.engine_seconds = get_f64(p + 8);
         const std::size_t row = frame.risk ? kRiskRowBytes : kPriceRowBytes;
-        if (payload_bytes != kShardResultPreambleBytes + row * count) {
-          poison("shard-result payload length does not match its row count");
+        if (!require_payload_exact(
+                payload_bytes, kShardResultPreambleBytes + row * count,
+                "shard-result payload length does not match its row count")) {
           break;
         }
         frame.results.resize(count);

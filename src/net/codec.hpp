@@ -221,6 +221,23 @@ class FrameReader {
  private:
   void poison(std::string why);
 
+  /// Bounds gates for the decode switch. Every variable-length field a
+  /// frame carries (row counts, name/detail lengths) must be vetted
+  /// through one of these before any byte it sizes is dereferenced --
+  /// cdslint's codec-bounds rule rejects a decode-path length read that
+  /// is not preceded by a require_ gate. Each returns true when the
+  /// constraint holds and poisons the stream (returning false) otherwise.
+  ///
+  /// `payload_bytes` itself is safe to pass before validation: feed()
+  /// only enters the switch once the whole payload is buffered, so the
+  /// gates bound *interpretation*, not buffering.
+  bool require_payload_at_least(std::size_t payload_bytes, std::size_t need,
+                                const char* frame_name);
+  bool require_payload_exact(std::size_t payload_bytes, std::size_t want,
+                             const char* what);
+  bool require_count_between(std::uint64_t count, std::uint64_t min,
+                             std::uint64_t max, const char* what);
+
   std::vector<std::uint8_t> buffer_;
   std::vector<Frame> ready_;
   std::size_t ready_next_ = 0;

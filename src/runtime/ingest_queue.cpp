@@ -49,7 +49,7 @@ bool IngestQueue::push(QuoteEvent event) {
   // producer spends parked by the kBlock policy is part of the event's
   // ingest-to-result latency and of deadline accounting, not free.
   event.ingest = StreamClock::now();
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   if (closed_) {
     ++stats_.rejected_closed;
     return false;
@@ -57,7 +57,7 @@ bool IngestQueue::push(QuoteEvent event) {
   if (queue_.size() >= capacity_) {
     if (policy_ == BackpressurePolicy::kBlock) {
       ++stats_.blocked_pushes;
-      not_full_.wait(lock, [this] {
+      not_full_.wait(lock.native(), [this]() CDSFLOW_REQUIRES(mutex_) {
         return closed_ || queue_.size() < capacity_;
       });
       if (closed_) {
@@ -82,7 +82,7 @@ bool IngestQueue::push(QuoteEvent event) {
 
 void IngestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   not_empty_.notify_all();
@@ -90,8 +90,10 @@ void IngestQueue::close() {
 }
 
 std::optional<QuoteEvent> IngestQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  UniqueLock lock(mutex_);
+  not_empty_.wait(lock.native(), [this]() CDSFLOW_REQUIRES(mutex_) {
+    return closed_ || !queue_.empty();
+  });
   if (queue_.empty()) return std::nullopt;  // drained
   QuoteEvent event = std::move(queue_.front());
   queue_.pop_front();
@@ -101,9 +103,11 @@ std::optional<QuoteEvent> IngestQueue::pop() {
 }
 
 std::optional<QuoteEvent> IngestQueue::pop_for(StreamClock::duration timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait_for(lock, timeout,
-                      [this] { return closed_ || !queue_.empty(); });
+  UniqueLock lock(mutex_);
+  not_empty_.wait_for(lock.native(), timeout,
+                      [this]() CDSFLOW_REQUIRES(mutex_) {
+                        return closed_ || !queue_.empty();
+                      });
   if (queue_.empty()) return std::nullopt;  // timeout or drained
   QuoteEvent event = std::move(queue_.front());
   queue_.pop_front();
@@ -113,22 +117,22 @@ std::optional<QuoteEvent> IngestQueue::pop_for(StreamClock::duration timeout) {
 }
 
 bool IngestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 
 bool IngestQueue::drained() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_ && queue_.empty();
 }
 
 std::size_t IngestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 IngestQueueStats IngestQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

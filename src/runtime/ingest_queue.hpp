@@ -38,12 +38,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cds/types.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace cdsflow::runtime {
 
@@ -109,39 +109,44 @@ class IngestQueue {
   /// sequence number at enqueue, and enqueues. Returns false only when the
   /// queue is closed (the event is discarded); under kDropOldest a push
   /// into a full queue evicts the oldest event and still returns true.
-  bool push(QuoteEvent event);
+  bool push(QuoteEvent event) CDSFLOW_EXCLUDES(mutex_);
 
   /// No more pushes will be accepted; parked producers and the consumer are
   /// released. Events already queued remain poppable (close-then-drain).
-  void close();
+  void close() CDSFLOW_EXCLUDES(mutex_);
 
   /// Single-consumer pop: waits until an event is available or the queue is
   /// drained (closed and empty, -> nullopt).
-  std::optional<QuoteEvent> pop();
+  std::optional<QuoteEvent> pop() CDSFLOW_EXCLUDES(mutex_);
 
   /// Like pop() but gives up after `timeout`; nullopt on timeout or drain
   /// (disambiguate with drained()).
-  std::optional<QuoteEvent> pop_for(StreamClock::duration timeout);
+  std::optional<QuoteEvent> pop_for(StreamClock::duration timeout)
+      CDSFLOW_EXCLUDES(mutex_);
 
-  bool closed() const;
+  bool closed() const CDSFLOW_EXCLUDES(mutex_);
   /// Closed and empty: no event will ever be popped again.
-  bool drained() const;
-  std::size_t size() const;
+  bool drained() const CDSFLOW_EXCLUDES(mutex_);
+  std::size_t size() const CDSFLOW_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
   BackpressurePolicy policy() const { return policy_; }
-  IngestQueueStats stats() const;
+  IngestQueueStats stats() const CDSFLOW_EXCLUDES(mutex_);
 
  private:
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
 
-  mutable std::mutex mutex_;
+  /// One capability guards the whole queue state: events, the closed flag,
+  /// the sequence counter and the stats block. stats() snapshots the whole
+  /// IngestQueueStats under the lock -- a field-by-field off-lock read
+  /// could pair an old accepted count with a new high-water mark.
+  mutable Mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<QuoteEvent> queue_;
-  bool closed_ = false;
-  std::uint64_t next_sequence_ = 0;
-  IngestQueueStats stats_;
+  std::deque<QuoteEvent> queue_ CDSFLOW_GUARDED_BY(mutex_);
+  bool closed_ CDSFLOW_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_sequence_ CDSFLOW_GUARDED_BY(mutex_) = 0;
+  IngestQueueStats stats_ CDSFLOW_GUARDED_BY(mutex_);
 };
 
 /// The dispatcher's micro-batch flush policy. Accumulates popped events;

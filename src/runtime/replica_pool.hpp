@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace cdsflow::runtime {
 
@@ -22,16 +22,16 @@ class ReplicaPool {
     for (std::size_t i = 0; i < n; ++i) free_.push_back(n - 1 - i);
   }
 
-  std::size_t acquire() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t acquire() CDSFLOW_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     CDSFLOW_ASSERT(!free_.empty(), "more in-flight tasks than replicas");
     const std::size_t idx = free_.back();
     free_.pop_back();
     return idx;
   }
 
-  void release(std::size_t idx) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void release(std::size_t idx) CDSFLOW_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     free_.push_back(idx);
   }
 
@@ -51,8 +51,8 @@ class ReplicaPool {
   };
 
  private:
-  std::mutex mutex_;
-  std::vector<std::size_t> free_;
+  Mutex mutex_;
+  std::vector<std::size_t> free_ CDSFLOW_GUARDED_BY(mutex_);
 };
 
 }  // namespace cdsflow::runtime

@@ -14,12 +14,12 @@ namespace cdsflow::runtime {
 namespace stream_detail {
 
 void BatchCollector::put(BatchResult result) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   results_.push_back(std::move(result));
 }
 
 std::vector<BatchResult> BatchCollector::take() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::sort(results_.begin(), results_.end(),
             [](const BatchResult& a, const BatchResult& b) {
               return a.index < b.index;
@@ -32,7 +32,7 @@ std::vector<BatchResult> BatchCollector::take() {
 }
 
 std::vector<BatchResult> BatchCollector::peek_ready(std::size_t begin) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // results_ is small and unsorted (lanes complete out of order); walk the
   // contiguous index run from `begin` with a linear probe per step.
   std::vector<BatchResult> ready;
@@ -47,7 +47,7 @@ std::vector<BatchResult> BatchCollector::peek_ready(std::size_t begin) const {
 }
 
 std::size_t BatchCollector::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return results_.size();
 }
 

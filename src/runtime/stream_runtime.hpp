@@ -55,13 +55,13 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cds/curve.hpp"
 #include "cds/stream_pricer.hpp"
+#include "common/thread_annotations.hpp"
 #include "engines/engine.hpp"
 #include "runtime/ingest_queue.hpp"
 #include "runtime/replica_pool.hpp"
@@ -156,20 +156,21 @@ struct BatchResult {
 class BatchCollector {
  public:
   /// Any lane, any order. Indices must be unique.
-  void put(BatchResult result);
+  void put(BatchResult result) CDSFLOW_EXCLUDES(mutex_);
   /// Hands back all batches sorted by index; asserts they are the
   /// contiguous range 0..n-1 (no batch lost, none duplicated).
-  std::vector<BatchResult> take();
+  std::vector<BatchResult> take() CDSFLOW_EXCLUDES(mutex_);
   /// Copies the contiguous completed prefix starting at batch index `begin`
   /// (stops at the first gap) without removing anything -- the incremental
   /// counterpart of take() for callers that need results while the stream
   /// is still live. take()'s contiguity assertion is unaffected.
-  std::vector<BatchResult> peek_ready(std::size_t begin) const;
-  std::size_t count() const;
+  std::vector<BatchResult> peek_ready(std::size_t begin) const
+      CDSFLOW_EXCLUDES(mutex_);
+  std::size_t count() const CDSFLOW_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<BatchResult> results_;
+  mutable Mutex mutex_;
+  std::vector<BatchResult> results_ CDSFLOW_GUARDED_BY(mutex_);
 };
 
 }  // namespace stream_detail
@@ -238,7 +239,12 @@ class StreamRuntime {
   std::unique_ptr<ThreadPool> pool_;
   stream_detail::BatchCollector collector_;
 
-  /// Dispatcher-thread state.
+  /// Dispatcher-confined state: written only by dispatch_loop() on
+  /// dispatcher_, read by finish() strictly after dispatcher_.join() (the
+  /// join is the publication point -- a happens-before edge the analysis
+  /// has no vocabulary for; see docs/CONCURRENCY.md). Not guarded by any
+  /// capability on purpose: adding a mutex here would claim a concurrency
+  /// that never happens.
   std::thread dispatcher_;
   std::vector<std::future<void>> in_flight_;
   std::size_t next_batch_index_ = 0;

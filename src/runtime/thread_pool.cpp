@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(unsigned workers) {
 ThreadPool::~ThreadPool() { stop(); }
 
 void ThreadPool::stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  MutexLock stop_lock(stop_mutex_);
   if (joined_) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -30,7 +30,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Fail fast: once stop has begun the workers may already be draining
     // towards exit, and a task enqueued now could sit in the queue forever.
     // Throwing here keeps the contract "every accepted task runs".
@@ -47,8 +47,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      wake_.wait(lock.native(),
+                 [this]() CDSFLOW_REQUIRES(mutex_) {
+                   return stopping_ || !queue_.empty();
+                 });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

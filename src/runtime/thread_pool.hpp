@@ -30,9 +30,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace cdsflow::runtime {
 
@@ -52,24 +53,27 @@ class ThreadPool {
   /// Enqueues a task; the future resolves when it has run (or carries the
   /// exception it threw). Throws cdsflow::Error once stop() has begun (see
   /// the shutdown contract above).
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task)
+      CDSFLOW_EXCLUDES(mutex_);
 
   /// Closes the submission window, drains the queued tasks and joins the
   /// workers. Idempotent; must not be called from a pool worker.
-  void stop();
+  void stop() CDSFLOW_EXCLUDES(stop_mutex_, mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() CDSFLOW_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
+  /// Lock order: stop_mutex_ before mutex_ (stop() takes both; nothing
+  /// else touches stop_mutex_). See docs/CONCURRENCY.md.
+  Mutex mutex_ CDSFLOW_ACQUIRED_AFTER(stop_mutex_);
   std::condition_variable wake_;
-  std::deque<std::packaged_task<void()>> queue_;
-  bool stopping_ = false;
+  std::deque<std::packaged_task<void()>> queue_ CDSFLOW_GUARDED_BY(mutex_);
+  bool stopping_ CDSFLOW_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> threads_;
 
   /// Serialises stop() against itself (destructor vs explicit call).
-  std::mutex stop_mutex_;
-  bool joined_ = false;
+  Mutex stop_mutex_;
+  bool joined_ CDSFLOW_GUARDED_BY(stop_mutex_) = false;
 };
 
 }  // namespace cdsflow::runtime

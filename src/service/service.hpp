@@ -103,6 +103,13 @@ class PricingService : public net::ServerHandler {
                       std::uint32_t tenant);
 
   ServiceConfig config_;
+  /// Loop-thread-confined, not lock-guarded: the session registry and the
+  /// stats are touched only from the net::Server poll loop's callbacks
+  /// (plus construction/drain before the loop starts and after it exits).
+  /// Cross-thread traffic reaches the sessions only through each tenant's
+  /// StreamRuntime, whose internals carry the real capabilities -- see
+  /// docs/CONCURRENCY.md. Adding a mutex here would claim a concurrency
+  /// the single-threaded event loop never has.
   std::map<std::uint32_t, std::unique_ptr<TenantSession>> sessions_;
   ServiceStats stats_;
   std::chrono::steady_clock::time_point epoch_;

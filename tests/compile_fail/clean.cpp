@@ -1,0 +1,55 @@
+// Control case: the same annotation vocabulary as the seeded violations,
+// used correctly. Must compile warning-free on every compiler -- if this
+// target fails, the harness is rejecting the vocabulary itself rather
+// than the violations, and the WILL_FAIL results of the cf_* cases mean
+// nothing.
+
+#include "common/thread_annotations.hpp"
+
+#include <condition_variable>
+#include <deque>
+
+namespace {
+
+class Mailbox {
+ public:
+  void post(long message) CDSFLOW_EXCLUDES(mu_) {
+    {
+      cdsflow::MutexLock lock(mu_);
+      messages_.push_back(message);
+      bump_locked();
+    }
+    ready_.notify_one();
+  }
+
+  long wait_pop() CDSFLOW_EXCLUDES(mu_) {
+    cdsflow::UniqueLock lock(mu_);
+    ready_.wait(lock.native(),
+                [this]() CDSFLOW_REQUIRES(mu_) { return !messages_.empty(); });
+    const long message = messages_.front();
+    messages_.pop_front();
+    return message;
+  }
+
+  long posted() const CDSFLOW_EXCLUDES(mu_) {
+    cdsflow::MutexLock lock(mu_);
+    return posted_;
+  }
+
+ private:
+  void bump_locked() CDSFLOW_REQUIRES(mu_) { ++posted_; }
+
+  mutable cdsflow::Mutex mu_;
+  std::condition_variable ready_;
+  std::deque<long> messages_ CDSFLOW_GUARDED_BY(mu_);
+  long posted_ CDSFLOW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+long cf_clean_probe() {
+  Mailbox box;
+  box.post(7);
+  const long got = box.wait_pop();
+  return got + box.posted();
+}

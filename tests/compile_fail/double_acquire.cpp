@@ -1,0 +1,30 @@
+// Seeded violation: acquiring the same mutex twice in one scope (a
+// self-deadlock with std::mutex). Clang must reject this under
+// -Werror=thread-safety ("acquiring mutex 'mu_' that is already held");
+// the compile_fail_double_acquire ctest entry is WILL_FAIL on that.
+// Under GCC the annotations are no-ops and this is ordinary valid C++
+// (compiled only, never run -- executing it would deadlock).
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Register {
+ public:
+  void set(long value) {
+    cdsflow::MutexLock outer(mu_);
+    cdsflow::MutexLock inner(mu_);  // re-acquire: the seeded violation
+    value_ = value;
+  }
+
+ private:
+  cdsflow::Mutex mu_;
+  long value_ CDSFLOW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void cf_double_acquire_probe() {
+  Register reg;
+  reg.set(42);
+}

@@ -1,0 +1,29 @@
+// Seeded violation: calling a CDSFLOW_REQUIRES function without holding
+// the mutex it names. Clang must reject this under -Werror=thread-safety
+// ("calling function 'bump_locked' requires holding mutex 'mu_'");
+// the compile_fail_missing_requires ctest entry is WILL_FAIL on that.
+// Under GCC the annotations are no-ops and this is ordinary valid C++.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    bump_locked();  // REQUIRES(mu_) callee, no lock: the seeded violation
+  }
+
+ private:
+  void bump_locked() CDSFLOW_REQUIRES(mu_) { ++count_; }
+
+  cdsflow::Mutex mu_;
+  long count_ CDSFLOW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void cf_missing_requires_probe() {
+  Counter counter;
+  counter.bump_unlocked();
+}

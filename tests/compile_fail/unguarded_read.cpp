@@ -1,0 +1,33 @@
+// Seeded violation: reading a CDSFLOW_GUARDED_BY field without holding its
+// mutex. Clang must reject this under -Werror=thread-safety
+// ("reading variable 'balance_' requires holding mutex 'mu_'");
+// the compile_fail_unguarded_read ctest entry is WILL_FAIL on exactly that.
+// Under GCC the annotations are no-ops and this is ordinary valid C++.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) {
+    cdsflow::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  long peek() const {
+    return balance_;  // guarded read, no lock: the seeded violation
+  }
+
+ private:
+  mutable cdsflow::Mutex mu_;
+  long balance_ CDSFLOW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+long cf_unguarded_read_probe() {
+  Account account;
+  account.deposit(1);
+  return account.peek();
+}

@@ -308,6 +308,24 @@ TEST_F(EnginesFixture, EmptyPortfolioRejectedEverywhere) {
   EXPECT_THROW(baseline.price(empty), Error);
 }
 
+TEST_F(EnginesFixture, WorkerThreadExceptionSurfacesAsError) {
+  // Regression for CpuEngine::price()'s first-error slot: an unpriceable
+  // option throws inside a worker thread; the engine must capture the
+  // first exception under the slot's lock and rethrow after the join as a
+  // catchable Error. The worker body is noexcept, so without the capture
+  // the exception would escape a thread and terminate the process.
+  CpuEngineConfig cfg;
+  cfg.threads = 4;
+  CpuEngine engine(scenario_.interest, scenario_.hazard, cfg);
+  auto book = scenario_.options;
+  ASSERT_GE(book.size(), 8u);  // several chunks; the bad row is not in chunk 0
+  book.back().maturity_years = -1.0;  // no premium schedule -> zero annuity
+  EXPECT_THROW(engine.price(book), Error);
+  // A failed run must not wedge the engine: the slot is per-call state.
+  const auto run = engine.price(scenario_.options);
+  EXPECT_EQ(run.results.size(), scenario_.options.size());
+}
+
 TEST(BatchTraffic, ScalesWithInputs) {
   const auto t = batch_traffic(1024, 512);
   EXPECT_EQ(t.curve_bytes, 1024u * 2 * 2 * 8);

@@ -161,6 +161,7 @@
 #include "cluster/worker.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "common/thread_annotations.hpp"
 #include "engines/planner.hpp"
 #include "engines/registry.hpp"
 #include "fpga/resource.hpp"
@@ -1187,10 +1188,40 @@ int cmd_cluster_price(const Args& args) {
   return 0;
 }
 
+int cmd_build_info() {
+  // Machine-readable build provenance, one key=value per line. CI guards
+  // parse this: scripts/cluster_smoke.sh refuses to certify a clang build
+  // whose thread-safety annotations were compiled out (a silently
+  // unchecked locking discipline), and the lint job records the compiler
+  // the binaries under test were built with.
+#if defined(__clang__)
+  std::cout << "compiler=clang\n"
+            << "compiler_version=" << __clang_major__ << '.'
+            << __clang_minor__ << '\n';
+#elif defined(__GNUC__)
+  std::cout << "compiler=gcc\n"
+            << "compiler_version=" << __GNUC__ << '.' << __GNUC_MINOR__
+            << '\n';
+#else
+  std::cout << "compiler=unknown\ncompiler_version=0.0\n";
+#endif
+#if defined(CDSFLOW_THREAD_SAFETY_ANNOTATED)
+  std::cout << "thread_safety_annotations=on\n";
+#else
+  std::cout << "thread_safety_annotations=off\n";
+#endif
+#if defined(NDEBUG)
+  std::cout << "assertions=off\n";
+#else
+  std::cout << "assertions=on\n";
+#endif
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: cdsflow_cli <price|risk|stream|sweep|serve|"
                "client-replay|cluster-worker|cluster-price|bootstrap|"
-               "engines|device> [--flag value ...]\n"
+               "engines|device|build-info> [--flag value ...]\n"
                "see the file header of tools/cdsflow_cli.cpp for details\n";
   return 1;
 }
@@ -1213,6 +1244,7 @@ int main(int argc, char** argv) {
     if (command == "bootstrap") return cmd_bootstrap(args);
     if (command == "engines") return cmd_engines();
     if (command == "device") return cmd_device(args);
+    if (command == "build-info") return cmd_build_info();
     return usage();
   } catch (const cdsflow::Error& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,12 @@
+// Fixture bench for the bench-json-keys rule: writes BENCH_demo.json but
+// under a different key than the one the fixture's bench_diff.py tracks,
+// so the tracked metric would silently read as n/a in every trajectory.
+#include <fstream>
+
+int main() {
+  std::ofstream out("BENCH_demo.json");
+  out << "{\n";
+  out << "  \"demo_throughput\": 1.0\n";
+  out << "}\n";
+  return 0;
+}

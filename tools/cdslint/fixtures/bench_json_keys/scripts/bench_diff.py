@@ -1,0 +1,8 @@
+# Fixture bench_diff.py for cdslint's bench-json-keys rule: tracks a key
+# ("demo_speedup") that no bench source in this fixture tree writes -- the
+# seeded violation.
+METRICS = {
+    "BENCH_demo.json": [
+        ("demo_speedup", True),
+    ],
+}

@@ -1,0 +1,31 @@
+// Seeded violation for cdslint's codec-bounds rule: a decode case that
+// reads a row count straight out of the payload -- no require_payload_*
+// gate before the read and no require_count_between on the count -- so an
+// attacker-controlled length would size a loop unchecked.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint32_t get_u32(const std::uint8_t* p);
+
+enum class FrameType : std::uint8_t { kDemoRequest = 1 };
+
+struct Frame {
+  FrameType type = FrameType::kDemoRequest;
+};
+
+std::uint32_t decode(const Frame& frame, const std::uint8_t* p) {
+  std::uint32_t total = 0;
+  switch (frame.type) {
+    case FrameType::kDemoRequest: {
+      const std::uint32_t count = get_u32(p);  // the seeded violation
+      for (std::uint32_t i = 0; i < count; ++i) {
+        total += get_u32(p + 4 + 4 * i);
+      }
+      break;
+    }
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Seeded violation for cdslint's float-in-cds rule: a single-precision
+// member in a pricing path outside the allowlisted precision.* emulation.
+#pragma once
+
+namespace fixture {
+
+struct CurvePoint {
+  double tenor = 0.0;
+  float rate = 0.0;  // the seeded violation
+};
+
+}  // namespace fixture

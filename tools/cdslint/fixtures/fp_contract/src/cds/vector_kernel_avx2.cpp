@@ -1,0 +1,3 @@
+// Stub arch TU for the fp-contract fixture (never compiled; cdslint only
+// needs the file to exist so the rule checks its CMake compile options).
+double fixture_kernel(double a, double b, double c) { return a * b + c; }

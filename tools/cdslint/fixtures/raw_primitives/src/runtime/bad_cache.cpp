@@ -1,0 +1,19 @@
+// Seeded violation for cdslint's raw-primitives rule: a bare std::mutex
+// member instead of the annotated cdsflow::Mutex wrapper, invisible to
+// Clang's thread-safety analysis.
+namespace fixture {
+
+class BadCache {
+ public:
+  void put(long value) {
+    mu_.lock();
+    value_ = value;
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;  // the seeded violation
+  long value_ = 0;
+};
+
+}  // namespace fixture
